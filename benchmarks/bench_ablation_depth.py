@@ -1,0 +1,76 @@
+"""Ablation — confirmation depth d: safety vs latency.
+
+AC3WN's Δ is (depth × block interval), so the end-to-end 4·Δ latency is
+linear in the chosen d.  Section 6.3 sets d from the value at risk; this
+bench connects the two: for each Va we compute the required d on a
+Bitcoin-like witness and the resulting swap latency — the price of
+safety in wall-clock terms.
+"""
+
+import pytest
+
+from repro.analysis.security import required_depth
+from repro.core.ac3wn import AC3WNConfig, AC3WNDriver
+from repro.workloads.graphs import two_party_swap
+from repro.workloads.scenarios import build_scenario
+
+from conftest import print_table
+
+
+def run_with_depth(depth: int, seed: int):
+    from repro.chain.params import fast_chain
+
+    graph = two_party_swap(chain_a="a", chain_b="b", timestamp=seed)
+    chain_params = {
+        chain_id: fast_chain(chain_id, block_interval=1.0, confirmation_depth=depth)
+        for chain_id in ("a", "b", "witness")
+    }
+    env = build_scenario(graph=graph, seed=seed, chain_params=chain_params)
+    env.warm_up(depth)
+    driver = AC3WNDriver(env, graph, AC3WNConfig(witness_chain_id="witness"))
+    return driver.run()
+
+
+@pytest.mark.parametrize("depth", [1, 2, 4, 6])
+def test_latency_scales_with_depth(benchmark, depth):
+    outcome = benchmark.pedantic(run_with_depth, args=(depth, 900 + depth), rounds=1, iterations=1)
+    assert outcome.decision == "commit"
+    delta = depth * 1.0
+    print(f"\nd={depth}: latency {outcome.latency:.1f}s = {outcome.latency / delta:.1f}Δ")
+    # Constant in Δ units (the 4·Δ law), therefore linear in d seconds.
+    assert outcome.latency / delta <= 6.0
+
+
+def test_depth_latency_table(table_printer):
+    rows = []
+    for depth in (1, 2, 4, 6):
+        outcome = run_with_depth(depth, 950 + depth)
+        rows.append([depth, f"{outcome.latency:.1f}s", f"{outcome.latency / depth:.1f}Δ"])
+    table_printer(
+        "Ablation: confirmation depth d vs AC3WN latency (1 s blocks)",
+        ["d", "latency (s)", "latency (Δ)"],
+        rows,
+    )
+    seconds = [float(r[1][:-1]) for r in rows]
+    assert seconds == sorted(seconds)  # linear in d
+    deltas = [float(r[2][:-1]) for r in rows]
+    assert max(deltas) - min(deltas) <= 2.5  # constant in Δ
+
+
+def test_safety_latency_tradeoff(table_printer):
+    """Join Section 6.3 and 6.1: what a given value-at-risk costs in
+    swap latency on a Bitcoin-like witness (600 s blocks)."""
+    rows = []
+    block_interval_s = 600.0
+    for va in (10_000, 100_000, 1_000_000):
+        d = required_depth(va, 300_000.0, 6.0)
+        delta_s = d * block_interval_s
+        swap_latency_h = 4 * delta_s / 3600.0
+        rows.append([f"${va:,}", d, f"{swap_latency_h:.1f} h"])
+    table_printer(
+        "Safety vs latency: Bitcoin-like witness (Ch=$300K/h)",
+        ["value at risk", "required d", "AC3WN swap latency (4Δ)"],
+        rows,
+    )
+    depths = [r[1] for r in rows]
+    assert depths == sorted(depths)

@@ -1,0 +1,102 @@
+"""E8 — Section 5.3 / Figure 7: complex AC2T graphs.
+
+Cyclic graphs that stay cyclic without any single leader (Figure 7a) and
+disconnected graphs (Figure 7b) cannot be executed by Nolan's or
+Herlihy's protocols; AC3WN handles any graph.  We run AC3WN on both
+figures (commit and abort paths) and confirm the baselines refuse.
+"""
+
+import pytest
+
+from repro.core.ac3wn import run_ac3wn
+from repro.core.herlihy import run_herlihy
+from repro.errors import GraphError
+from repro.workloads.graphs import figure7a_cyclic, figure7b_disconnected
+from repro.workloads.scenarios import build_scenario
+
+from conftest import print_table
+
+GRAPHS = {
+    "Figure 7a (cyclic)": figure7a_cyclic,
+    "Figure 7b (disconnected)": figure7b_disconnected,
+}
+
+
+@pytest.mark.parametrize("label", list(GRAPHS))
+def test_ac3wn_commits_complex_graph(benchmark, label):
+    factory = GRAPHS[label]
+
+    def run():
+        graph = factory(timestamp=hash(label) % 1000)
+        env = build_scenario(graph=graph, seed=hash(label) % 1000)
+        env.warm_up(2)
+        return run_ac3wn(env, graph, witness_chain_id="witness")
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n{label}: {outcome.summary()}")
+    assert outcome.decision == "commit"
+    assert outcome.is_atomic
+
+
+@pytest.mark.parametrize("label", list(GRAPHS))
+def test_herlihy_refuses_complex_graph(label):
+    factory = GRAPHS[label]
+    graph = factory(timestamp=1)
+    env = build_scenario(graph=graph, seed=3)
+    with pytest.raises(GraphError):
+        run_herlihy(env, graph)
+
+
+def test_summary_table(table_printer):
+    rows = []
+    for label, factory in GRAPHS.items():
+        graph = factory(timestamp=77)
+        env = build_scenario(graph=graph, seed=77)
+        env.warm_up(2)
+        ac3wn = run_ac3wn(env, graph, witness_chain_id="witness")
+        try:
+            env2 = build_scenario(graph=factory(timestamp=78), seed=78)
+            run_herlihy(env2, factory(timestamp=78))
+            herlihy = "executed (unexpected)"
+        except GraphError:
+            herlihy = "refused (GraphError)"
+        rows.append(
+            [
+                label,
+                f"|V|={len(graph.participants)}, |E|={graph.num_contracts}",
+                herlihy,
+                f"{ac3wn.decision}, atomic={ac3wn.is_atomic}",
+            ]
+        )
+    table_printer(
+        "Section 5.3: complex graphs — Herlihy vs AC3WN",
+        ["graph", "size", "Herlihy", "AC3WN"],
+        rows,
+    )
+    assert all("refused" in row[2] for row in rows)
+    assert all("commit" in row[3] for row in rows)
+
+
+def test_disconnected_abort_is_batch_atomic(benchmark):
+    """Abort in one component refunds the *whole* batch (both
+    components) — the disconnected AC2T is still one transaction."""
+
+    def run():
+        graph = figure7b_disconnected(timestamp=88)
+        env = build_scenario(graph=graph, seed=88)
+        env.warm_up(2)
+        return run_ac3wn(
+            env, graph, witness_chain_id="witness", decliners=frozenset({"d"})
+        )
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.decision == "abort"
+    published = [
+        r for r in outcome.contracts.values() if r.final_state != "unpublished"
+    ]
+    assert published
+    assert all(r.final_state == "RF" for r in published)
+    # The a⇄b component had nothing to do with d's refusal, yet it
+    # refunds too: all-or-nothing across disconnected components.
+    ab_edges = [r for r in published if {"a", "b"} >= {r.edge.source, r.edge.recipient}]
+    assert ab_edges and all(r.final_state == "RF" for r in ab_edges)

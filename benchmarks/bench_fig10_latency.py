@@ -1,0 +1,102 @@
+"""E3 — Figure 10: overall AC2T latency (in Δs) vs graph diameter.
+
+The paper's headline result: Herlihy's protocol is linear in Diam(D)
+(2·Δ·Diam) while AC3WN is constant (4·Δ).  We reproduce the figure two
+ways: the analytical series, and *measured* end-to-end runs of both
+protocols on the simulator for each diameter, reported in Δ units.
+"""
+
+import pytest
+
+from repro.analysis.latency import ac3wn_latency, figure10_series, herlihy_latency
+from repro.core.ac3wn import run_ac3wn
+from repro.core.herlihy import run_herlihy
+from repro.workloads.graphs import ring_with_diameter
+from repro.workloads.scenarios import build_scenario
+
+from conftest import print_table
+
+MEASURED_DIAMETERS = [2, 3, 4, 5, 6]
+ANALYTIC_MAX_DIAMETER = 14
+
+
+def _measured_latency(protocol: str, diameter: int, seed: int) -> float:
+    """Run one swap end-to-end; return latency in Δ units."""
+    chain_ids = [f"c{i}" for i in range(diameter)]
+    graph = ring_with_diameter(diameter, chain_ids=chain_ids, timestamp=seed)
+    env = build_scenario(graph=graph, seed=seed)
+    env.warm_up(2)
+    delta = 2.0  # confirmation_depth(2) × block_interval(1s)
+    if protocol == "herlihy":
+        outcome = run_herlihy(env, graph)
+    else:
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+    assert outcome.decision == "commit", outcome.summary()
+    return outcome.latency / delta
+
+
+def test_figure10_analytic(benchmark, table_printer):
+    series = benchmark(figure10_series, ANALYTIC_MAX_DIAMETER)
+    rows = [
+        [p.diameter, p.herlihy_deltas, p.ac3wn_deltas, f"{p.speedup:.1f}x"]
+        for p in series
+    ]
+    table_printer(
+        "Figure 10 (analytic): AC2T latency in Δs vs Diam(D)",
+        ["Diam(D)", "Herlihy (2·Δ·Diam)", "AC3WN (4·Δ)", "speedup"],
+        rows,
+    )
+    assert all(p.ac3wn_deltas == 4.0 for p in series)
+    assert series[-1].herlihy_deltas == 2.0 * ANALYTIC_MAX_DIAMETER
+
+
+@pytest.mark.parametrize("diameter", MEASURED_DIAMETERS)
+def test_figure10_measured_point(benchmark, diameter):
+    """Measured latency for one diameter, both protocols.
+
+    Shape check: Herlihy's measured latency grows with the diameter and
+    exceeds AC3WN's for Diam > 2 (the paper's crossover).
+    """
+
+    def run_both():
+        herlihy = _measured_latency("herlihy", diameter, seed=100 + diameter)
+        ac3wn = _measured_latency("ac3wn", diameter, seed=200 + diameter)
+        return herlihy, ac3wn
+
+    herlihy_deltas, ac3wn_deltas = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(
+        f"\nDiam={diameter}: Herlihy {herlihy_deltas:.1f}Δ "
+        f"(paper {herlihy_latency(diameter):.0f}Δ) | "
+        f"AC3WN {ac3wn_deltas:.1f}Δ (paper {ac3wn_latency(diameter):.0f}Δ)"
+    )
+    if diameter > 2:
+        assert herlihy_deltas > ac3wn_deltas
+    # AC3WN stays within a constant band regardless of diameter.
+    assert ac3wn_deltas < 8.0
+
+
+def test_figure10_measured_series(table_printer):
+    """The full measured curve in one table (no benchmark timing)."""
+    rows = []
+    for diameter in MEASURED_DIAMETERS:
+        herlihy = _measured_latency("herlihy", diameter, seed=300 + diameter)
+        ac3wn = _measured_latency("ac3wn", diameter, seed=400 + diameter)
+        rows.append(
+            [
+                diameter,
+                f"{herlihy:.1f}",
+                f"{herlihy_latency(diameter):.0f}",
+                f"{ac3wn:.1f}",
+                f"{ac3wn_latency(diameter):.0f}",
+            ]
+        )
+    table_printer(
+        "Figure 10 (measured on simulator): latency in Δs",
+        ["Diam(D)", "Herlihy meas.", "Herlihy paper", "AC3WN meas.", "AC3WN paper"],
+        rows,
+    )
+    herlihy_curve = [float(r[1]) for r in rows]
+    ac3wn_curve = [float(r[3]) for r in rows]
+    # Monotone growth vs flatness.
+    assert herlihy_curve == sorted(herlihy_curve)
+    assert max(ac3wn_curve) - min(ac3wn_curve) < 2.0

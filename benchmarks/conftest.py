@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's Section 6
+(see DESIGN.md's experiment index) and prints the corresponding rows so
+the output can be compared against the paper side by side.  The
+pytest-benchmark fixture wraps the measured portion.
+"""
+
+import pytest
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a paper-style table to stdout."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    return print_table

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Section 4.3 / Figure 6: how one chain verifies another chain's state.
+
+A relay contract ``SC`` on the *validator* chain stores a stable header
+of the *validated* chain.  When the watched transaction lands and gets
+buried at depth ≥ d, anyone can submit evidence — a run of subsequent
+headers (each PoW-checked and hash-linked) plus Merkle proofs of the
+message and of its success receipt — and SC flips S1 → S2.
+
+No miner of the validator chain ever runs a node of the validated chain:
+the validation logic lives entirely inside the contract.
+
+Run:  python examples/cross_chain_evidence.py
+"""
+
+from repro.chain import Blockchain, fast_chain
+from repro.core.evidence import build_publication_evidence
+from repro.crypto import KeyPair
+from repro.chain.messages import CallMessage, DeployMessage, sign_message
+from repro.chain.transaction import TxInput, TxOutput
+
+ALICE = KeyPair.from_seed("alice")
+BOB = KeyPair.from_seed("bob")
+MINER = KeyPair.from_seed("miner").address
+
+
+def funding(chain, keypair, amount):
+    state = chain.state_at()
+    chosen, total = [], 0
+    for op in state.utxos.outpoints_of(keypair.address):
+        chosen.append(TxInput(op))
+        total += state.utxos.get(op).value
+        if total >= amount:
+            break
+    change = (TxOutput(keypair.address, total - amount),) if total > amount else ()
+    return tuple(chosen), change
+
+
+def main() -> None:
+    # Two independent chains; nobody validates anything by default.
+    validated = Blockchain(
+        fast_chain("validated", confirmation_depth=3),
+        [(ALICE.address, 10_000)],
+    )
+    validator = Blockchain(
+        fast_chain("validator"),
+        [(ALICE.address, 10_000), (BOB.address, 10_000)],
+    )
+
+    # 1. The transaction of interest on the validated chain: an HTLC.
+    inputs, change = funding(validated, ALICE, 510)
+    watched = sign_message(
+        DeployMessage(
+            sender=ALICE.public_key,
+            contract_class="HTLC",
+            args=(BOB.address.raw, b"\x42" * 32, 10_000_000),
+            value=500,
+            fee=10,
+            inputs=inputs,
+            change=change,
+        ),
+        ALICE,
+    )
+    anchor = validated.block_at_height(0).header  # the stored stable block
+    print(f"stable anchor on 'validated': height {anchor.height}")
+
+    # 2. Deploy the relay contract on the validator chain, storing the
+    #    anchor and the watched message id (Figure 6, steps 1-2).
+    inputs, change = funding(validator, ALICE, 10)
+    relay = sign_message(
+        DeployMessage(
+            sender=ALICE.public_key,
+            contract_class="HeaderRelay",
+            args=("validated", anchor, watched.message_id(), 3),
+            fee=10,
+            inputs=inputs,
+            change=change,
+        ),
+        ALICE,
+    )
+    validator.add_block(validator.make_block([relay], MINER, 1.0))
+    print(f"relay contract deployed on 'validator', state = "
+          f"{validator.contract(relay.contract_id()).state}")
+
+    # 3. The watched tx lands on the validated chain (step 3) and gets
+    #    buried under d = 3 blocks (step 4).
+    validated.add_block(validated.make_block([watched], MINER, 2.0))
+    for i in range(3):
+        validated.add_block(validated.make_block([], MINER, 3.0 + i))
+    print(f"watched message depth on 'validated': "
+          f"{validated.message_depth(watched.message_id())}")
+
+    # 4. Anyone assembles the evidence (step 5) and submits it to the
+    #    relay contract (step 6).
+    evidence = build_publication_evidence(validated, watched, anchor=anchor)
+    print(f"evidence: {len(evidence.headers)} headers + 2 Merkle proofs")
+    inputs, change = funding(validator, BOB, 5)
+    submit = sign_message(
+        CallMessage(
+            sender=BOB.public_key,
+            contract_id=relay.contract_id(),
+            function="submit_evidence",
+            args=(
+                evidence.headers,
+                evidence.height,
+                evidence.message_proof,
+                evidence.receipt_proof,
+            ),
+            fee=5,
+            inputs=inputs,
+            change=change,
+        ),
+        BOB,
+    )
+    validator.add_block(validator.make_block([submit], MINER, 2.0))
+
+    contract = validator.contract(relay.contract_id())
+    print(f"relay contract state after evidence: {contract.state} "
+          f"(observed inclusion at height {contract.observed_height})")
+    assert contract.state == "S2"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""A closer look at the witness *network*: many miners, organic forks.
+
+The witness chain in the other examples runs a single miner for clarity.
+Here we run it as the paper intends — an open network of miners racing
+Poisson clocks and gossiping blocks — and watch what Lemma 5.3 is about:
+tips fork naturally when gossip is slow, conflicting views coexist for
+a while, and the depth-d prefix everyone agrees on is what AC3WN reads
+decisions from.
+
+Run:  python examples/permissionless_witness_network.py
+"""
+
+from repro.chain.gossip import ReplicatedChain
+from repro.chain.params import fast_chain
+from repro.crypto import KeyPair
+from repro.sim.network import LatencyModel, Network
+from repro.sim.simulator import Simulator
+
+ALICE = KeyPair.from_seed("alice")
+
+
+def run(gossip_ms: float) -> None:
+    sim = Simulator(seed=99)
+    net = Network(sim, latency=LatencyModel(base=gossip_ms / 1000.0))
+    params = fast_chain("witness-net", block_interval=1.0).with_overrides(
+        deterministic_intervals=False
+    )
+    witness = ReplicatedChain(
+        sim, net, params, [(ALICE.address, 1_000)], num_replicas=4
+    )
+    witness.start()
+    sim.run_until(90.0)
+
+    heights = [r.chain.height for r in witness.replicas]
+    reorgs = witness.total_forks_observed()
+    print(f"gossip latency {gossip_ms:5.0f} ms | heights {heights} | "
+          f"reorgs observed {reorgs:3d} | tips agree: {witness.tips_agree()} | "
+          f"depth-6 prefix common: {witness.agree_at_depth(6)}")
+
+
+def main() -> None:
+    print("4 miners, ~1 s Poisson blocks, 90 simulated seconds\n")
+    for gossip_ms in (20, 200, 800):
+        run(gossip_ms)
+    print(
+        "\nEven when slow gossip forks the tips, the depth-d prefix is "
+        "common — which is why AC3WN only acts on SCw states buried at "
+        "depth ≥ d (Section 4.2, Lemma 5.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

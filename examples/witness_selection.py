@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Section 6.3/6.4: choosing a witness network for your AC2T.
+
+Given the value at risk, how deep must the decision be buried (d) on
+each candidate witness chain before it is economically final — and how
+does the witness choice bound the AC2T's throughput?
+
+Run:  python examples/witness_selection.py
+"""
+
+from repro.analysis.security import PAPER_WITNESS_CANDIDATES, required_depth
+from repro.analysis.throughput import ac2t_throughput, best_witness
+
+
+def main() -> None:
+    print("=== Security: required burial depth d (d > Va·dh/Ch) ===")
+    print(f"{'value at risk':>15} | " + " | ".join(
+        f"{c.chain_id:>12}" for c in PAPER_WITNESS_CANDIDATES
+    ))
+    for va in (10_000, 100_000, 1_000_000, 10_000_000):
+        depths = [c.depth_for(va) for c in PAPER_WITNESS_CANDIDATES]
+        print(f"${va:>14,} | " + " | ".join(f"{d:>12}" for d in depths))
+
+    print("\nThe paper's worked example: $1M at risk, Bitcoin witness")
+    d = required_depth(1_000_000, 300_000, 6)
+    print(f"  d must exceed 20; smallest safe d = {d}")
+    btc = PAPER_WITNESS_CANDIDATES[0]
+    print(f"  confirmation latency at that depth: "
+          f"{btc.confirmation_latency_hours(1_000_000):.1f} hours")
+
+    print("\n=== Throughput: the min() rule (Section 6.4) ===")
+    assets = ["ethereum", "litecoin"]
+    outside = ac2t_throughput(assets, "bitcoin")
+    print(f"  assets {assets} witnessed by bitcoin: {outside.tps} tps "
+          f"(bottleneck: {outside.bottleneck})")
+    inside = best_witness(assets)
+    print(f"  best witness among the involved chains: {inside.witness_chain} "
+          f"→ {inside.tps} tps")
+    print("\nRule of thumb: pick the witness from the involved chains, and "
+          "size d to the value at risk.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of "Atomic Commitment Across Blockchains"
+(Zakhary, Agrawal, El Abbadi; VLDB 2020).
+
+The package implements the paper's AC3WN protocol (atomic cross-chain
+commitment with a permissionless witness network), the AC3TW centralized
+variant, and the Nolan/Herlihy HTLC baselines, on top of a from-scratch
+substrate: deterministic discrete-event simulation, UTXO blockchains
+with proof-of-work and forks, a smart-contract runtime, SPV light
+clients, and pure-Python secp256k1.
+
+Quickstart::
+
+    from repro import build_scenario, two_party_swap, run_ac3wn
+
+    graph = two_party_swap(chain_a="bitcoin-sim", chain_b="ethereum-sim")
+    env = build_scenario(graph=graph, witness_chain_id="witness")
+    env.warm_up()
+    outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+    assert outcome.decision == "commit" and outcome.is_atomic
+"""
+
+from . import analysis, chain, core, crypto, sim, workloads
+from .core import (
+    AC3TWDriver,
+    AC3WNConfig,
+    AC3WNDriver,
+    AssetEdge,
+    HerlihyDriver,
+    NolanDriver,
+    SwapEnvironment,
+    SwapGraph,
+    SwapOutcome,
+    TrustedWitness,
+    run_ac3tw,
+    run_ac3wn,
+    run_herlihy,
+    run_nolan,
+)
+from .workloads import (
+    ScenarioEnvironment,
+    build_scenario,
+    directed_cycle,
+    figure7a_cyclic,
+    figure7b_disconnected,
+    ring_with_diameter,
+    two_party_swap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AC3TWDriver",
+    "AC3WNConfig",
+    "AC3WNDriver",
+    "AssetEdge",
+    "HerlihyDriver",
+    "NolanDriver",
+    "ScenarioEnvironment",
+    "SwapEnvironment",
+    "SwapGraph",
+    "SwapOutcome",
+    "TrustedWitness",
+    "analysis",
+    "build_scenario",
+    "chain",
+    "core",
+    "crypto",
+    "directed_cycle",
+    "figure7a_cyclic",
+    "figure7b_disconnected",
+    "ring_with_diameter",
+    "run_ac3tw",
+    "run_ac3wn",
+    "run_herlihy",
+    "run_nolan",
+    "sim",
+    "two_party_swap",
+    "workloads",
+]

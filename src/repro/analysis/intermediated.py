@@ -1,0 +1,88 @@
+"""The introduction's strawman: trading through a centralized exchange.
+
+Section 1 motivates AC2Ts by counting what the Trent-the-exchange
+alternative costs: going through fiat takes **four** transactions (two
+between Alice and Trent, two between Bob and Trent); a direct custodial
+swap takes **two**; a peer-to-peer AC2T takes one cross-chain
+transaction (N on-chain contracts for N edges, but a single atomic
+unit).  Beyond transaction count, the intermediated paths give up
+custody and atomicity entirely.
+
+These models quantify that comparison so the ablation bench can print
+the intro's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.graph import SwapGraph
+
+
+@dataclass(frozen=True)
+class SettlementPath:
+    """One way to execute an asset exchange, and what it costs."""
+
+    name: str
+    onchain_transactions: int
+    trusted_intermediary: bool
+    intermediary_must_hold_assets: bool
+    atomic: bool
+    decentralized: bool
+
+
+def fiat_exchange_path(num_pairs: int = 1) -> SettlementPath:
+    """Alice→Trent→fiat→Bob: four transactions per exchanged pair."""
+    if num_pairs < 1:
+        raise ValueError("at least one exchanged pair")
+    return SettlementPath(
+        name="centralized exchange via fiat",
+        onchain_transactions=4 * num_pairs,
+        trusted_intermediary=True,
+        intermediary_must_hold_assets=True,
+        atomic=False,
+        decentralized=False,
+    )
+
+
+def direct_exchange_path(num_pairs: int = 1) -> SettlementPath:
+    """Custodial direct swap at the exchange: two transactions per pair."""
+    if num_pairs < 1:
+        raise ValueError("at least one exchanged pair")
+    return SettlementPath(
+        name="centralized exchange, direct swap",
+        onchain_transactions=2 * num_pairs,
+        trusted_intermediary=True,
+        intermediary_must_hold_assets=True,
+        atomic=False,
+        decentralized=False,
+    )
+
+
+def ac2t_path(graph: SwapGraph, protocol: str = "ac3wn") -> SettlementPath:
+    """Peer-to-peer atomic cross-chain transaction.
+
+    On-chain message count: one deploy plus one settle call per edge,
+    plus (for AC3WN) the SCw deploy and its state-change call.
+    """
+    n = graph.num_contracts
+    extra = 2 if protocol == "ac3wn" else 0
+    return SettlementPath(
+        name=f"peer-to-peer AC2T ({protocol})",
+        onchain_transactions=2 * n + extra,
+        trusted_intermediary=False,
+        intermediary_must_hold_assets=False,
+        atomic=protocol in ("ac3wn", "ac3tw"),
+        decentralized=protocol != "ac3tw",
+    )
+
+
+def comparison_rows(graph: SwapGraph) -> list[SettlementPath]:
+    """The intro's comparison for one two-party exchange."""
+    pairs = max(graph.num_contracts // 2, 1)
+    return [
+        fiat_exchange_path(pairs),
+        direct_exchange_path(pairs),
+        ac2t_path(graph, "herlihy"),
+        ac2t_path(graph, "ac3wn"),
+    ]

@@ -1,0 +1,142 @@
+"""Blocks and block headers.
+
+A header commits to its parent (hash chaining — the "tamper-proof chain
+of blocks" of Section 2.1), to its message set (Merkle root), and to the
+proof of work (nonce + difficulty).  Everything a light client or the
+Section 4.3 relay validator needs lives in the header.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto.hashing import double_sha256
+from ..crypto.keys import Address
+from ..crypto.merkle import MerkleTree
+from .wire import canonical_encode
+
+#: Millisecond fixed-point factor for header timestamps (headers are
+#: consensus data, so they store ints, not floats).
+TIME_SCALE = 1000
+
+
+def encode_time(seconds: float) -> int:
+    """Convert simulator seconds to integer header time."""
+    return round(seconds * TIME_SCALE)
+
+
+def decode_time(ticks: int) -> float:
+    """Convert integer header time back to simulator seconds."""
+    return ticks / TIME_SCALE
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """The consensus-critical summary of a block."""
+
+    chain_id: str
+    height: int
+    prev_hash: bytes
+    merkle_root: bytes
+    receipts_root: bytes
+    time_ticks: int
+    difficulty_bits: int
+    nonce: int
+    miner: Address
+
+    def to_wire(self):
+        return {
+            "chain_id": self.chain_id,
+            "height": self.height,
+            "prev_hash": self.prev_hash,
+            "merkle_root": self.merkle_root,
+            "receipts_root": self.receipts_root,
+            "time_ticks": self.time_ticks,
+            "difficulty_bits": self.difficulty_bits,
+            "nonce": self.nonce,
+            "miner": self.miner.raw,
+        }
+
+    def block_id(self) -> bytes:
+        """The block hash (double SHA-256 of the header, Bitcoin-style)."""
+        return double_sha256(canonical_encode(self.to_wire()))
+
+    @property
+    def timestamp(self) -> float:
+        return decode_time(self.time_ticks)
+
+    def with_nonce(self, nonce: int) -> "BlockHeader":
+        """Copy with a different nonce (used during mining)."""
+        return BlockHeader(
+            chain_id=self.chain_id,
+            height=self.height,
+            prev_hash=self.prev_hash,
+            merkle_root=self.merkle_root,
+            receipts_root=self.receipts_root,
+            time_ticks=self.time_ticks,
+            difficulty_bits=self.difficulty_bits,
+            nonce=nonce,
+            miner=self.miner,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockHeader({self.chain_id} h={self.height} "
+            f"id={self.block_id().hex()[:8]}…)"
+        )
+
+
+def messages_merkle_tree(message_ids: list[bytes]) -> MerkleTree:
+    """The Merkle tree a block builds over its message ids."""
+    return MerkleTree(list(message_ids))
+
+
+def receipt_leaf(message_id: bytes, status: str) -> bytes:
+    """Canonical leaf bytes committing to one message's execution status.
+
+    Headers carry a ``receipts_root`` over these leaves so that light
+    clients can verify not only that a call was *included* but that it
+    *succeeded* — a reverted ``AuthorizeRedeem`` must not count as a
+    commit decision (Section 4.3 evidence).
+    """
+    return canonical_encode({"msg": message_id, "status": status})
+
+
+def receipts_merkle_tree(statuses: list[tuple[bytes, str]]) -> MerkleTree:
+    """Merkle tree over ``(message_id, status)`` receipt leaves."""
+    return MerkleTree([receipt_leaf(mid, status) for mid, status in statuses])
+
+
+@dataclass(frozen=True)
+class Block:
+    """A header plus the ordered list of messages it includes.
+
+    ``messages`` are chain messages (transfers, deployments, calls — see
+    :mod:`repro.chain.messages`); the header's ``merkle_root`` must equal
+    the root over their ids.
+    """
+
+    header: BlockHeader
+    messages: tuple
+
+    def block_id(self) -> bytes:
+        return self.header.block_id()
+
+    def message_ids(self) -> list[bytes]:
+        return [message.message_id() for message in self.messages]
+
+    def merkle_tree(self) -> MerkleTree:
+        return messages_merkle_tree(self.message_ids())
+
+    def compute_merkle_root(self) -> bytes:
+        return self.merkle_tree().root()
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    def __repr__(self) -> str:
+        return (
+            f"Block({self.header.chain_id} h={self.height} "
+            f"msgs={len(self.messages)} id={self.block_id().hex()[:8]}…)"
+        )

@@ -1,0 +1,361 @@
+"""The blockchain: block tree, fork choice, reorgs, and state queries.
+
+The chain keeps *every* valid block it has seen in a tree and selects the
+head by cumulative proof-of-work ("longest chain" generalized to heaviest
+chain, first-seen winning ties).  This is the fork-resolution mechanism
+AC3WN leans on: when a fork puts ``SCw`` in ``RDauth`` on one branch and
+``RFauth`` on another, waiting until one branch leads by depth ``d``
+converges the contract to a single state (Section 4.2, Lemma 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..crypto.keys import Address, KeyPair
+from ..crypto.merkle import MerkleProof
+from ..errors import InvalidBlockError, UnknownBlockError, ValidationError
+from .block import Block, BlockHeader, encode_time, receipts_merkle_tree
+from .contracts import DEFAULT_REGISTRY, ContractRegistry, Receipt, SmartContract
+from .messages import ChainMessage, TransferMessage
+from .params import ChainParams
+from .pow import check_pow, mine_header, work_for_bits
+from .state import ChainState
+from .transaction import make_coinbase
+
+GENESIS_PREV = b"\x00" * 32
+
+
+@dataclass(frozen=True)
+class MessageLocation:
+    """Where a message landed: block hash, height, and index within it."""
+
+    block_hash: bytes
+    height: int
+    index: int
+
+
+class Blockchain:
+    """One permissionless blockchain with fork handling and contract state.
+
+    Args:
+        params: static chain configuration.
+        genesis_allocations: initial coin distribution, a list of
+            ``(address, value)`` pairs minted in the genesis block.
+        registry: contract class registry (defaults to the global one).
+        validators: opaque cross-chain validator registry passed into
+            contract execution contexts (see :mod:`repro.core.evidence`).
+    """
+
+    def __init__(
+        self,
+        params: ChainParams,
+        genesis_allocations: list[tuple[Address, int]] | None = None,
+        registry: ContractRegistry | None = None,
+        validators: Any = None,
+    ) -> None:
+        self.params = params
+        self.registry = registry or DEFAULT_REGISTRY
+        self.validators = validators
+        self._blocks: dict[bytes, Block] = {}
+        self._children: dict[bytes, list[bytes]] = {}
+        self._work: dict[bytes, int] = {}
+        self._states: dict[bytes, ChainState] = {}
+        self._message_index: dict[bytes, list[MessageLocation]] = {}
+        self._head_hash: bytes = b""
+        self.orphans_rejected = 0
+
+        genesis = self._build_genesis(genesis_allocations or [])
+        self._connect(genesis, check_work=False)
+
+    # -- genesis ------------------------------------------------------------
+
+    def _build_genesis(self, allocations: list[tuple[Address, int]]) -> Block:
+        messages = tuple(
+            TransferMessage(make_coinbase(address, value, nonce=i))
+            for i, (address, value) in enumerate(allocations)
+        )
+        receipts_root = receipts_merkle_tree(
+            [(message.message_id(), "ok") for message in messages]
+        ).root()
+        header = BlockHeader(
+            chain_id=self.params.chain_id,
+            height=0,
+            prev_hash=GENESIS_PREV,
+            merkle_root=Block(
+                header=None, messages=messages  # type: ignore[arg-type]
+            ).compute_merkle_root(),
+            receipts_root=receipts_root,
+            time_ticks=0,
+            difficulty_bits=0,  # genesis carries no work requirement
+            nonce=0,
+            miner=Address(b"\x00" * 20),
+        )
+        return Block(header=header, messages=messages)
+
+    # -- core accessors -----------------------------------------------------
+
+    @property
+    def genesis_hash(self) -> bytes:
+        return self._genesis_hash
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[self._head_hash]
+
+    @property
+    def head_hash(self) -> bytes:
+        return self._head_hash
+
+    @property
+    def height(self) -> int:
+        return self.head.header.height
+
+    def block(self, block_hash: bytes) -> Block:
+        try:
+            return self._blocks[block_hash]
+        except KeyError:
+            raise UnknownBlockError(f"unknown block {block_hash.hex()[:12]}…")
+
+    def has_block(self, block_hash: bytes) -> bool:
+        return block_hash in self._blocks
+
+    def cumulative_work(self, block_hash: bytes) -> int:
+        if block_hash not in self._work:
+            raise UnknownBlockError(f"unknown block {block_hash.hex()[:12]}…")
+        return self._work[block_hash]
+
+    # -- validation + connection ---------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Validate and connect ``block``; returns True if it became head.
+
+        Invalid blocks raise :class:`~repro.errors.InvalidBlockError`.
+        Blocks whose parent is unknown are rejected (no orphan pool; the
+        simulator delivers blocks in causal order per miner).
+        """
+        self._validate_structure(block)
+        return self._connect(block, check_work=True)
+
+    def _validate_structure(self, block: Block) -> None:
+        header = block.header
+        if header.chain_id != self.params.chain_id:
+            raise InvalidBlockError(
+                f"block for chain {header.chain_id!r} offered to {self.params.chain_id!r}"
+            )
+        if header.prev_hash not in self._blocks:
+            self.orphans_rejected += 1
+            raise InvalidBlockError("unknown parent block")
+        parent = self._blocks[header.prev_hash]
+        if header.height != parent.header.height + 1:
+            raise InvalidBlockError(
+                f"height {header.height} does not extend parent height "
+                f"{parent.header.height}"
+            )
+        if header.time_ticks < parent.header.time_ticks:
+            raise InvalidBlockError("block timestamp precedes its parent")
+        if header.merkle_root != block.compute_merkle_root():
+            raise InvalidBlockError("merkle root does not match messages")
+        if not check_pow(header):
+            raise InvalidBlockError("proof of work below target")
+
+    def _connect(self, block: Block, check_work: bool) -> bool:
+        block_hash = block.block_id()
+        if block_hash in self._blocks:
+            return False  # duplicate
+        parent_hash = block.header.prev_hash
+        if block.header.height == 0:
+            parent_state = ChainState()
+            parent_work = 0
+            self._genesis_hash = block_hash
+        else:
+            parent_state = self.state_at(parent_hash)
+            parent_work = self._work[parent_hash]
+
+        # Apply messages on a clone; rejection leaves the chain untouched.
+        state = parent_state.clone()
+        try:
+            receipts = state.apply_block(block, self.params, self.registry, self.validators)
+        except ValidationError as exc:
+            raise InvalidBlockError(f"block payload invalid: {exc}") from exc
+        computed_receipts_root = receipts_merkle_tree(
+            [(r.message_id, r.status) for r in receipts]
+        ).root()
+        if block.header.receipts_root != computed_receipts_root:
+            raise InvalidBlockError("receipts root does not match execution")
+
+        self._blocks[block_hash] = block
+        self._children.setdefault(parent_hash, []).append(block_hash)
+        self._work[block_hash] = parent_work + work_for_bits(block.header.difficulty_bits)
+        self._states[block_hash] = state
+        for index, message in enumerate(block.messages):
+            self._message_index.setdefault(message.message_id(), []).append(
+                MessageLocation(block_hash, block.header.height, index)
+            )
+
+        became_head = False
+        if not self._head_hash or self._work[block_hash] > self._work[self._head_hash]:
+            self._head_hash = block_hash
+            became_head = True
+        return became_head
+
+    # -- state queries --------------------------------------------------------
+
+    def state_at(self, block_hash: bytes | None = None) -> ChainState:
+        """The ledger state at ``block_hash`` (default: current head)."""
+        block_hash = block_hash or self._head_hash
+        if block_hash not in self._states:
+            raise UnknownBlockError(f"no state for block {block_hash.hex()[:12]}…")
+        return self._states[block_hash]
+
+    def contract(self, contract_id: bytes, block_hash: bytes | None = None) -> SmartContract:
+        """The contract instance as of ``block_hash`` (default head)."""
+        return self.state_at(block_hash).contract(contract_id)
+
+    def has_contract(self, contract_id: bytes) -> bool:
+        return self.state_at().has_contract(contract_id)
+
+    def balance_of(self, owner: Address) -> int:
+        return self.state_at().balance_of(owner)
+
+    def receipt(self, message_id: bytes) -> Receipt | None:
+        return self.state_at().receipts.get(message_id)
+
+    # -- main-chain geometry ---------------------------------------------------
+
+    def main_chain(self) -> Iterator[Block]:
+        """Blocks from genesis to head along the winning branch."""
+        path: list[Block] = []
+        cursor = self.head
+        while True:
+            path.append(cursor)
+            if cursor.header.height == 0:
+                break
+            cursor = self._blocks[cursor.header.prev_hash]
+        return iter(reversed(path))
+
+    def block_at_height(self, height: int) -> Block:
+        """The main-chain block at ``height``."""
+        if not 0 <= height <= self.height:
+            raise UnknownBlockError(f"no main-chain block at height {height}")
+        cursor = self.head
+        while cursor.header.height > height:
+            cursor = self._blocks[cursor.header.prev_hash]
+        return cursor
+
+    def is_in_main_chain(self, block_hash: bytes) -> bool:
+        block = self.block(block_hash)
+        return self.block_at_height(block.header.height).block_id() == block_hash
+
+    def depth_of(self, block_hash: bytes) -> int:
+        """Confirmations of a block: 1 when it is the head, 0 off-chain.
+
+        A block at depth >= ``params.confirmation_depth`` is *stable* in
+        the sense of Section 4.3.
+        """
+        if not self.is_in_main_chain(block_hash):
+            return 0
+        return self.height - self.block(block_hash).header.height + 1
+
+    def is_stable(self, block_hash: bytes) -> bool:
+        return self.depth_of(block_hash) >= self.params.confirmation_depth
+
+    def stable_header(self) -> BlockHeader:
+        """The newest stable main-chain header (depth == confirmation_depth)."""
+        height = max(0, self.height - self.params.confirmation_depth + 1)
+        return self.block_at_height(height).header
+
+    def header_chain(self, start_height: int, end_height: int | None = None) -> list[BlockHeader]:
+        """Main-chain headers from ``start_height`` to ``end_height`` inclusive."""
+        end_height = self.height if end_height is None else end_height
+        return [
+            self.block_at_height(h).header for h in range(start_height, end_height + 1)
+        ]
+
+    # -- message queries --------------------------------------------------------
+
+    def find_message(self, message_id: bytes) -> MessageLocation | None:
+        """Main-chain location of a message, or None if not included."""
+        for location in self._message_index.get(message_id, []):
+            if self.is_in_main_chain(location.block_hash):
+                return location
+        return None
+
+    def message_depth(self, message_id: bytes) -> int:
+        """Confirmations of the block containing the message (0 if absent)."""
+        location = self.find_message(message_id)
+        if location is None:
+            return 0
+        return self.depth_of(location.block_hash)
+
+    def inclusion_proof(self, message_id: bytes) -> tuple[MerkleProof, BlockHeader] | None:
+        """Merkle proof that a message is included in a main-chain block."""
+        location = self.find_message(message_id)
+        if location is None:
+            return None
+        block = self.block(location.block_hash)
+        proof = block.merkle_tree().proof(location.index)
+        return proof, block.header
+
+    # -- block building ------------------------------------------------------------
+
+    def make_block(
+        self,
+        messages: list[ChainMessage],
+        miner: Address,
+        timestamp: float,
+        parent_hash: bytes | None = None,
+        parent_header: "BlockHeader | None" = None,
+        parent_state: ChainState | None = None,
+    ) -> Block:
+        """Assemble and mine a block on ``parent_hash`` (default: head).
+
+        The block is *not* connected; call :meth:`add_block`.  Building on
+        a non-head parent is how fork/attack experiments create branches.
+        ``parent_header``/``parent_state`` let a caller extend a parent
+        the chain has not connected yet (withheld private branches).
+        """
+        parent_hash = parent_hash or self._head_hash
+        if parent_header is not None:
+            parent = Block(header=parent_header, messages=())
+        else:
+            parent = self.block(parent_hash)
+        time_ticks = max(encode_time(timestamp), parent.header.time_ticks)
+        height = parent.header.height + 1
+        block_time = time_ticks / 1000
+        # Trial-apply the messages to compute the receipts commitment.
+        base_state = parent_state if parent_state is not None else self.state_at(parent_hash)
+        trial = base_state.clone()
+        statuses: list[tuple[bytes, str]] = []
+        for message in messages:
+            receipt = trial.apply_message(
+                message,
+                self.params,
+                block_height=height,
+                block_time=block_time,
+                registry=self.registry,
+                validators=self.validators,
+            )
+            statuses.append((receipt.message_id, receipt.status))
+        candidate = Block(
+            header=BlockHeader(
+                chain_id=self.params.chain_id,
+                height=height,
+                prev_hash=parent_hash,
+                merkle_root=Block(header=None, messages=tuple(messages)).compute_merkle_root(),  # type: ignore[arg-type]
+                receipts_root=receipts_merkle_tree(statuses).root(),
+                time_ticks=time_ticks,
+                difficulty_bits=self.params.difficulty_bits,
+                nonce=0,
+                miner=miner,
+            ),
+            messages=tuple(messages),
+        )
+        mined_header = mine_header(candidate.header)
+        return Block(header=mined_header, messages=candidate.messages)
+
+
+def default_miner_address() -> Address:
+    """A throwaway miner identity for tests and single-miner chains."""
+    return KeyPair.from_seed("default-miner").address

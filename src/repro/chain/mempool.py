@@ -1,0 +1,87 @@
+"""The mempool: messages waiting to be mined.
+
+End-users multicast messages to miners (Section 2.1); the mempool is the
+miner-side buffer.  Admission runs a light validation against the current
+head state so obviously-invalid messages are rejected at submission time,
+which gives protocol drivers immediate feedback.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import ValidationError
+from .chain import Blockchain
+from .messages import CallMessage, ChainMessage, DeployMessage, TransferMessage
+
+
+class Mempool:
+    """FIFO pool of pending messages for one chain."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+        self._pending: "OrderedDict[bytes, ChainMessage]" = OrderedDict()
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, message_id: bytes) -> bool:
+        return message_id in self._pending
+
+    def submit(self, message: ChainMessage) -> bytes:
+        """Admit ``message``; returns its id.  Raises on obvious invalidity.
+
+        Admission checks are necessarily optimistic: final validation
+        happens when a miner applies the message to a concrete state.
+        """
+        message_id = message.message_id()
+        if message_id in self._pending:
+            raise ValidationError("message already pending")
+        if self.chain.find_message(message_id) is not None:
+            raise ValidationError("message already included in the chain")
+        self._light_validate(message)
+        self._pending[message_id] = message
+        return message_id
+
+    def _light_validate(self, message: ChainMessage) -> None:
+        if isinstance(message, TransferMessage):
+            if message.tx.is_coinbase:
+                raise ValidationError("coinbase transactions cannot be submitted")
+            return
+        if isinstance(message, (DeployMessage, CallMessage)):
+            if message.signature is None:
+                raise ValidationError("message is unsigned")
+            if isinstance(message, CallMessage):
+                # The contract may be deployed by an earlier pending
+                # message, so only reject calls on ids that cannot exist.
+                if len(message.contract_id) != 32:
+                    raise ValidationError("malformed contract id")
+            return
+        raise ValidationError(f"unknown message kind {message.kind!r}")
+
+    def take(self, limit: int) -> list[ChainMessage]:
+        """Remove and return up to ``limit`` messages in FIFO order."""
+        batch: list[ChainMessage] = []
+        while self._pending and len(batch) < limit:
+            _, message = self._pending.popitem(last=False)
+            batch.append(message)
+        return batch
+
+    def requeue(self, messages: list[ChainMessage]) -> None:
+        """Put messages back at the front (after a failed block build)."""
+        items = [(m.message_id(), m) for m in messages]
+        for message_id, message in reversed(items):
+            self._pending[message_id] = message
+            self._pending.move_to_end(message_id, last=False)
+
+    def drop_included(self) -> int:
+        """Drop any pending message that already made it into the chain."""
+        included = [
+            message_id
+            for message_id in self._pending
+            if self.chain.find_message(message_id) is not None
+        ]
+        for message_id in included:
+            del self._pending[message_id]
+        return len(included)

@@ -1,0 +1,176 @@
+"""Chain messages: the payloads miners include in blocks.
+
+End-users interact with the storage layer via message passing
+(Section 2.1).  Three message kinds exist, mirroring the paper's model:
+
+* :class:`TransferMessage` — a plain asset transfer (Section 2.3).
+* :class:`DeployMessage` — publishes a smart contract; carries the
+  contract code reference plus the implicit parameters ``msg.sender``
+  and ``msg.value`` that lock assets in the contract (Section 2.3).
+* :class:`CallMessage` — invokes a smart-contract function; end-users
+  pay miners a function-invocation fee for every call.
+
+Every message funds itself UTXO-style: ``inputs`` spend the sender's
+assets, ``change`` returns the excess, and the difference covers the
+locked value (deploys) plus the miner fee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..crypto.ecdsa import EcdsaSignature
+from ..crypto.keys import KeyPair, PublicKey
+from ..errors import ValidationError
+from .transaction import Transaction, TxInput, TxOutput
+from .wire import wire_hash
+
+
+class ChainMessage:
+    """Common interface of all block payloads."""
+
+    kind: str = "abstract"
+
+    def to_wire(self) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def message_id(self) -> bytes:
+        """Globally unique id: hash of the canonical encoding."""
+        return wire_hash(self.to_wire(), domain="repro/message")
+
+
+@dataclass(frozen=True)
+class TransferMessage(ChainMessage):
+    """Wraps a plain UTXO transaction."""
+
+    tx: Transaction
+    kind: str = field(default="transfer", init=False)
+
+    def to_wire(self):
+        return {"kind": self.kind, "tx": self.tx}
+
+
+def _funding_wire(inputs: tuple[TxInput, ...], change: tuple[TxOutput, ...]):
+    return {
+        "outpoints": [inp.outpoint for inp in inputs],
+        "pubkeys": [inp.pubkey.to_bytes() if inp.pubkey else b"" for inp in inputs],
+        "change": list(change),
+    }
+
+
+@dataclass(frozen=True)
+class DeployMessage(ChainMessage):
+    """Publishes a smart contract.
+
+    Attributes:
+        sender: the deploying end-user (``msg.sender``).
+        contract_class: registered class name of the contract code.
+        args: constructor arguments (wire-encodable values).
+        value: assets to lock in the contract (``msg.value``).
+        fee: deployment fee paid to the miner (``fd`` in Section 6.2).
+        inputs/change: UTXO funding; inputs must cover value+fee+change.
+        nonce: distinguishes otherwise identical deployments.
+        signature: sender's signature over the signing digest.
+    """
+
+    sender: PublicKey
+    contract_class: str
+    args: tuple
+    value: int = 0
+    fee: int = 0
+    inputs: tuple[TxInput, ...] = ()
+    change: tuple[TxOutput, ...] = ()
+    nonce: int = 0
+    signature: EcdsaSignature | None = None
+    kind: str = field(default="deploy", init=False)
+
+    def to_wire(self):
+        return {
+            "kind": self.kind,
+            "sender": self.sender.to_bytes(),
+            "contract_class": self.contract_class,
+            "args": list(self.args),
+            "value": self.value,
+            "fee": self.fee,
+            "funding": _funding_wire(self.inputs, self.change),
+            "nonce": self.nonce,
+        }
+
+    def signing_digest(self) -> bytes:
+        return wire_hash(self.to_wire(), domain="repro/deploy-signing")
+
+    def contract_id(self) -> bytes:
+        """The id the deployed contract instance will live under."""
+        return wire_hash(self.to_wire(), domain="repro/contract-id")
+
+
+@dataclass(frozen=True)
+class CallMessage(ChainMessage):
+    """Invokes a function on a deployed contract."""
+
+    sender: PublicKey
+    contract_id: bytes
+    function: str
+    args: tuple
+    value: int = 0
+    fee: int = 0
+    inputs: tuple[TxInput, ...] = ()
+    change: tuple[TxOutput, ...] = ()
+    nonce: int = 0
+    signature: EcdsaSignature | None = None
+    kind: str = field(default="call", init=False)
+
+    def to_wire(self):
+        return {
+            "kind": self.kind,
+            "sender": self.sender.to_bytes(),
+            "contract_id": self.contract_id,
+            "function": self.function,
+            "args": list(self.args),
+            "value": self.value,
+            "fee": self.fee,
+            "funding": _funding_wire(self.inputs, self.change),
+            "nonce": self.nonce,
+        }
+
+    def signing_digest(self) -> bytes:
+        return wire_hash(self.to_wire(), domain="repro/call-signing")
+
+
+def sign_message(message: DeployMessage | CallMessage, keypair: KeyPair):
+    """Return a copy of ``message`` signed by ``keypair``.
+
+    The keypair must match the message's ``sender`` and must own every
+    funding input (single-signer messages keep the model simple; the
+    multi-party agreement the protocols need lives in ``ms(D)``, not in
+    individual chain messages).
+    """
+    if keypair.public_key.to_bytes() != message.sender.to_bytes():
+        raise ValidationError("signing keypair does not match message sender")
+    digest = message.signing_digest()
+    signature = keypair.sign(digest)
+    if isinstance(message, DeployMessage):
+        return DeployMessage(
+            sender=message.sender,
+            contract_class=message.contract_class,
+            args=message.args,
+            value=message.value,
+            fee=message.fee,
+            inputs=message.inputs,
+            change=message.change,
+            nonce=message.nonce,
+            signature=signature,
+        )
+    return CallMessage(
+        sender=message.sender,
+        contract_id=message.contract_id,
+        function=message.function,
+        args=message.args,
+        value=message.value,
+        fee=message.fee,
+        inputs=message.inputs,
+        change=message.change,
+        nonce=message.nonce,
+        signature=signature,
+    )

@@ -1,0 +1,55 @@
+"""Proof-of-work: target checks and deterministic mining.
+
+The protocols rely on PoW twice: the longest-(most-work-)chain rule that
+resolves forks in the witness network (Section 4.2), and the header-chain
+verification of the Section 4.3 relay validator, which must check that
+every evidence header "has valid proof of work".  Difficulty is kept tiny
+in simulation — the *rule* matters, not the hash rate — but the check is
+a real inequality over real double-SHA-256 block ids.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvalidBlockError
+from .block import BlockHeader
+
+MAX_TARGET = 1 << 256
+
+
+def target_for_bits(difficulty_bits: int) -> int:
+    """Block ids must be strictly below this target."""
+    if not 0 <= difficulty_bits <= 255:
+        raise InvalidBlockError(f"difficulty bits {difficulty_bits} out of range")
+    return MAX_TARGET >> difficulty_bits
+
+
+def work_for_bits(difficulty_bits: int) -> int:
+    """Expected hashes to find a block at this difficulty (2^bits).
+
+    Cumulative work — the sum of this over a branch — is the fork-choice
+    metric ("longest chain" generalized to heaviest chain).
+    """
+    return 1 << difficulty_bits
+
+
+def check_pow(header: BlockHeader) -> bool:
+    """Return True iff the header's block id meets its difficulty target."""
+    block_id = int.from_bytes(header.block_id(), "big")
+    return block_id < target_for_bits(header.difficulty_bits)
+
+
+def mine_header(template: BlockHeader, max_iterations: int = 10_000_000) -> BlockHeader:
+    """Find a nonce satisfying the template's difficulty.
+
+    Nonces are searched from 0 upward, so mining is deterministic: the
+    same template always yields the same mined header.
+    """
+    target = target_for_bits(template.difficulty_bits)
+    for nonce in range(max_iterations):
+        candidate = template.with_nonce(nonce)
+        if int.from_bytes(candidate.block_id(), "big") < target:
+            return candidate
+    raise InvalidBlockError(
+        f"no nonce below target within {max_iterations} iterations "
+        f"(difficulty_bits={template.difficulty_bits})"
+    )

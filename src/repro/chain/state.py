@@ -1,0 +1,362 @@
+"""Chain state: UTXO set + deployed contracts + receipts.
+
+The state at a block is a pure function of the message sequence from
+genesis to that block, which is what makes fork handling correct: after
+a reorg the chain simply exposes the state of the new winning branch
+(computed by replay / incremental application along that branch).
+
+Message application rules:
+
+* Transfers follow the UTXO rules of :mod:`repro.chain.utxo`.
+* Deploys instantiate the referenced contract class, lock ``msg.value``
+  in it, and run the constructor.  A failing constructor makes the whole
+  message invalid (miners never include it).
+* Calls execute a public function.  A failing ``requires`` clause
+  *reverts* the contract mutation but still charges the fee, mirroring
+  Ethereum's gas-on-revert semantics.
+* Fees are collected from each message's funding inputs and minted to
+  the block's miner at the end of the block, so total value is conserved.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..crypto.keys import Address
+from ..errors import (
+    ContractRequireError,
+    FeeError,
+    UnknownContractError,
+    ValidationError,
+)
+from .block import Block
+from .contracts import (
+    DEFAULT_REGISTRY,
+    ContractRegistry,
+    ExecutionContext,
+    Receipt,
+    SmartContract,
+)
+from .messages import CallMessage, ChainMessage, DeployMessage, TransferMessage
+from .params import ChainParams
+from .transaction import OutPoint, TxOutput
+from .utxo import UTXOSet
+from .wire import wire_hash
+
+
+@dataclass
+class ChainState:
+    """Mutable ledger state at one block."""
+
+    utxos: UTXOSet = field(default_factory=UTXOSet)
+    contracts: dict[bytes, SmartContract] = field(default_factory=dict)
+    receipts: dict[bytes, Receipt] = field(default_factory=dict)
+    fees_collected: int = 0
+    deploy_count: int = 0
+    call_count: int = 0
+    transfer_count: int = 0
+
+    def clone(self) -> "ChainState":
+        """Deep-enough copy: UTXO entries are immutable and shared;
+        contracts are mutable and deep-copied."""
+        return ChainState(
+            utxos=self.utxos.copy(),
+            contracts=copy.deepcopy(self.contracts),
+            receipts=dict(self.receipts),
+            fees_collected=self.fees_collected,
+            deploy_count=self.deploy_count,
+            call_count=self.call_count,
+            transfer_count=self.transfer_count,
+        )
+
+    # -- queries ---------------------------------------------------------
+
+    def contract(self, contract_id: bytes) -> SmartContract:
+        if contract_id not in self.contracts:
+            raise UnknownContractError(f"contract {contract_id.hex()[:12]}… not deployed")
+        return self.contracts[contract_id]
+
+    def has_contract(self, contract_id: bytes) -> bool:
+        return contract_id in self.contracts
+
+    def balance_of(self, owner: Address) -> int:
+        return self.utxos.balance_of(owner)
+
+    # -- funding helpers ---------------------------------------------------
+
+    def _consume_funding(
+        self,
+        message: DeployMessage | CallMessage,
+        min_fee: int,
+    ) -> int:
+        """Spend funding inputs, emit change, return the fee paid.
+
+        Funding inputs must be owned by the message sender; the single
+        message-level signature authorizes all of them.
+        """
+        sender_address = message.sender.address()
+        total_in = 0
+        seen: set[OutPoint] = set()
+        for inp in message.inputs:
+            if inp.outpoint in seen:
+                raise ValidationError("funding outpoint used twice in one message")
+            seen.add(inp.outpoint)
+            spent = self.utxos.get(inp.outpoint)
+            if spent.owner != sender_address:
+                raise ValidationError("funding input not owned by message sender")
+            total_in += spent.value
+        change_total = sum(out.value for out in message.change)
+        required = message.value + change_total + min_fee
+        if total_in < required:
+            raise FeeError(
+                f"funding {total_in} below required {required} "
+                f"(value={message.value}, change={change_total}, min_fee={min_fee})"
+            )
+        for inp in message.inputs:
+            self.utxos.spend(inp.outpoint)
+        message_id = message.message_id()
+        for index, out in enumerate(message.change):
+            self.utxos.add(OutPoint(message_id, index), out)
+        return total_in - message.value - change_total
+
+    def _mint(self, recipient: Address, amount: int, tag: dict) -> None:
+        """Create a fresh UTXO out of thin air (contract payout / fees)."""
+        txid = wire_hash(tag, domain="repro/mint")
+        self.utxos.add(OutPoint(txid, 0), TxOutput(recipient, amount))
+
+    def _apply_contract_transfers(
+        self,
+        contract: SmartContract,
+        ctx: ExecutionContext,
+        message_id: bytes,
+    ) -> None:
+        total = sum(amount for _, amount in ctx._transfers)
+        if total > contract.balance:
+            raise ContractRequireError(
+                f"contract tried to transfer {total} with balance {contract.balance}"
+            )
+        contract.balance -= total
+        for seq, (recipient, amount) in enumerate(ctx._transfers):
+            if amount > 0:
+                self._mint(
+                    recipient,
+                    amount,
+                    {"msg": message_id, "seq": seq, "contract": contract.contract_id},
+                )
+
+    # -- message application -------------------------------------------------
+
+    def apply_message(
+        self,
+        message: ChainMessage,
+        params: ChainParams,
+        block_height: int,
+        block_time: float,
+        registry: ContractRegistry | None = None,
+        validators: Any = None,
+        allow_coinbase: bool = False,
+    ) -> Receipt:
+        """Validate and apply one message; returns its receipt.
+
+        Raises :class:`~repro.errors.ValidationError` (or a subclass) for
+        structurally invalid messages — miners must not include those.
+        Contract-call reverts do *not* raise; they yield a "reverted"
+        receipt, because a failed redeem/refund attempt is a legitimate
+        on-chain event the protocols reason about.
+        """
+        registry = registry or DEFAULT_REGISTRY
+        message_id = message.message_id()
+        if message_id in self.receipts:
+            raise ValidationError("message already applied (replay)")
+
+        if isinstance(message, TransferMessage):
+            receipt = self._apply_transfer(message, params, allow_coinbase, message_id)
+        elif isinstance(message, DeployMessage):
+            receipt = self._apply_deploy(
+                message, params, block_height, block_time, registry, validators, message_id
+            )
+        elif isinstance(message, CallMessage):
+            receipt = self._apply_call(
+                message, params, block_height, block_time, validators, message_id
+            )
+        else:
+            raise ValidationError(f"unknown message kind {message.kind!r}")
+
+        self.receipts[message_id] = receipt
+        self.fees_collected += receipt.fee_paid
+        return receipt
+
+    def _apply_transfer(
+        self,
+        message: TransferMessage,
+        params: ChainParams,
+        allow_coinbase: bool,
+        message_id: bytes,
+    ) -> Receipt:
+        if message.tx.is_coinbase and not allow_coinbase:
+            raise ValidationError("coinbase transactions only allowed at genesis")
+        min_fee = 0 if message.tx.is_coinbase else params.fees.transfer
+        fee = self.utxos.apply_transaction(message.tx, min_fee=min_fee)
+        self.transfer_count += 1
+        return Receipt(message_id=message_id, status="ok", fee_paid=fee)
+
+    def _verify_message_signature(self, message: DeployMessage | CallMessage) -> None:
+        if message.signature is None:
+            raise ValidationError("message is unsigned")
+        if not message.sender.verify(message.signing_digest(), message.signature):
+            raise ValidationError("message signature failed verification")
+
+    def _apply_deploy(
+        self,
+        message: DeployMessage,
+        params: ChainParams,
+        block_height: int,
+        block_time: float,
+        registry: ContractRegistry,
+        validators: Any,
+        message_id: bytes,
+    ) -> Receipt:
+        self._verify_message_signature(message)
+        cls = registry.resolve(message.contract_class)
+        contract_id = message.contract_id()
+        if contract_id in self.contracts:
+            raise ValidationError("contract id already deployed")
+        fee = self._consume_funding(message, params.fees.deploy)
+
+        contract = cls()
+        contract.contract_id = contract_id
+        contract.balance = message.value
+        contract.owner = message.sender.address()
+        ctx = ExecutionContext(
+            chain_id=params.chain_id,
+            block_height=block_height,
+            block_time=block_time,
+            sender=message.sender.address(),
+            sender_pubkey=message.sender,
+            value=message.value,
+            validators=validators,
+            message_id=message_id,
+        )
+        # A failing constructor invalidates the whole message: the
+        # funding spend above is rolled back by the caller discarding
+        # this state (block-level all-or-nothing application).
+        contract.constructor(ctx, *message.args)
+        self._apply_contract_transfers(contract, ctx, message_id)
+        self.contracts[contract_id] = contract
+        self.deploy_count += 1
+        return Receipt(
+            message_id=message_id,
+            status="ok",
+            events=tuple(ctx._events),
+            fee_paid=fee,
+            contract_id=contract_id,
+        )
+
+    def _apply_call(
+        self,
+        message: CallMessage,
+        params: ChainParams,
+        block_height: int,
+        block_time: float,
+        validators: Any,
+        message_id: bytes,
+    ) -> Receipt:
+        self._verify_message_signature(message)
+        contract = self.contract(message.contract_id)
+        fee = self._consume_funding(message, params.fees.call)
+        snapshot = copy.deepcopy(contract)
+        contract.balance += message.value
+        ctx = ExecutionContext(
+            chain_id=params.chain_id,
+            block_height=block_height,
+            block_time=block_time,
+            sender=message.sender.address(),
+            sender_pubkey=message.sender,
+            value=message.value,
+            validators=validators,
+            message_id=message_id,
+        )
+        function = contract.public_function(message.function)
+        try:
+            function(ctx, *message.args)
+            self._apply_contract_transfers(contract, ctx, message_id)
+        except ContractRequireError as exc:
+            # Revert the contract mutation; fee stays with the miner and
+            # the attached value returns to the sender.
+            self.contracts[message.contract_id] = snapshot
+            if message.value > 0:
+                self._mint(
+                    message.sender.address(),
+                    message.value,
+                    {"msg": message_id, "revert_refund": True},
+                )
+            self.call_count += 1
+            return Receipt(
+                message_id=message_id,
+                status="reverted",
+                error=str(exc),
+                fee_paid=fee,
+                contract_id=message.contract_id,
+            )
+        self.call_count += 1
+        return Receipt(
+            message_id=message_id,
+            status="ok",
+            events=tuple(ctx._events),
+            fee_paid=fee,
+            contract_id=message.contract_id,
+        )
+
+    # -- block application ------------------------------------------------------
+
+    def apply_block(
+        self,
+        block: Block,
+        params: ChainParams,
+        registry: ContractRegistry | None = None,
+        validators: Any = None,
+    ) -> list[Receipt]:
+        """Apply every message in ``block``; mint fees to the miner.
+
+        Returns the per-message receipts in block order.  Raises on any
+        invalid message — the caller treats the whole block as invalid in
+        that case (this state must then be discarded).
+        """
+        is_genesis = block.header.height == 0
+        # The genesis block is hardcoded, not mined, so the block-capacity
+        # cap (which models mining throughput) does not apply to it.
+        if not is_genesis and len(block.messages) > params.max_messages_per_block:
+            raise ValidationError(
+                f"block has {len(block.messages)} messages, "
+                f"cap is {params.max_messages_per_block}"
+            )
+        fees_before = self.fees_collected
+        receipts: list[Receipt] = []
+        for message in block.messages:
+            receipts.append(
+                self.apply_message(
+                    message,
+                    params,
+                    block_height=block.header.height,
+                    block_time=block.header.timestamp,
+                    registry=registry,
+                    validators=validators,
+                    allow_coinbase=is_genesis,
+                )
+            )
+        block_fees = self.fees_collected - fees_before
+        if block_fees > 0:
+            self._mint(
+                block.header.miner,
+                block_fees,
+                {
+                    "fees_of": {
+                        "prev": block.header.prev_hash,
+                        "root": block.header.merkle_root,
+                        "height": block.header.height,
+                    }
+                },
+            )
+        return receipts

@@ -1,0 +1,113 @@
+"""The unspent-transaction-output set.
+
+Miners validate that "an asset cannot be spent twice" (Section 2.3); the
+UTXO set is the data structure that enforces it.  Spending an outpoint
+removes it; a second spend of the same outpoint raises
+:class:`~repro.errors.DoubleSpendError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.keys import Address
+from ..errors import DoubleSpendError, ValidationError
+from .transaction import OutPoint, Transaction, TxOutput
+
+
+@dataclass
+class UTXOSet:
+    """Mapping of unspent outpoints to their outputs."""
+
+    entries: dict[OutPoint, TxOutput] = field(default_factory=dict)
+
+    def copy(self) -> "UTXOSet":
+        """A shallow copy (entries are immutable, sharing them is safe)."""
+        return UTXOSet(dict(self.entries))
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, outpoint: OutPoint) -> bool:
+        return outpoint in self.entries
+
+    def get(self, outpoint: OutPoint) -> TxOutput:
+        """Return the unspent output at ``outpoint`` or raise."""
+        try:
+            return self.entries[outpoint]
+        except KeyError:
+            raise DoubleSpendError(f"outpoint {outpoint!r} is unknown or already spent")
+
+    def balance_of(self, owner: Address) -> int:
+        """Total unspent value owned by ``owner``."""
+        return sum(out.value for out in self.entries.values() if out.owner == owner)
+
+    def outpoints_of(self, owner: Address) -> list[OutPoint]:
+        """All outpoints currently owned by ``owner`` (deterministic order)."""
+        owned = [op for op, out in self.entries.items() if out.owner == owner]
+        return sorted(owned, key=lambda op: (op.txid, op.index))
+
+    def total_value(self) -> int:
+        """Sum of all unspent values (the circulating supply)."""
+        return sum(out.value for out in self.entries.values())
+
+    # -- mutation ------------------------------------------------------------
+
+    def add(self, outpoint: OutPoint, output: TxOutput) -> None:
+        if outpoint in self.entries:
+            raise ValidationError(f"outpoint {outpoint!r} already exists")
+        self.entries[outpoint] = output
+
+    def spend(self, outpoint: OutPoint) -> TxOutput:
+        """Remove and return the output at ``outpoint``."""
+        output = self.get(outpoint)
+        del self.entries[outpoint]
+        return output
+
+    def apply_transaction(self, tx: Transaction, min_fee: int = 0) -> int:
+        """Validate and apply ``tx``; returns the fee it pays.
+
+        Validation: every input spends an existing output whose owner
+        matches the input's pubkey, every signature verifies, inputs
+        cover outputs plus ``min_fee``, and no outpoint is spent twice
+        (including twice within this transaction).
+        """
+        if tx.is_coinbase:
+            for index, out in enumerate(tx.outputs):
+                self.add(OutPoint(tx.txid(), index), out)
+            return 0
+
+        seen: set[OutPoint] = set()
+        digest = tx.signing_digest()
+        total_in = 0
+        for inp in tx.inputs:
+            if inp.outpoint in seen:
+                raise DoubleSpendError(f"outpoint {inp.outpoint!r} spent twice in one tx")
+            seen.add(inp.outpoint)
+            spent = self.get(inp.outpoint)
+            if inp.pubkey is None or inp.signature is None:
+                raise ValidationError("input lacks a pubkey or signature")
+            if inp.pubkey.address() != spent.owner:
+                raise ValidationError(
+                    f"input pubkey does not own the spent output "
+                    f"({inp.pubkey.address()} != {spent.owner})"
+                )
+            if not inp.pubkey.verify(digest, inp.signature):
+                raise ValidationError("input signature failed verification")
+            total_in += spent.value
+
+        total_out = tx.total_output()
+        if total_in < total_out + min_fee:
+            raise ValidationError(
+                f"inputs ({total_in}) do not cover outputs ({total_out}) "
+                f"plus fee ({min_fee})"
+            )
+
+        for inp in tx.inputs:
+            self.spend(inp.outpoint)
+        txid = tx.txid()
+        for index, out in enumerate(tx.outputs):
+            self.add(OutPoint(txid, index), out)
+        return total_in - total_out

@@ -1,0 +1,89 @@
+"""Canonical wire encoding for consensus-critical hashing.
+
+Blocks commit to their messages through a Merkle tree over *message ids*,
+and a message id is the SHA-256 of the message's canonical encoding.  Two
+structurally equal messages must therefore encode to identical bytes on
+every node.  This module defines that encoding: a deterministic
+tag-length-value scheme over a small universe of types.
+
+Supported values: ``None``, ``bool``, ``int``, ``str``, ``bytes``,
+``tuple``/``list`` (encoded identically), ``dict`` with string keys
+(encoded in sorted key order), and any object exposing ``to_wire()``
+returning a supported value.  Floats are intentionally rejected: they
+have no place in consensus data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+_TAG_NONE = b"N"
+_TAG_FALSE = b"F"
+_TAG_TRUE = b"T"
+_TAG_INT = b"I"
+_TAG_STR = b"S"
+_TAG_BYTES = b"B"
+_TAG_LIST = b"L"
+_TAG_DICT = b"D"
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+        return
+    if value is True:
+        out += _TAG_TRUE
+        return
+    if value is False:
+        out += _TAG_FALSE
+        return
+    if isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += _TAG_INT + len(body).to_bytes(4, "big") + body
+        return
+    if isinstance(value, str):
+        body = value.encode("utf-8")
+        out += _TAG_STR + len(body).to_bytes(4, "big") + body
+        return
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        body = bytes(value)
+        out += _TAG_BYTES + len(body).to_bytes(4, "big") + body
+        return
+    if isinstance(value, (tuple, list)):
+        out += _TAG_LIST + len(value).to_bytes(4, "big")
+        for item in value:
+            _encode_into(item, out)
+        return
+    if isinstance(value, dict):
+        keys = sorted(value)
+        if any(not isinstance(k, str) for k in keys):
+            raise TypeError("wire dicts must have string keys")
+        out += _TAG_DICT + len(keys).to_bytes(4, "big")
+        for key in keys:
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+        return
+    to_wire = getattr(value, "to_wire", None)
+    if callable(to_wire):
+        _encode_into(to_wire(), out)
+        return
+    if isinstance(value, float):
+        raise TypeError("floats are not allowed in consensus data")
+    raise TypeError(f"cannot wire-encode {type(value).__name__}")
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` into canonical deterministic bytes."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def wire_hash(value: Any, domain: str = "repro/wire") -> bytes:
+    """SHA-256 of the canonical encoding, domain-separated by ``domain``."""
+    hasher = hashlib.sha256()
+    hasher.update(domain.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(canonical_encode(value))
+    return hasher.digest()

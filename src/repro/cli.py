@@ -1,0 +1,157 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro swap --protocol ac3wn --diameter 3
+    python -m repro figure10 --max-diameter 8
+    python -m repro crash-sweep
+    python -m repro witness-depth --value-at-risk 1000000
+    python -m repro table1
+
+Each subcommand builds a fresh simulated world, runs the experiment, and
+prints paper-style output.  Seeds default to 0 for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.latency import figure10_series
+from .analysis.security import PAPER_WITNESS_CANDIDATES
+from .analysis.throughput import TABLE1_ROWS, ac2t_throughput
+from .core.ac3wn import run_ac3wn
+from .core.herlihy import run_herlihy
+from .core.nolan import run_nolan
+from .sim.failures import FailureSchedule
+from .workloads.graphs import ring_with_diameter, two_party_swap
+from .workloads.scenarios import build_scenario
+
+
+def _cmd_swap(args: argparse.Namespace) -> int:
+    """Run one AC2T end to end and print the outcome."""
+    if args.diameter == 2:
+        graph = two_party_swap(chain_a="chain-0", chain_b="chain-1", timestamp=args.seed)
+    else:
+        chain_ids = [f"chain-{i}" for i in range(args.diameter)]
+        graph = ring_with_diameter(args.diameter, chain_ids=chain_ids, timestamp=args.seed)
+    env = build_scenario(graph=graph, seed=args.seed, validator_mode=args.validator_mode)
+    env.warm_up(2)
+    if args.protocol == "ac3wn":
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+    elif args.protocol == "herlihy":
+        outcome = run_herlihy(env, graph)
+    else:
+        outcome = run_nolan(env, graph)
+    print(outcome.summary())
+    for name, ts in sorted(outcome.phase_times.items(), key=lambda kv: kv[1]):
+        print(f"  {name:20s} t={ts:8.2f}")
+    return 0 if outcome.is_atomic else 1
+
+
+def _cmd_figure10(args: argparse.Namespace) -> int:
+    """Print Figure 10's analytic latency curves."""
+    print(f"{'Diam(D)':>8} | {'Herlihy (Δ)':>12} | {'AC3WN (Δ)':>10} | speedup")
+    for point in figure10_series(args.max_diameter):
+        print(
+            f"{point.diameter:>8} | {point.herlihy_deltas:>12.0f} | "
+            f"{point.ac3wn_deltas:>10.0f} | {point.speedup:.1f}x"
+        )
+    return 0
+
+
+def _cmd_crash_sweep(args: argparse.Namespace) -> int:
+    """Sweep Bob's crash onset under Nolan and AC3WN (Section 1)."""
+    print(f"{'crash at':>9} | {'Nolan (HTLC)':>24} | {'AC3WN':>22}")
+    violations = 0
+    for i, start in enumerate((0.0, 4.5, 6.5, 8.5, 12.0)):
+        results = []
+        for protocol in ("nolan", "ac3wn"):
+            graph = two_party_swap(chain_a="a", chain_b="b", timestamp=args.seed + i)
+            env = build_scenario(graph=graph, seed=args.seed + i)
+            env.apply_failures(FailureSchedule().crash("bob", start=start, end=start + 500))
+            env.warm_up(2)
+            if protocol == "nolan":
+                outcome = run_nolan(env, graph)
+            else:
+                outcome = run_ac3wn(
+                    env, graph, witness_chain_id="witness", settle_timeout=600.0
+                )
+            results.append(outcome)
+            if protocol == "nolan" and not outcome.is_atomic:
+                violations += 1
+        nolan, ac3wn = results
+        print(
+            f"{start:>8.1f}s | {nolan.decision:>12}/atomic={str(nolan.is_atomic):<5} "
+            f"| {ac3wn.decision:>10}/atomic={str(ac3wn.is_atomic):<5}"
+        )
+    print(f"\nHTLC atomicity violations: {violations}; AC3WN: 0")
+    return 0
+
+
+def _cmd_witness_depth(args: argparse.Namespace) -> int:
+    """Section 6.3: required depth per candidate witness."""
+    va = args.value_at_risk
+    print(f"value at risk: ${va:,.0f}")
+    for choice in PAPER_WITNESS_CANDIDATES:
+        depth = choice.depth_for(va)
+        hours = choice.confirmation_latency_hours(va)
+        print(f"  {choice.chain_id:>14}: d = {depth:>6}  (~{hours:.1f} h of burial)")
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    """Table 1 plus the paper's throughput example."""
+    for name, _, tps in TABLE1_ROWS:
+        print(f"  {name:>14}: {tps:>3} tps")
+    example = ac2t_throughput(["ethereum", "litecoin"], "bitcoin")
+    print(
+        f"\nETH+LTC witnessed by Bitcoin: {example.tps} tps "
+        f"(bottleneck: {example.bottleneck})"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Atomic Commitment Across Blockchains' (VLDB 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    swap = sub.add_parser("swap", help="run one AC2T end to end")
+    swap.add_argument("--protocol", choices=["ac3wn", "herlihy", "nolan"], default="ac3wn")
+    swap.add_argument("--diameter", type=int, default=2)
+    swap.add_argument("--seed", type=int, default=0)
+    swap.add_argument(
+        "--validator-mode",
+        choices=["anchor", "full-replica", "light-client"],
+        default="anchor",
+    )
+    swap.set_defaults(func=_cmd_swap)
+
+    fig10 = sub.add_parser("figure10", help="print Figure 10's latency curves")
+    fig10.add_argument("--max-diameter", type=int, default=14)
+    fig10.set_defaults(func=_cmd_figure10)
+
+    sweep = sub.add_parser("crash-sweep", help="Section 1 crash comparison")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=_cmd_crash_sweep)
+
+    depth = sub.add_parser("witness-depth", help="Section 6.3 depth rule")
+    depth.add_argument("--value-at-risk", type=float, default=1_000_000.0)
+    depth.set_defaults(func=_cmd_witness_depth)
+
+    table1 = sub.add_parser("table1", help="Table 1 + Section 6.4 example")
+    table1.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,448 @@
+"""AC3TW: atomic cross-chain commitment with a centralized trusted
+witness (Section 4.1, Algorithm 2).
+
+Trent, the trusted witness, keeps a key/value store from registered
+multisignatures ``ms(D)`` to either ``⊥``, his redemption signature
+``T(ms(D), RD)``, or his refund signature ``T(ms(D), RF)``.  The store
+makes the two signatures mutually exclusive: once one is issued for an
+AC2T, the other never will be.  Asset-chain contracts
+(:class:`CentralizedSC`) verify Trent's signature as the commitment
+secret.
+
+AC3TW achieves atomicity but reintroduces a trusted intermediary — a
+single point of failure and DoS target — which is exactly what AC3WN
+removes.  It is implemented here both as the paper presents it (a
+stepping stone) and as an experimental baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..chain.contracts import ExecutionContext, register_contract
+from ..chain.messages import CallMessage, DeployMessage
+from ..crypto.commitment import (
+    CommitmentPurpose,
+    SignatureCommitment,
+    witness_statement_digest,
+)
+from ..crypto.ecdsa import EcdsaSignature
+from ..crypto.keys import Address, KeyPair, PublicKey
+from ..crypto.signatures import Multisignature
+from ..errors import InsufficientFundsError, WitnessError
+from .contract_template import AtomicSwapContract
+from .graph import SwapGraph
+from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+
+CENTRALIZED_CONTRACT_CLASS = "AC3-CentralizedSC"
+
+
+@register_contract
+class CentralizedSC(AtomicSwapContract):
+    """Algorithm 2: redeem/refund against Trent's signatures.
+
+    Both commitment-scheme instances are the pair ``(ms(D), PK_T)``;
+    the secrets are Trent's signatures over ``(ms(D), RD)`` and
+    ``(ms(D), RF)`` respectively.
+    """
+
+    CLASS_NAME = CENTRALIZED_CONTRACT_CLASS
+
+    def constructor(
+        self,
+        ctx: ExecutionContext,
+        recipient_raw: bytes,
+        ms_id: bytes,
+        witness_key_raw: bytes,
+    ) -> None:
+        super().constructor(ctx, recipient_raw)
+        self.ms_id = ms_id
+        self.witness_key_raw = witness_key_raw
+
+    def _commitment(self, purpose: CommitmentPurpose) -> SignatureCommitment:
+        return SignatureCommitment(
+            ms_id=self.ms_id,
+            witness_key=PublicKey.from_bytes(self.witness_key_raw),
+            purpose=purpose,
+        )
+
+    # Algorithm 2, lines 5-7: SigVerify((ms(D), RD), PK_T, s_rd)
+    def is_redeemable(self, ctx: ExecutionContext, secret: Any) -> bool:
+        if not isinstance(secret, EcdsaSignature):
+            return False
+        return self._commitment(CommitmentPurpose.REDEEM).verify(secret)
+
+    # Algorithm 2, lines 8-10: SigVerify((ms(D), RF), PK_T, s_rf)
+    def is_refundable(self, ctx: ExecutionContext, secret: Any) -> bool:
+        if not isinstance(secret, EcdsaSignature):
+            return False
+        return self._commitment(CommitmentPurpose.REFUND).verify(secret)
+
+
+@dataclass
+class _Registration:
+    """One entry of Trent's key/value store."""
+
+    graph: SwapGraph
+    value: EcdsaSignature | None = None  # ⊥ until a decision is made
+    decision: str | None = None  # "RD" or "RF"
+
+
+class TrustedWitness:
+    """Trent: the centralized witness service.
+
+    Trent is trusted, so he may consult full nodes of every chain
+    directly (``chains``) to verify contract deployment before issuing a
+    redemption signature.  He can also be crashed (``available=False``)
+    to demonstrate the availability weakness of AC3TW.
+    """
+
+    def __init__(self, chains: dict[str, Any], seed: str = "trent") -> None:
+        self.keypair = KeyPair.from_seed(seed)
+        self.chains = chains
+        self.store: dict[bytes, _Registration] = {}
+        self.available = True
+
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keypair.public_key
+
+    def _require_available(self) -> None:
+        if not self.available:
+            raise WitnessError("Trent is unavailable (crashed or DoS'd)")
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, graph: SwapGraph, ms: Multisignature) -> bytes:
+        """Register ``ms(D)``; rejects duplicates and bad signatures."""
+        self._require_available()
+        if not graph.verify_multisignature(ms):
+            raise WitnessError("multisignature invalid for the submitted graph")
+        ms_id = ms.id()
+        if ms_id in self.store:
+            raise WitnessError("ms(D) already registered")
+        self.store[ms_id] = _Registration(graph=graph)
+        return ms_id
+
+    # -- decision requests ----------------------------------------------------
+
+    def request_redemption(
+        self, ms_id: bytes, contract_ids: dict[str, bytes]
+    ) -> EcdsaSignature:
+        """Issue ``T(ms(D), RD)`` iff all AC2T contracts are deployed.
+
+        ``contract_ids`` maps edge keys to the deployed contract ids;
+        Trent verifies each contract exists on its chain, is in state P,
+        matches its edge, and is conditioned on ``(ms(D), PK_T)``.
+        """
+        self._require_available()
+        registration = self._entry(ms_id)
+        if registration.value is not None:
+            if registration.decision == "RD":
+                return registration.value
+            raise WitnessError("AC2T already aborted; redemption refused")
+        self._verify_contracts(registration.graph, ms_id, contract_ids)
+        signature = self.keypair.sign(
+            witness_statement_digest(ms_id, CommitmentPurpose.REDEEM)
+        )
+        registration.value = signature
+        registration.decision = "RD"
+        return signature
+
+    def request_refund(self, ms_id: bytes) -> EcdsaSignature:
+        """Issue ``T(ms(D), RF)`` iff no decision exists yet."""
+        self._require_available()
+        registration = self._entry(ms_id)
+        if registration.value is not None:
+            if registration.decision == "RF":
+                return registration.value
+            raise WitnessError("AC2T already committed; refund refused")
+        signature = self.keypair.sign(
+            witness_statement_digest(ms_id, CommitmentPurpose.REFUND)
+        )
+        registration.value = signature
+        registration.decision = "RF"
+        return signature
+
+    # -- internals ----------------------------------------------------------------
+
+    def _entry(self, ms_id: bytes) -> _Registration:
+        if ms_id not in self.store:
+            raise WitnessError("ms(D) is not registered")
+        return self.store[ms_id]
+
+    def _verify_contracts(
+        self, graph: SwapGraph, ms_id: bytes, contract_ids: dict[str, bytes]
+    ) -> None:
+        keys = graph.participant_keys()
+        for edge in graph.edges:
+            key = edge_key(edge)
+            if key not in contract_ids:
+                raise WitnessError(f"no contract reported for edge {key}")
+            chain = self.chains.get(edge.chain_id)
+            if chain is None:
+                raise WitnessError(f"Trent runs no node for chain {edge.chain_id!r}")
+            contract_id = contract_ids[key]
+            if not chain.has_contract(contract_id):
+                raise WitnessError(f"contract for edge {key} is not deployed")
+            contract = chain.contract(contract_id)
+            if type(contract).CLASS_NAME != CENTRALIZED_CONTRACT_CLASS:
+                raise WitnessError(f"contract for edge {key} has the wrong class")
+            if contract.state != "P":
+                raise WitnessError(f"contract for edge {key} is not in state P")
+            if contract.ms_id != ms_id:
+                raise WitnessError(f"contract for edge {key} references a different ms(D)")
+            if contract.witness_key_raw != self.public_key.to_bytes():
+                raise WitnessError(f"contract for edge {key} trusts a different witness")
+            if contract.sender != keys[edge.source].address():
+                raise WitnessError(f"contract for edge {key} has the wrong sender")
+            if contract.recipient != keys[edge.recipient].address():
+                raise WitnessError(f"contract for edge {key} has the wrong recipient")
+            if contract.asset != edge.amount:
+                raise WitnessError(f"contract for edge {key} locks the wrong amount")
+
+
+# ---------------------------------------------------------------------------
+# Protocol driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AC3TWConfig:
+    """Tunables of one AC3TW execution (see :class:`AC3WNConfig`)."""
+
+    decliners: frozenset[str] = frozenset()
+    deploy_timeout: float | None = None
+    settle_timeout: float | None = None
+    poll_interval: float | None = None
+
+
+class AC3TWDriver:
+    """Executes one AC2T with the centralized-witness protocol."""
+
+    protocol_name = "ac3tw"
+
+    def __init__(
+        self,
+        env: SwapEnvironment,
+        graph: SwapGraph,
+        witness: TrustedWitness,
+        config: AC3TWConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.graph = graph
+        self.witness = witness
+        self.config = config or AC3TWConfig()
+        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
+        for edge in graph.edges:
+            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
+        self._deploys: dict[str, DeployMessage] = {}
+        self._settle_calls: dict[str, CallMessage] = {}
+        self._submitted: list[tuple[str, bytes]] = []
+        self._ms_id: bytes = b""
+        involved = graph.chains_used()
+        fastest = min(env.chain(c).params.block_interval for c in involved)
+        self._poll = (
+            self.config.poll_interval
+            if self.config.poll_interval is not None
+            else max(fastest / 4.0, 1e-3)
+        )
+
+    @property
+    def sim(self):
+        return self.env.simulator
+
+    def _delta(self, chain_id: str) -> float:
+        params = self.env.chain(chain_id).params
+        return params.confirmation_depth * params.block_interval
+
+    def _max_delta(self) -> float:
+        return max(self._delta(c) for c in self.graph.chains_used())
+
+    def _address_of(self, name: str) -> Address:
+        return self.graph.participant_keys()[name].address()
+
+    # -- deployment --------------------------------------------------------
+
+    def _try_deploy_edges(self) -> None:
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key in self._deploys or edge.source in self.config.decliners:
+                continue
+            participant = self.env.participant(edge.source)
+            if participant.crashed:
+                continue
+            try:
+                deploy = participant.deploy_contract(
+                    edge.chain_id,
+                    CENTRALIZED_CONTRACT_CLASS,
+                    args=(
+                        self._address_of(edge.recipient).raw,
+                        self._ms_id,
+                        self.witness.public_key.to_bytes(),
+                    ),
+                    value=edge.amount,
+                )
+            except InsufficientFundsError:
+                continue  # change is in flight; retry next tick
+            self._deploys[key] = deploy
+            record = self.outcome.contracts[key]
+            record.contract_id = deploy.contract_id()
+            record.deploy_message_id = deploy.message_id()
+            record.deployed_at = self.sim.now
+            self._submitted.append((edge.chain_id, deploy.message_id()))
+
+    def _edge_confirmed(self, edge) -> bool:
+        key = edge_key(edge)
+        deploy = self._deploys.get(key)
+        if deploy is None:
+            return False
+        chain = self.env.chain(edge.chain_id)
+        ok = chain.message_depth(deploy.message_id()) >= chain.params.confirmation_depth
+        if ok and self.outcome.contracts[key].confirmed_at is None:
+            self.outcome.contracts[key].confirmed_at = self.sim.now
+        return ok
+
+    def _all_confirmed(self) -> bool:
+        return all(self._edge_confirmed(e) for e in self.graph.edges)
+
+    # -- settlement ----------------------------------------------------------
+
+    def _try_settle(self, signature: EcdsaSignature, function: str) -> None:
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key in self._settle_calls or key not in self._deploys:
+                continue
+            actor_name = edge.recipient if function == "redeem" else edge.source
+            actor = self.env.participant(actor_name)
+            if actor.crashed:
+                continue
+            try:
+                call = actor.call_contract(
+                    edge.chain_id,
+                    self._deploys[key].contract_id(),
+                    function,
+                    args=(signature,),
+                )
+            except InsufficientFundsError:
+                continue  # retry next tick
+            self._settle_calls[key] = call
+            self._submitted.append((edge.chain_id, call.message_id()))
+
+    def _settled_count(self) -> int:
+        count = 0
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            if key not in self._deploys:
+                continue
+            chain = self.env.chain(edge.chain_id)
+            if not chain.has_contract(record.contract_id):
+                continue
+            if chain.contract(record.contract_id).is_settled:
+                if record.settled_at is None:
+                    record.settled_at = self.sim.now
+                count += 1
+        return count
+
+    def _record_final_states(self) -> None:
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            if key not in self._deploys:
+                record.final_state = "unpublished"
+                continue
+            chain = self.env.chain(edge.chain_id)
+            record.final_state = (
+                chain.contract(record.contract_id).state
+                if chain.has_contract(record.contract_id)
+                else "unpublished"
+            )
+
+    def _collect_fees(self) -> None:
+        self.outcome.fees_paid = sum(
+            receipt.fee_paid
+            for chain_id, mid in self._submitted
+            if (receipt := self.env.chain(chain_id).receipt(mid)) is not None
+        )
+
+    # -- protocol -----------------------------------------------------------------
+
+    def run(self) -> SwapOutcome:
+        sim = self.sim
+        self.outcome.started_at = sim.now
+        delta = self._max_delta()
+        deploy_timeout = self.config.deploy_timeout or 4.0 * delta
+        settle_timeout = self.config.settle_timeout or 4.0 * delta
+
+        # Step 1-2: multisign the graph and register it at Trent.
+        ms = self.graph.multisign(self.env.keypairs())
+        try:
+            self._ms_id = self.witness.register(self.graph, ms)
+        except WitnessError as exc:
+            self.outcome.notes.append(f"registration failed: {exc}")
+            self.outcome.decision = "undecided"
+            self.outcome.finished_at = sim.now
+            return self.outcome
+        self.outcome.phase_times["registered"] = sim.now
+
+        # Step 3-4: concurrent contract deployment.
+        deadline = sim.now + deploy_timeout
+        while sim.now < deadline and not self._all_confirmed():
+            self._try_deploy_edges()
+            sim.run_until(min(deadline, sim.now + self._poll))
+        all_published = self._all_confirmed()
+        self.outcome.phase_times["contracts_deployed"] = sim.now
+
+        # Step 5-6: request the decision signature from Trent.
+        signature = None
+        function = None
+        try:
+            if all_published:
+                contract_ids = {
+                    key: deploy.contract_id() for key, deploy in self._deploys.items()
+                }
+                signature = self.witness.request_redemption(self._ms_id, contract_ids)
+                function = "redeem"
+                self.outcome.decision = "commit"
+            else:
+                self.outcome.notes.append(
+                    "not all contracts confirmed before the deadline; aborting"
+                )
+                signature = self.witness.request_refund(self._ms_id)
+                function = "refund"
+                self.outcome.decision = "abort"
+        except WitnessError as exc:
+            self.outcome.notes.append(f"witness refused: {exc}")
+            self.outcome.decision = "undecided"
+            self.outcome.finished_at = sim.now
+            self._record_final_states()
+            self._collect_fees()
+            return self.outcome
+        self.outcome.phase_times["decision"] = sim.now
+
+        # Settlement.
+        settle_deadline = sim.now + settle_timeout
+        target = len(self._deploys)
+        while sim.now < settle_deadline and self._settled_count() < target:
+            self._try_settle(signature, function)
+            sim.run_until(min(settle_deadline, sim.now + self._poll))
+        self._settled_count()
+        self.outcome.phase_times["settled"] = sim.now
+
+        self._record_final_states()
+        self._collect_fees()
+        self.outcome.finished_at = sim.now
+        return self.outcome
+
+
+def run_ac3tw(
+    env: SwapEnvironment,
+    graph: SwapGraph,
+    witness: TrustedWitness,
+    **config_kwargs,
+) -> SwapOutcome:
+    """Convenience wrapper: configure and run one AC3TW execution."""
+    config = AC3TWConfig(**config_kwargs)
+    return AC3TWDriver(env, graph, witness, config).run()

@@ -1,0 +1,699 @@
+"""AC3WN: atomic cross-chain commitment with a permissionless witness
+network (Section 4.2, Algorithms 3 and 4).
+
+The witness network hosts one coordinator contract ``SCw`` per AC2T.
+``SCw`` starts in state ``P`` and permits exactly two transitions —
+``P → RDauth`` (commit) and ``P → RFauth`` (abort) — which makes the
+redeem and refund secrets structurally mutually exclusive.  Asset-chain
+contracts (:class:`PermissionlessSC`) condition their redeem/refund on
+evidence about ``SCw``'s state buried at depth ≥ d on the witness chain.
+
+The protocol has four Δ-phases (Section 6.1 / Figure 9):
+
+1. deploy ``SCw`` on the witness network;
+2. deploy all asset contracts **in parallel**;
+3. flip ``SCw`` to ``RDauth`` (or ``RFauth``) with evidence;
+4. settle all asset contracts **in parallel**.
+
+Total latency 4·Δ regardless of the AC2T graph's diameter — the paper's
+headline improvement over Herlihy's 2·Δ·Diam(D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..chain.block import BlockHeader
+from ..chain.contracts import (
+    ExecutionContext,
+    SmartContract,
+    register_contract,
+    requires,
+)
+from ..chain.messages import CallMessage, DeployMessage
+from ..crypto.keys import Address, PublicKey
+from ..crypto.signatures import Multisignature
+from ..errors import InsufficientFundsError, EvidenceError, ProtocolError
+from .contract_template import AtomicSwapContract
+from .evidence import (
+    PublicationEvidence,
+    StateEvidence,
+    build_publication_evidence,
+    build_state_evidence,
+    verify_publication_evidence,
+    verify_state_evidence,
+)
+from .graph import SwapGraph
+from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+
+WITNESS_CONTRACT_CLASS = "AC3WN-Witness"
+PERMISSIONLESS_CONTRACT_CLASS = "AC3-PermissionlessSC"
+
+
+class WitnessState:
+    """States of the coordinator contract (Algorithm 3, line 1)."""
+
+    PUBLISHED = "P"
+    REDEEM_AUTHORIZED = "RDauth"
+    REFUND_AUTHORIZED = "RFauth"
+
+
+@dataclass(frozen=True)
+class EdgeSpec:
+    """What ``SCw`` expects of one asset-chain contract.
+
+    Derived from the multisigned graph at registration time; used by
+    ``VerifyContracts`` to check each published contract against its
+    edge's description (sender, recipient, asset, blockchain).
+    """
+
+    chain_id: str
+    sender_raw: bytes
+    recipient_raw: bytes
+    amount: int
+    min_depth: int
+
+    def to_wire(self):
+        return {
+            "chain_id": self.chain_id,
+            "sender": self.sender_raw,
+            "recipient": self.recipient_raw,
+            "amount": self.amount,
+            "min_depth": self.min_depth,
+        }
+
+
+@register_contract
+class WitnessContract(SmartContract):
+    """Algorithm 3: the witness-network coordinator ``SCw``.
+
+    Constructor args:
+        participant_keys: compressed public keys of all AC2T participants.
+        ms: the multisignature ``ms(D)`` over the graph.
+        graph_digest: the digest ``ms`` must carry (binds ms to D).
+        edge_specs: per-edge expectations for VerifyContracts.
+        anchors: ``(chain_id, stable BlockHeader)`` pairs recorded at
+            registration, used for relay-style evidence validation when
+            the witness chain's miners run no foreign full/light nodes.
+    """
+
+    CLASS_NAME = WITNESS_CONTRACT_CLASS
+
+    def constructor(
+        self,
+        ctx: ExecutionContext,
+        participant_keys: tuple[bytes, ...],
+        ms: Multisignature,
+        graph_digest: bytes,
+        edge_specs: tuple[EdgeSpec, ...],
+        anchors: tuple[tuple[str, BlockHeader], ...] = (),
+    ) -> None:
+        keys = [PublicKey.from_bytes(raw) for raw in participant_keys]
+        # Registration validity: all participants signed this exact graph.
+        requires(ms.digest == graph_digest, "multisignature covers a different graph")
+        requires(ms.verify(keys), "multisignature incomplete or invalid")
+        requires(len(edge_specs) > 0, "an AC2T needs at least one edge")
+        self.participant_keys = tuple(participant_keys)
+        self.ms = ms
+        self.graph_digest = graph_digest
+        self.edge_specs = tuple(edge_specs)
+        self.anchors = dict(anchors)
+        self.state = WitnessState.PUBLISHED
+        self.decided_at: float | None = None
+
+    # -- Algorithm 3, lines 10-13 ------------------------------------------
+
+    def authorize_redeem(
+        self, ctx: ExecutionContext, evidences: tuple[PublicationEvidence, ...]
+    ) -> None:
+        """Commit the AC2T once every contract is proven published+correct."""
+        requires(self.state == WitnessState.PUBLISHED, "SCw is not in state P")
+        requires(self.verify_contracts(ctx, evidences), "contract verification failed")
+        self.state = WitnessState.REDEEM_AUTHORIZED
+        self.decided_at = ctx.block_time
+        ctx.emit("redeem-authorized", graph=self.graph_digest)
+
+    # -- Algorithm 3, lines 14-17 ------------------------------------------
+
+    def authorize_refund(self, ctx: ExecutionContext) -> None:
+        """Abort the AC2T; only requires that no decision exists yet."""
+        requires(self.state == WitnessState.PUBLISHED, "SCw is not in state P")
+        self.state = WitnessState.REFUND_AUTHORIZED
+        self.decided_at = ctx.block_time
+        ctx.emit("refund-authorized", graph=self.graph_digest)
+
+    # -- Algorithm 3, lines 18-23 ------------------------------------------
+
+    def verify_contracts(
+        self, ctx: ExecutionContext, evidences: tuple[PublicationEvidence, ...]
+    ) -> bool:
+        """Validate that every edge has a matching published contract.
+
+        For every edge spec we must find evidence of a deployed
+        :class:`PermissionlessSC` whose sender, recipient, asset, and
+        blockchain match the edge, and whose redeem/refund is conditioned
+        on *this* witness contract.  Evidence authentication uses the
+        chain's validator registry when available (full-replica or light
+        nodes, Section 4.3) and otherwise the relay anchors stored at
+        registration.
+        """
+        by_chain: dict[str, list[PublicationEvidence]] = {}
+        for evidence in evidences:
+            by_chain.setdefault(evidence.chain_id, []).append(evidence)
+
+        for spec in self.edge_specs:
+            if not self._edge_satisfied(ctx, spec, by_chain.get(spec.chain_id, [])):
+                return False
+        return True
+
+    def _edge_satisfied(
+        self,
+        ctx: ExecutionContext,
+        spec: EdgeSpec,
+        candidates: list[PublicationEvidence],
+    ) -> bool:
+        for evidence in candidates:
+            deploy = self._authenticate(ctx, evidence, spec.min_depth)
+            if deploy is None:
+                continue
+            if self._deploy_matches_spec(deploy, spec):
+                return True
+        return False
+
+    def _authenticate(
+        self,
+        ctx: ExecutionContext,
+        evidence: PublicationEvidence,
+        min_depth: int,
+    ) -> DeployMessage | None:
+        if ctx.validators is not None:
+            return ctx.validators.validate_publication(evidence, min_depth)
+        anchor = self.anchors.get(evidence.chain_id)
+        if anchor is None:
+            return None
+        try:
+            return verify_publication_evidence(evidence, anchor, min_depth)
+        except EvidenceError:
+            return None
+
+    def _deploy_matches_spec(self, deploy: DeployMessage, spec: EdgeSpec) -> bool:
+        if deploy.contract_class != PERMISSIONLESS_CONTRACT_CLASS:
+            return False
+        if deploy.value != spec.amount:
+            return False
+        if deploy.sender.address().raw != spec.sender_raw:
+            return False
+        args = deploy.args
+        # PermissionlessSC constructor signature:
+        # (recipient_raw, witness_chain_id, witness_contract_id, depth, anchor)
+        if len(args) < 3:
+            return False
+        if args[0] != spec.recipient_raw:
+            return False
+        if args[2] != self.contract_id:
+            return False
+        return True
+
+
+@register_contract
+class PermissionlessSC(AtomicSwapContract):
+    """Algorithm 4: an asset-chain contract conditioned on ``SCw``.
+
+    Both the redemption and the refund commitment schemes are the pair
+    ``(SCw, d)``: evidence that ``SCw``'s state is ``RDauth`` (redeem) or
+    ``RFauth`` (refund) in a witness-chain block buried under at least
+    ``d`` blocks.
+    """
+
+    CLASS_NAME = PERMISSIONLESS_CONTRACT_CLASS
+
+    def constructor(
+        self,
+        ctx: ExecutionContext,
+        recipient_raw: bytes,
+        witness_chain_id: str,
+        witness_contract_id: bytes,
+        witness_min_depth: int,
+        witness_anchor: BlockHeader,
+    ) -> None:
+        super().constructor(ctx, recipient_raw)
+        requires(witness_min_depth >= 1, "witness depth must be at least 1")
+        self.witness_chain_id = witness_chain_id
+        self.witness_contract_id = witness_contract_id
+        self.witness_min_depth = witness_min_depth
+        self.witness_anchor = witness_anchor
+
+    # -- Algorithm 4, lines 6-17 -----------------------------------------------
+
+    def is_redeemable(self, ctx: ExecutionContext, secret: Any) -> bool:
+        return self._witness_state_proven(ctx, secret, WitnessState.REDEEM_AUTHORIZED)
+
+    def is_refundable(self, ctx: ExecutionContext, secret: Any) -> bool:
+        return self._witness_state_proven(ctx, secret, WitnessState.REFUND_AUTHORIZED)
+
+    def _witness_state_proven(
+        self, ctx: ExecutionContext, evidence: Any, required_state: str
+    ) -> bool:
+        if not isinstance(evidence, StateEvidence):
+            return False
+        if evidence.chain_id != self.witness_chain_id:
+            return False
+        if evidence.contract_id != self.witness_contract_id:
+            return False
+        if evidence.state != required_state:
+            return False
+        if ctx.validators is not None:
+            result = ctx.validators.validate_state(evidence, self.witness_min_depth)
+        else:
+            try:
+                result = verify_state_evidence(
+                    evidence, self.witness_anchor, self.witness_min_depth
+                )
+            except EvidenceError:
+                return False
+        return result == (self.witness_contract_id, required_state)
+
+
+# ---------------------------------------------------------------------------
+# Protocol driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AC3WNConfig:
+    """Tunables of one AC3WN execution.
+
+    Attributes:
+        witness_chain_id: which chain coordinates this AC2T (Section 5.2:
+            any permissionless chain can serve; pick per transaction).
+        registrar: participant who registers ``SCw`` (default: first
+            alive participant in name order).
+        decliners: participants who refuse to publish their contracts
+            (maliciousness / change of mind — triggers the abort path).
+        deploy_timeout: seconds after ``SCw`` confirmation before an
+            alive participant gives up and requests ``RFauth``.
+        settle_timeout: seconds to keep polling for settlements after the
+            decision (recovered participants settle late here).
+        poll_interval: driver polling granularity (default: a quarter of
+            the fastest involved chain's block interval).
+    """
+
+    witness_chain_id: str
+    registrar: str | None = None
+    decliners: frozenset[str] = frozenset()
+    deploy_timeout: float | None = None
+    settle_timeout: float | None = None
+    poll_interval: float | None = None
+
+
+class AC3WNDriver:
+    """Executes one AC2T end-to-end with the AC3WN protocol.
+
+    The driver plays every participant's honest strategy, respecting
+    crash state (a crashed participant takes no action until recovery)
+    and the configured decliners.  It advances the shared simulator
+    itself, so callers simply invoke :meth:`run`.
+    """
+
+    protocol_name = "ac3wn"
+
+    def __init__(self, env: SwapEnvironment, graph: SwapGraph, config: AC3WNConfig) -> None:
+        self.env = env
+        self.graph = graph
+        self.config = config
+        if config.witness_chain_id not in env.chains:
+            raise ProtocolError(f"unknown witness chain {config.witness_chain_id!r}")
+        self.witness_chain = env.chain(config.witness_chain_id)
+        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
+        for edge in graph.edges:
+            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
+        self._scw_deploy: DeployMessage | None = None
+        self._scw_id: bytes = b""
+        self._anchors: dict[str, BlockHeader] = {}
+        self._witness_anchor: BlockHeader | None = None
+        self._decision_call: CallMessage | None = None
+        self._deploys: dict[str, DeployMessage] = {}  # edge key -> deploy
+        self._settle_calls: dict[str, CallMessage] = {}
+        self._submitted_messages: list[tuple[str, bytes]] = []
+        if config.poll_interval is None:
+            involved = set(graph.chains_used()) | {config.witness_chain_id}
+            fastest = min(env.chain(c).params.block_interval for c in involved)
+            self._poll = max(fastest / 4.0, 1e-3)
+        else:
+            self._poll = config.poll_interval
+
+    # -- small helpers -----------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.env.simulator
+
+    def _alive(self, name: str) -> bool:
+        return not self.env.participant(name).crashed
+
+    def _first_alive(self) -> str | None:
+        alive = self.env.alive_participants()
+        return alive[0] if alive else None
+
+    def _delta(self, chain_id: str) -> float:
+        """Δ for one chain: time to publish + be publicly recognized."""
+        params = self.env.chain(chain_id).params
+        return params.confirmation_depth * params.block_interval
+
+    def _max_delta(self) -> float:
+        chains = set(self.graph.chains_used()) | {self.config.witness_chain_id}
+        return max(self._delta(c) for c in chains)
+
+    def _poll_until(self, predicate, timeout: float) -> bool:
+        """Advance the simulation until ``predicate`` or timeout."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if predicate():
+                return True
+            self.sim.run_until(min(deadline, self.sim.now + self._poll))
+        return predicate()
+
+    def _track(self, chain_id: str, message) -> None:
+        self._submitted_messages.append((chain_id, message.message_id()))
+
+    # -- phase 1: register SCw ------------------------------------------------
+
+    def _register_witness_contract(self) -> bool:
+        registrar_name = self.config.registrar or self._first_alive()
+        if registrar_name is None or not self._alive(registrar_name):
+            self.outcome.notes.append("no alive registrar; AC2T never started")
+            return False
+        registrar = self.env.participant(registrar_name)
+
+        ms = self.graph.multisign(self.env.keypairs())
+        specs = tuple(
+            EdgeSpec(
+                chain_id=edge.chain_id,
+                sender_raw=self._address_of(edge.source).raw,
+                recipient_raw=self._address_of(edge.recipient).raw,
+                amount=edge.amount,
+                min_depth=self.env.chain(edge.chain_id).params.confirmation_depth,
+            )
+            for edge in self.graph.edges
+        )
+        # Record relay anchors: current stable headers of every asset chain.
+        self._anchors = {
+            chain_id: self.env.chain(chain_id).stable_header()
+            for chain_id in self.graph.chains_used()
+        }
+        keys = tuple(key.to_bytes() for _, key in self.graph.participants)
+        deploy = registrar.deploy_contract(
+            self.config.witness_chain_id,
+            WITNESS_CONTRACT_CLASS,
+            args=(keys, ms, self.graph.digest(), specs, tuple(sorted(self._anchors.items()))),
+        )
+        self._scw_deploy = deploy
+        self._scw_id = deploy.contract_id()
+        self._track(self.config.witness_chain_id, deploy)
+        return True
+
+    def _address_of(self, name: str) -> Address:
+        return self.graph.participant_keys()[name].address()
+
+    # -- phase 2: parallel asset-contract deployment ------------------------------
+
+    def _try_deploy_edges(self) -> None:
+        """Attempt every still-missing deployment whose source is alive."""
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key in self._deploys:
+                continue
+            if edge.source in self.config.decliners:
+                continue
+            participant = self.env.participant(edge.source)
+            if participant.crashed:
+                continue
+            try:
+                deploy = participant.deploy_contract(
+                    edge.chain_id,
+                    PERMISSIONLESS_CONTRACT_CLASS,
+                    args=(
+                        self._address_of(edge.recipient).raw,
+                        self.config.witness_chain_id,
+                        self._scw_id,
+                        self.witness_chain.params.confirmation_depth,
+                        self._witness_anchor,
+                    ),
+                    value=edge.amount,
+                )
+            except InsufficientFundsError:
+                continue  # change is in flight; retry next tick
+            self._deploys[key] = deploy
+            record = self.outcome.contracts[key]
+            record.contract_id = deploy.contract_id()
+            record.deploy_message_id = deploy.message_id()
+            record.deployed_at = self.sim.now
+            self._track(edge.chain_id, deploy)
+
+    def _edge_confirmed(self, edge) -> bool:
+        key = edge_key(edge)
+        deploy = self._deploys.get(key)
+        if deploy is None:
+            return False
+        chain = self.env.chain(edge.chain_id)
+        depth = chain.message_depth(deploy.message_id())
+        confirmed = depth >= chain.params.confirmation_depth
+        if confirmed and self.outcome.contracts[key].confirmed_at is None:
+            self.outcome.contracts[key].confirmed_at = self.sim.now
+        return confirmed
+
+    def _all_confirmed(self) -> bool:
+        return all(self._edge_confirmed(edge) for edge in self.graph.edges)
+
+    # -- phase 3: decision -----------------------------------------------------
+
+    def _submit_redeem_authorization(self) -> bool:
+        submitter_name = self._first_alive()
+        if submitter_name is None:
+            return False
+        submitter = self.env.participant(submitter_name)
+        evidences = tuple(
+            build_publication_evidence(
+                self.env.chain(edge.chain_id),
+                self._deploys[edge_key(edge)],
+                anchor=self._anchors[edge.chain_id],
+            )
+            for edge in self.graph.edges
+        )
+        call = submitter.call_contract(
+            self.config.witness_chain_id,
+            self._scw_id,
+            "authorize_redeem",
+            args=(evidences,),
+        )
+        self._decision_call = call
+        self._track(self.config.witness_chain_id, call)
+        return True
+
+    def _submit_refund_authorization(self) -> bool:
+        submitter_name = self._first_alive()
+        if submitter_name is None:
+            return False
+        submitter = self.env.participant(submitter_name)
+        call = submitter.call_contract(
+            self.config.witness_chain_id,
+            self._scw_id,
+            "authorize_refund",
+            args=(),
+        )
+        self._decision_call = call
+        self._track(self.config.witness_chain_id, call)
+        return True
+
+    def _decision_confirmed(self) -> bool:
+        if self._decision_call is None:
+            return False
+        message_id = self._decision_call.message_id()
+        depth = self.witness_chain.message_depth(message_id)
+        if depth < self.witness_chain.params.confirmation_depth:
+            return False
+        receipt = self.witness_chain.receipt(message_id)
+        return receipt is not None
+
+    # -- phase 4: settlement -------------------------------------------------------
+
+    def _try_settle(self, state_name: str) -> None:
+        """Attempt redeem (on commit) or refund (on abort) for each contract."""
+        function = "redeem" if state_name == WitnessState.REDEEM_AUTHORIZED else "refund"
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key in self._settle_calls or key not in self._deploys:
+                continue
+            actor_name = edge.recipient if function == "redeem" else edge.source
+            actor = self.env.participant(actor_name)
+            if actor.crashed:
+                continue
+            evidence = build_state_evidence(
+                self.witness_chain,
+                self._scw_id,
+                self._decision_call,
+                state_name,
+                anchor=self._witness_anchor,
+            )
+            deploy = self._deploys[key]
+            try:
+                call = actor.call_contract(
+                    edge.chain_id,
+                    deploy.contract_id(),
+                    function,
+                    args=(evidence,),
+                )
+            except InsufficientFundsError:
+                continue  # retry next tick
+            self._settle_calls[key] = call
+            self._track(edge.chain_id, call)
+
+    def _settled_count(self) -> int:
+        count = 0
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            if key not in self._deploys:
+                continue
+            chain = self.env.chain(edge.chain_id)
+            if not chain.has_contract(record.contract_id):
+                continue
+            contract = chain.contract(record.contract_id)
+            if contract.is_settled:
+                if record.settled_at is None:
+                    record.settled_at = self.sim.now
+                count += 1
+        return count
+
+    def _published_count(self) -> int:
+        return len(self._deploys)
+
+    # -- final bookkeeping ----------------------------------------------------------
+
+    def _record_final_states(self) -> None:
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            if key not in self._deploys:
+                record.final_state = "unpublished"
+                continue
+            chain = self.env.chain(edge.chain_id)
+            if not chain.has_contract(record.contract_id):
+                record.final_state = "unpublished"
+                continue
+            record.final_state = chain.contract(record.contract_id).state
+
+    def _collect_fees(self) -> None:
+        total = 0
+        for chain_id, message_id in self._submitted_messages:
+            receipt = self.env.chain(chain_id).receipt(message_id)
+            if receipt is not None:
+                total += receipt.fee_paid
+        self.outcome.fees_paid = total
+
+    # -- the protocol ------------------------------------------------------------------
+
+    def run(self) -> SwapOutcome:
+        """Execute the AC2T; returns the populated outcome record."""
+        sim = self.sim
+        self.outcome.started_at = sim.now
+        self.outcome.phase_times["start"] = sim.now
+        delta = self._max_delta()
+        witness_delta = self._delta(self.config.witness_chain_id)
+        deploy_timeout = self.config.deploy_timeout or 4.0 * delta
+        settle_timeout = self.config.settle_timeout or 4.0 * delta
+        # Witness-chain waits honour the configured deploy timeout too:
+        # a congested witness chain may take far longer than 4Δ to
+        # include coordination messages (Section 5.2's bottleneck case).
+        witness_timeout = max(4.0 * witness_delta, deploy_timeout)
+
+        # Phase 1: register SCw on the witness network.
+        if not self._register_witness_contract():
+            self.outcome.decision = "undecided"
+            self.outcome.finished_at = sim.now
+            return self.outcome
+        scw_message = self._scw_deploy.message_id()
+        if not self._poll_until(
+            lambda: self.witness_chain.message_depth(scw_message)
+            >= self.witness_chain.params.confirmation_depth,
+            timeout=witness_timeout,
+        ):
+            self.outcome.notes.append("SCw never confirmed")
+            self.outcome.decision = "undecided"
+            self.outcome.finished_at = sim.now
+            return self.outcome
+        self.outcome.phase_times["scw_confirmed"] = sim.now
+        # Asset contracts reference the witness anchor as of SCw confirmation.
+        self._witness_anchor = self.witness_chain.stable_header()
+
+        # Phase 2: all participants deploy their contracts in parallel.
+        deploy_deadline = sim.now + deploy_timeout
+        while sim.now < deploy_deadline and not self._all_confirmed():
+            self._try_deploy_edges()
+            sim.run_until(min(deploy_deadline, sim.now + self._poll))
+        all_published = self._all_confirmed()
+        self.outcome.phase_times["contracts_deployed"] = sim.now
+
+        # Phase 3: flip SCw (commit if everything confirmed, abort otherwise).
+        if all_published:
+            self._submit_redeem_authorization()
+        else:
+            self.outcome.notes.append(
+                f"only {self._published_count()}/{self.graph.num_contracts} "
+                f"contracts confirmed before the deadline; aborting"
+            )
+            self._submit_refund_authorization()
+        if not self._poll_until(self._decision_confirmed, timeout=witness_timeout):
+            self.outcome.notes.append("decision call never confirmed")
+            self.outcome.decision = "undecided"
+            self.outcome.finished_at = sim.now
+            self._record_final_states()
+            self._collect_fees()
+            return self.outcome
+
+        receipt = self.witness_chain.receipt(self._decision_call.message_id())
+        if receipt.status != "ok":
+            # The authorize_redeem was rejected (e.g. stale evidence);
+            # fall back to the abort path.
+            self.outcome.notes.append(f"authorization reverted: {receipt.error}")
+            self._submit_refund_authorization()
+            if not self._poll_until(self._decision_confirmed, timeout=witness_timeout):
+                self.outcome.decision = "undecided"
+                self.outcome.finished_at = sim.now
+                self._record_final_states()
+                self._collect_fees()
+                return self.outcome
+            receipt = self.witness_chain.receipt(self._decision_call.message_id())
+
+        decided_state = (
+            WitnessState.REDEEM_AUTHORIZED
+            if self._decision_call.function == "authorize_redeem"
+            else WitnessState.REFUND_AUTHORIZED
+        )
+        self.outcome.decision = (
+            "commit" if decided_state == WitnessState.REDEEM_AUTHORIZED else "abort"
+        )
+        self.outcome.phase_times["decision"] = sim.now
+
+        # Phase 4: parallel settlement (redeem on commit, refund on abort).
+        settle_deadline = sim.now + settle_timeout
+        target = self._published_count()
+        while sim.now < settle_deadline and self._settled_count() < target:
+            self._try_settle(decided_state)
+            sim.run_until(min(settle_deadline, sim.now + self._poll))
+        self._settled_count()  # final refresh of settled_at stamps
+        self.outcome.phase_times["settled"] = sim.now
+
+        self._record_final_states()
+        self._collect_fees()
+        self.outcome.finished_at = sim.now
+        return self.outcome
+
+
+def run_ac3wn(
+    env: SwapEnvironment, graph: SwapGraph, witness_chain_id: str, **config_kwargs
+) -> SwapOutcome:
+    """Convenience wrapper: configure and run one AC3WN execution."""
+    config = AC3WNConfig(witness_chain_id=witness_chain_id, **config_kwargs)
+    return AC3WNDriver(env, graph, config).run()

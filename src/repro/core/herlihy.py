@@ -1,0 +1,409 @@
+"""Herlihy's single-leader atomic cross-chain swap protocol (the paper's
+state-of-the-art baseline, [16] in the references).
+
+The protocol uses hashlocks and timelocks only — no witness:
+
+* A leader creates a secret ``s`` and hashlock ``h = H(s)``.
+* Contracts are published **sequentially** in waves: the leader first,
+  then each participant once all of its incoming contracts are visible.
+  Exactly ``Diam(D)`` waves are required.
+* Redemption cascades in reverse: the leader redeems its incoming
+  contracts (revealing ``s``), then the remaining contracts are redeemed
+  wave by wave — ``Diam(D)`` more sequential steps.
+* Timelocks protect each contract: a contract published at wave ``k``
+  refunds after ``t0 + Δ·(2·P − k + 1)`` where ``P`` is the number of
+  publish waves, giving every redeemer a Δ margin.
+
+Total latency: ``2·Δ·Diam(D)`` (Section 6.1 / Figure 8), and crash
+failures past a timelock forfeit the crashed participant's assets — the
+two weaknesses AC3WN removes.
+
+The driver refuses graphs the protocol cannot execute: if the publish
+waves never stabilize (cyclic graphs that stay cyclic after removing the
+leader — Figure 7a) or the graph is disconnected from the leader
+(Figure 7b), a :class:`~repro.errors.GraphError` is raised, matching
+Section 5.3's claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain.block import encode_time
+from ..chain.messages import CallMessage, DeployMessage
+from ..crypto.hashing import hashlock
+from ..crypto.keys import Address
+from ..errors import InsufficientFundsError, GraphError
+from .graph import AssetEdge, SwapGraph
+from .htlc import HTLCContract  # noqa: F401  (registers the contract class)
+from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+
+HTLC_CONTRACT_CLASS = "HTLC"
+
+
+def compute_publish_waves(graph: SwapGraph, leader: str) -> dict[str, int]:
+    """Publish wave per participant: leader 0; others after all inputs.
+
+    ``wave(u) = 1 + max(wave(source(e)) for incoming edges e of u)``.
+    Raises :class:`~repro.errors.GraphError` if the fixpoint never
+    assigns a wave to some participant — the graph cannot be executed by
+    the single-leader protocol (Section 5.3).
+    """
+    if leader not in dict(graph.participants):
+        raise GraphError(f"leader {leader!r} is not a participant")
+    waves: dict[str, int] = {leader: 0}
+    names = graph.participant_names()
+    for _ in range(len(names) + 1):
+        changed = False
+        for name in names:
+            if name in waves:
+                continue
+            incoming = graph.edges_to(name)
+            if not incoming:
+                # No incoming contracts to wait for: cannot be safely
+                # sequenced (nothing compels this participant to publish).
+                continue
+            sources = [edge.source for edge in incoming]
+            if all(src in waves for src in sources):
+                waves[name] = 1 + max(waves[src] for src in sources)
+                changed = True
+        if not changed:
+            break
+    missing = [name for name in names if name not in waves]
+    if missing:
+        raise GraphError(
+            f"single-leader protocol cannot sequence participants {missing}: "
+            f"the AC2T graph is cyclic without the leader or disconnected "
+            f"(see Figure 7 of the paper)"
+        )
+    return waves
+
+
+def publish_wave_of_edge(waves: dict[str, int], edge: AssetEdge) -> int:
+    """A contract is published when its *source* participant acts."""
+    return waves[edge.source]
+
+
+@dataclass
+class HerlihyConfig:
+    """Tunables of one Herlihy-protocol execution.
+
+    Attributes:
+        leader: the swap leader (default: first participant by name).
+        decliners: participants who never publish their contracts.
+        delta_margin: extra fraction of Δ added to each timelock rung.
+        settle_timeout: extra polling time after the last timelock.
+        poll_interval: driver polling granularity (default: chain-scaled).
+    """
+
+    leader: str | None = None
+    decliners: frozenset[str] = frozenset()
+    delta_margin: float = 0.5
+    settle_timeout: float | None = None
+    poll_interval: float | None = None
+
+
+class HerlihyDriver:
+    """Executes one AC2T with the single-leader HTLC protocol."""
+
+    protocol_name = "herlihy"
+
+    def __init__(
+        self, env: SwapEnvironment, graph: SwapGraph, config: HerlihyConfig | None = None
+    ) -> None:
+        self.env = env
+        self.graph = graph
+        self.config = config or HerlihyConfig()
+        self.leader = self.config.leader or graph.participant_names()[0]
+        self.waves = compute_publish_waves(graph, self.leader)
+        self.num_waves = max(self.waves.values()) + 1
+        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
+        for edge in graph.edges:
+            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
+
+        self.secret = b"herlihy-secret:" + graph.digest()[:16]
+        self.lock = hashlock(self.secret)
+        self._deploys: dict[str, DeployMessage] = {}
+        self._redeem_calls: dict[str, CallMessage] = {}
+        self._refund_calls: dict[str, CallMessage] = {}
+        self._secret_public = False
+        self._submitted: list[tuple[str, bytes]] = []
+        fastest = min(
+            env.chain(c).params.block_interval for c in graph.chains_used()
+        )
+        self._poll = (
+            self.config.poll_interval
+            if self.config.poll_interval is not None
+            else max(fastest / 4.0, 1e-3)
+        )
+
+    # -- timing ------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.env.simulator
+
+    def delta(self) -> float:
+        """Δ: enough time to publish/alter a contract on any used chain."""
+        return max(
+            self.env.chain(c).params.confirmation_depth
+            * self.env.chain(c).params.block_interval
+            for c in self.graph.chains_used()
+        )
+
+    def timelock_for(self, edge: AssetEdge, t0: float, delta: float) -> float:
+        """Refund time of the contract on ``edge``.
+
+        Contracts published earlier (smaller wave) carry *longer*
+        timelocks: the classic ``t2 < t1`` of the two-party swap,
+        generalized to ``t0 + Δ·(2P − k + 1)`` (+ margin).
+        """
+        wave = publish_wave_of_edge(self.waves, edge)
+        rungs = 2 * self.num_waves - wave + 1
+        return t0 + delta * (rungs + self.config.delta_margin)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _address_of(self, name: str) -> Address:
+        return self.graph.participant_keys()[name].address()
+
+    def _edge_confirmed(self, edge: AssetEdge) -> bool:
+        key = edge_key(edge)
+        deploy = self._deploys.get(key)
+        if deploy is None:
+            return False
+        chain = self.env.chain(edge.chain_id)
+        ok = chain.message_depth(deploy.message_id()) >= chain.params.confirmation_depth
+        if ok and self.outcome.contracts[key].confirmed_at is None:
+            self.outcome.contracts[key].confirmed_at = self.sim.now
+        return ok
+
+    def _contract_state(self, edge: AssetEdge) -> str:
+        key = edge_key(edge)
+        record = self.outcome.contracts[key]
+        if not record.contract_id:
+            return "unpublished"
+        chain = self.env.chain(edge.chain_id)
+        if not chain.has_contract(record.contract_id):
+            return "unpublished"
+        return chain.contract(record.contract_id).state
+
+    def _incoming_confirmed(self, name: str) -> bool:
+        return all(self._edge_confirmed(edge) for edge in self.graph.edges_to(name))
+
+    # -- publish phase ----------------------------------------------------------
+
+    def _try_publish(self, t0: float, delta: float) -> None:
+        """Publish contracts whose preconditions hold (wave discipline)."""
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key in self._deploys or edge.source in self.config.decliners:
+                continue
+            participant = self.env.participant(edge.source)
+            if participant.crashed:
+                continue
+            if edge.source != self.leader and not self._incoming_confirmed(edge.source):
+                continue
+            timelock = self.timelock_for(edge, t0, delta)
+            if self.sim.now >= timelock:
+                continue  # too late to publish meaningfully
+            try:
+                deploy = participant.deploy_contract(
+                    edge.chain_id,
+                    HTLC_CONTRACT_CLASS,
+                    args=(
+                        self._address_of(edge.recipient).raw,
+                        self.lock,
+                        encode_time(timelock),
+                    ),
+                    value=edge.amount,
+                )
+            except InsufficientFundsError:
+                continue  # change is in flight; retry next tick
+            self._deploys[key] = deploy
+            record = self.outcome.contracts[key]
+            record.contract_id = deploy.contract_id()
+            record.deploy_message_id = deploy.message_id()
+            record.deployed_at = self.sim.now
+            self._submitted.append((edge.chain_id, deploy.message_id()))
+
+    # -- redeem phase -------------------------------------------------------------
+
+    def _knows_secret(self, name: str) -> bool:
+        """The leader knows ``s``; everyone else learns it on first reveal."""
+        return name == self.leader or self._secret_public
+
+    def _redeem_wave_of(self, edge: AssetEdge) -> int:
+        """Reverse of the publish wave: last published, first redeemed."""
+        return self.num_waves - 1 - publish_wave_of_edge(self.waves, edge)
+
+    def _redeem_wave_done(self, wave: int) -> bool:
+        for edge in self.graph.edges:
+            if self._redeem_wave_of(edge) == wave:
+                if self._contract_state(edge) != "RD":
+                    return False
+        return True
+
+    def _try_redeem(self, t0: float, delta: float) -> None:
+        """Attempt redemptions respecting the protocol's wave schedule.
+
+        Herlihy's protocol redeems contracts in reverse publish order —
+        the sequential critical path the paper's Figure 8 depicts.  A
+        contract's recipient redeems once every later-published contract
+        is redeemed, it knows the secret, and the timelock is still open.
+        """
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key not in self._deploys or key in self._redeem_calls:
+                continue
+            if not self._edge_confirmed(edge):
+                continue
+            if self._contract_state(edge) != "P":
+                continue
+            wave = self._redeem_wave_of(edge)
+            if wave > 0 and not self._redeem_wave_done(wave - 1):
+                continue
+            recipient = self.env.participant(edge.recipient)
+            if recipient.crashed or not self._knows_secret(edge.recipient):
+                continue
+            timelock = self.timelock_for(edge, t0, delta)
+            chain = self.env.chain(edge.chain_id)
+            # Publishing a redeem that lands after the timelock is futile.
+            if self.sim.now + chain.params.block_interval >= timelock:
+                continue
+            try:
+                call = recipient.call_contract(
+                    edge.chain_id,
+                    self._deploys[key].contract_id(),
+                    "redeem",
+                    args=(self.secret,),
+                )
+            except InsufficientFundsError:
+                continue  # retry next tick
+            self._redeem_calls[key] = call
+            self._submitted.append((edge.chain_id, call.message_id()))
+
+    def _observe_reveals(self) -> None:
+        """The secret becomes public the moment any redemption lands."""
+        if self._secret_public:
+            return
+        for edge in self.graph.edges:
+            if self._contract_state(edge) == "RD":
+                self._secret_public = True
+                return
+
+    # -- refund phase ----------------------------------------------------------------
+
+    def _try_refund(self, t0: float, delta: float) -> None:
+        """Senders reclaim expired, unredeemed contracts."""
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            if key not in self._deploys or key in self._refund_calls:
+                continue
+            if self._contract_state(edge) != "P":
+                continue
+            timelock = self.timelock_for(edge, t0, delta)
+            chain = self.env.chain(edge.chain_id)
+            latest = chain.head.header.timestamp
+            if latest < timelock:
+                continue  # not expired on-chain yet
+            sender = self.env.participant(edge.source)
+            if sender.crashed:
+                continue
+            try:
+                call = sender.call_contract(
+                    edge.chain_id,
+                    self._deploys[key].contract_id(),
+                    "refund",
+                    args=(b"",),
+                )
+            except InsufficientFundsError:
+                continue  # retry next tick
+            self._refund_calls[key] = call
+            self._submitted.append((edge.chain_id, call.message_id()))
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def _all_settled(self) -> bool:
+        return all(
+            self._contract_state(edge) in ("RD", "RF")
+            for edge in self.graph.edges
+            if edge_key(edge) in self._deploys
+        ) and len(self._deploys) > 0
+
+    def _record_final_states(self) -> None:
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            record.final_state = self._contract_state(edge)
+            if record.final_state in ("RD", "RF") and record.settled_at is None:
+                record.settled_at = self.sim.now
+
+    def _collect_fees(self) -> None:
+        self.outcome.fees_paid = sum(
+            receipt.fee_paid
+            for chain_id, mid in self._submitted
+            if (receipt := self.env.chain(chain_id).receipt(mid)) is not None
+        )
+
+    # -- protocol -----------------------------------------------------------------------
+
+    def run(self) -> SwapOutcome:
+        sim = self.sim
+        t0 = sim.now
+        delta = self.delta()
+        self.outcome.started_at = t0
+        self.outcome.phase_times["start"] = t0
+
+        # The protocol ends for sure once every timelock has expired and
+        # the refunds have had time to land.
+        last_timelock = max(
+            self.timelock_for(edge, t0, delta) for edge in self.graph.edges
+        )
+        horizon = last_timelock + (self.config.settle_timeout or 2.0 * delta)
+
+        deploy_done_at = None
+        while sim.now < horizon:
+            self._try_publish(t0, delta)
+            self._observe_reveals()
+            self._try_redeem(t0, delta)
+            self._try_refund(t0, delta)
+            if deploy_done_at is None and len(self._deploys) == len(
+                self.graph.edges
+            ) and all(self._edge_confirmed(e) for e in self.graph.edges):
+                deploy_done_at = sim.now
+                self.outcome.phase_times["contracts_deployed"] = sim.now
+            if self._all_settled() and len(self._deploys) == len(self.graph.edges):
+                break
+            if self._all_settled() and sim.now > last_timelock:
+                break
+            sim.run_until(sim.now + self._poll)
+
+        self._record_final_states()
+        self._collect_fees()
+        self.outcome.finished_at = sim.now
+        self.outcome.phase_times["settled"] = sim.now
+
+        redeemed = sum(
+            1 for r in self.outcome.contracts.values() if r.final_state == "RD"
+        )
+        if redeemed == self.graph.num_contracts:
+            self.outcome.decision = "commit"
+        elif redeemed == 0:
+            self.outcome.decision = "abort"
+        else:
+            # The failure mode the paper attacks: some contracts redeemed,
+            # others refunded or stranded.
+            self.outcome.decision = "mixed"
+            self.outcome.notes.append(
+                "HTLC timelocks produced a non-atomic settlement"
+            )
+        return self.outcome
+
+
+def run_herlihy(
+    env: SwapEnvironment, graph: SwapGraph, **config_kwargs
+) -> SwapOutcome:
+    """Convenience wrapper: configure and run one Herlihy execution."""
+    config = HerlihyConfig(**config_kwargs)
+    return HerlihyDriver(env, graph, config).run()

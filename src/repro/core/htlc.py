@@ -1,0 +1,77 @@
+"""Hashed-timelock contracts (HTLC) — the Nolan/Herlihy building block.
+
+``SC1`` in the paper's Section 1 walkthrough: assets are locked under a
+hashlock ``h = H(s)`` and a timelock ``t``.  The recipient redeems by
+revealing the preimage ``s`` before ``t`` expires; after ``t`` the sender
+refunds.  The *timelock doubles as the refund commitment scheme*, which
+is precisely the design the paper criticizes: a crash or partition that
+delays the redeeming party past ``t`` forfeits their asset (the
+all-or-nothing violation AC3WN eliminates).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..chain.block import decode_time, encode_time
+from ..chain.contracts import ExecutionContext, register_contract, requires
+from ..crypto.hashing import verify_hashlock
+from .contract_template import AtomicSwapContract
+
+
+@register_contract
+class HTLCContract(AtomicSwapContract):
+    """An HTLC: redeem with the hash preimage, refund after the timelock.
+
+    Constructor args:
+        recipient_raw: 20-byte recipient address.
+        hashlock: ``h = H(s)`` — the redemption commitment.
+        timelock_ticks: integer header-time at which refunds unlock
+            (use :func:`repro.chain.block.encode_time`).
+    """
+
+    CLASS_NAME = "HTLC"
+
+    def constructor(
+        self,
+        ctx: ExecutionContext,
+        recipient_raw: bytes,
+        hashlock: bytes,
+        timelock_ticks: int,
+    ) -> None:
+        super().constructor(ctx, recipient_raw)
+        requires(len(hashlock) == 32, "hashlock must be a 32-byte digest")
+        requires(timelock_ticks > encode_time(ctx.block_time), "timelock already expired")
+        self.hashlock = hashlock
+        self.timelock_ticks = timelock_ticks
+        self.revealed_secret: bytes | None = None
+
+    # -- commitment checks ---------------------------------------------------
+
+    def is_redeemable(self, ctx: ExecutionContext, secret: Any) -> bool:
+        """The preimage verifies and the timelock has not expired."""
+        if not isinstance(secret, (bytes, bytearray)):
+            return False
+        if ctx.block_time >= self.timelock:
+            return False
+        return verify_hashlock(self.hashlock, bytes(secret))
+
+    def is_refundable(self, ctx: ExecutionContext, secret: Any) -> bool:
+        """Refunds unlock once the timelock expires (no secret needed)."""
+        return ctx.block_time >= self.timelock
+
+    # -- overrides ---------------------------------------------------------------
+
+    def redeem(self, ctx: ExecutionContext, secret: Any) -> None:
+        """Redeem and *reveal* the secret on-chain.
+
+        Revealing is what lets the counterparty learn ``s`` and redeem the
+        other contract — the cascade Nolan's protocol relies on.
+        """
+        super().redeem(ctx, secret)
+        self.revealed_secret = bytes(secret)
+
+    @property
+    def timelock(self) -> float:
+        """The timelock as simulator seconds."""
+        return decode_time(self.timelock_ticks)

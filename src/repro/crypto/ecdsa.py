@@ -1,0 +1,251 @@
+"""Pure-Python ECDSA over secp256k1.
+
+The paper uses digital signatures in three places: end-user transactions
+(Section 2.3), Trent's witness signatures that act as commitment-scheme
+secrets (Section 4.1), and the participants' multisignature ``ms(D)`` over
+the AC2T graph (Section 4).  This module implements the curve arithmetic
+and the sign/verify algorithms from first principles — no external crypto
+dependency — with deterministic RFC-6979-style nonces so that every run
+of the simulator is reproducible.
+
+The implementation favours clarity over speed; signing costs a few
+hundred microseconds, which is ample for simulation workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from ..errors import InvalidKeyError, InvalidSignatureError
+
+# secp256k1 domain parameters (the Bitcoin curve): y^2 = x^3 + 7 over F_p.
+P = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F
+N = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+A = 0
+B = 7
+GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on secp256k1 in affine coordinates; ``None`` fields = infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_infinity:
+            return "Point(infinity)"
+        return f"Point(x={self.x:#x}, y={self.y:#x})"
+
+
+INFINITY = Point(None, None)
+G = Point(GX, GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Return True iff ``point`` satisfies the curve equation (or is infinity)."""
+    if point.is_infinity:
+        return True
+    x, y = point.x, point.y
+    return (y * y - (x * x * x + A * x + B)) % P == 0
+
+
+def _inverse_mod(k: int, p: int) -> int:
+    """Modular inverse via Python's built-in extended-gcd pow."""
+    if k % p == 0:
+        raise ZeroDivisionError("inverse of zero")
+    return pow(k, -1, p)
+
+
+def point_add(p1: Point, p2: Point) -> Point:
+    """Add two curve points (group law, affine formulas)."""
+    if p1.is_infinity:
+        return p2
+    if p2.is_infinity:
+        return p1
+    if p1.x == p2.x and (p1.y + p2.y) % P == 0:
+        return INFINITY
+    if p1.x == p2.x:
+        # Point doubling.
+        slope = (3 * p1.x * p1.x + A) * _inverse_mod(2 * p1.y, P) % P
+    else:
+        slope = (p2.y - p1.y) * _inverse_mod(p2.x - p1.x, P) % P
+    x3 = (slope * slope - p1.x - p2.x) % P
+    y3 = (slope * (p1.x - x3) - p1.y) % P
+    return Point(x3, y3)
+
+
+def point_neg(point: Point) -> Point:
+    """Return the additive inverse of a point."""
+    if point.is_infinity:
+        return INFINITY
+    return Point(point.x, (-point.y) % P)
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Compute ``k * point`` by double-and-add."""
+    if k % N == 0 or point.is_infinity:
+        return INFINITY
+    if k < 0:
+        return scalar_mult(-k, point_neg(point))
+    result = INFINITY
+    addend = point
+    while k:
+        if k & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Key handling
+# ---------------------------------------------------------------------------
+
+
+def validate_private_scalar(d: int) -> None:
+    """Raise :class:`InvalidKeyError` unless ``d`` is a valid private scalar."""
+    if not isinstance(d, int) or not 1 <= d < N:
+        raise InvalidKeyError("private scalar must satisfy 1 <= d < n")
+
+
+def derive_public_point(d: int) -> Point:
+    """Return the public point ``d * G`` for private scalar ``d``."""
+    validate_private_scalar(d)
+    return scalar_mult(d, G)
+
+
+def compress_point(point: Point) -> bytes:
+    """SEC1 compressed encoding (33 bytes) of a non-infinity point."""
+    if point.is_infinity:
+        raise InvalidKeyError("cannot encode the point at infinity")
+    prefix = b"\x02" if point.y % 2 == 0 else b"\x03"
+    return prefix + point.x.to_bytes(32, "big")
+
+
+def decompress_point(data: bytes) -> Point:
+    """Decode a SEC1 compressed point, validating curve membership."""
+    if len(data) != 33 or data[0] not in (2, 3):
+        raise InvalidKeyError("malformed compressed point")
+    x = int.from_bytes(data[1:], "big")
+    if x >= P:
+        raise InvalidKeyError("x coordinate out of field range")
+    y_squared = (pow(x, 3, P) + A * x + B) % P
+    y = pow(y_squared, (P + 1) // 4, P)  # works because P % 4 == 3
+    if (y * y) % P != y_squared:
+        raise InvalidKeyError("point is not on the curve")
+    if (y % 2 == 0) != (data[0] == 2):
+        y = P - y
+    point = Point(x, y)
+    if not is_on_curve(point):
+        raise InvalidKeyError("decoded point is not on the curve")
+    return point
+
+
+# ---------------------------------------------------------------------------
+# Deterministic nonce (RFC 6979, SHA-256)
+# ---------------------------------------------------------------------------
+
+
+def _bits2int(data: bytes) -> int:
+    value = int.from_bytes(data, "big")
+    excess = len(data) * 8 - N.bit_length()
+    if excess > 0:
+        value >>= excess
+    return value
+
+
+def deterministic_nonce(private_scalar: int, digest: bytes) -> int:
+    """Derive the RFC-6979 deterministic nonce ``k`` for signing ``digest``."""
+    holen = 32
+    x = private_scalar.to_bytes(32, "big")
+    h1 = _bits2int(digest) % N
+    h1_bytes = h1.to_bytes(32, "big")
+    v = b"\x01" * holen
+    k = b"\x00" * holen
+    k = hmac.new(k, v + b"\x00" + x + h1_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    k = hmac.new(k, v + b"\x01" + x + h1_bytes, hashlib.sha256).digest()
+    v = hmac.new(k, v, hashlib.sha256).digest()
+    while True:
+        v = hmac.new(k, v, hashlib.sha256).digest()
+        candidate = _bits2int(v)
+        if 1 <= candidate < N:
+            return candidate
+        k = hmac.new(k, v + b"\x00", hashlib.sha256).digest()
+        v = hmac.new(k, v, hashlib.sha256).digest()
+
+
+# ---------------------------------------------------------------------------
+# Sign / verify
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EcdsaSignature:
+    """An ECDSA signature ``(r, s)`` with low-s normalization applied."""
+
+    r: int
+    s: int
+
+    def to_bytes(self) -> bytes:
+        """Fixed-width 64-byte encoding (r || s)."""
+        return self.r.to_bytes(32, "big") + self.s.to_bytes(32, "big")
+
+    def to_wire(self):
+        return {"sig": self.to_bytes()}
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EcdsaSignature":
+        if len(data) != 64:
+            raise InvalidSignatureError("signature must be 64 bytes")
+        return cls(int.from_bytes(data[:32], "big"), int.from_bytes(data[32:], "big"))
+
+
+def sign_digest(private_scalar: int, digest: bytes) -> EcdsaSignature:
+    """Sign a 32-byte digest, returning a canonical low-s signature."""
+    validate_private_scalar(private_scalar)
+    if len(digest) != 32:
+        raise InvalidSignatureError("digest must be 32 bytes")
+    z = _bits2int(digest) % N
+    k = deterministic_nonce(private_scalar, digest)
+    while True:
+        point = scalar_mult(k, G)
+        r = point.x % N
+        if r == 0:
+            k = (k + 1) % N or 1
+            continue
+        s = _inverse_mod(k, N) * (z + r * private_scalar) % N
+        if s == 0:
+            k = (k + 1) % N or 1
+            continue
+        if s > N // 2:
+            s = N - s
+        return EcdsaSignature(r, s)
+
+
+def verify_digest(public_point: Point, digest: bytes, signature: EcdsaSignature) -> bool:
+    """Return True iff ``signature`` is valid for ``digest`` under the key."""
+    if public_point.is_infinity or not is_on_curve(public_point):
+        return False
+    if len(digest) != 32:
+        return False
+    r, s = signature.r, signature.s
+    if not (1 <= r < N and 1 <= s < N):
+        return False
+    z = _bits2int(digest) % N
+    w = _inverse_mod(s, N)
+    u1 = z * w % N
+    u2 = r * w % N
+    point = point_add(scalar_mult(u1, G), scalar_mult(u2, public_point))
+    if point.is_infinity:
+        return False
+    return point.x % N == r

@@ -1,0 +1,117 @@
+"""Key-pair and address abstractions on top of the raw curve arithmetic.
+
+End-users in the paper's application layer are identified by their public
+keys, and their digital signatures are "the end-users' way to generate
+transactions" (Section 2.1).  :class:`KeyPair` bundles the private scalar
+with its public point; :class:`Address` is the short identity derived by
+hashing the public key, used as the owner field of assets and contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import InvalidKeyError
+from . import ecdsa
+from .hashing import sha256, tagged_hash
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """An secp256k1 public key (end-user identity)."""
+
+    point: ecdsa.Point
+
+    def __post_init__(self) -> None:
+        if self.point.is_infinity or not ecdsa.is_on_curve(self.point):
+            raise InvalidKeyError("public key point must be on the curve")
+
+    def to_bytes(self) -> bytes:
+        """SEC1 compressed encoding."""
+        return ecdsa.compress_point(self.point)
+
+    def to_wire(self):
+        return {"pubkey": self.to_bytes()}
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "PublicKey":
+        return cls(ecdsa.decompress_point(data))
+
+    def address(self) -> "Address":
+        """Derive the address (hash of the compressed public key)."""
+        return Address(tagged_hash("repro/address", self.to_bytes())[:20])
+
+    def verify(self, digest: bytes, signature: ecdsa.EcdsaSignature) -> bool:
+        """Verify a signature over a 32-byte digest."""
+        return ecdsa.verify_digest(self.point, digest, signature)
+
+    def __repr__(self) -> str:
+        return f"PublicKey({self.to_bytes().hex()[:16]}…)"
+
+
+@dataclass(frozen=True)
+class Address:
+    """A 20-byte identity derived from a public key.
+
+    Assets and smart contracts record their owner / sender / recipient as
+    addresses, mirroring how Bitcoin and Ethereum identify parties.
+    """
+
+    raw: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.raw) != 20:
+            raise InvalidKeyError("address must be 20 bytes")
+
+    def hex(self) -> str:
+        return self.raw.hex()
+
+    def to_wire(self):
+        return {"address": self.raw}
+
+    def __str__(self) -> str:
+        return self.hex()[:12]
+
+    def __repr__(self) -> str:
+        return f"Address({self.hex()[:12]}…)"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A private scalar plus its derived public key.
+
+    Use :meth:`from_seed` for deterministic, reproducible identities in
+    simulations, or :meth:`generate` with an RNG-provided scalar.
+    """
+
+    private_scalar: int
+    public_key: PublicKey
+
+    @classmethod
+    def from_scalar(cls, private_scalar: int) -> "KeyPair":
+        ecdsa.validate_private_scalar(private_scalar)
+        return cls(private_scalar, PublicKey(ecdsa.derive_public_point(private_scalar)))
+
+    @classmethod
+    def from_seed(cls, seed: bytes | str) -> "KeyPair":
+        """Derive a key pair deterministically from an arbitrary seed."""
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        counter = 0
+        while True:
+            digest = sha256(seed + counter.to_bytes(4, "big"))
+            scalar = int.from_bytes(digest, "big")
+            if 1 <= scalar < ecdsa.N:
+                return cls.from_scalar(scalar)
+            counter += 1
+
+    @property
+    def address(self) -> Address:
+        return self.public_key.address()
+
+    def sign(self, digest: bytes) -> ecdsa.EcdsaSignature:
+        """Sign a 32-byte digest with the private scalar."""
+        return ecdsa.sign_digest(self.private_scalar, digest)
+
+    def __repr__(self) -> str:
+        return f"KeyPair(address={self.address})"

@@ -1,0 +1,171 @@
+"""Merkle trees and inclusion proofs.
+
+Block headers commit to their transaction set through a Merkle root
+(Section 2.1).  Light clients and the relay-contract validator of
+Section 4.3 verify that a transaction occurred in a block by checking a
+Merkle *inclusion proof* against the committed root, without downloading
+the block body.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InvalidProofError
+from .hashing import hash_concat, sha256
+
+_LEAF_TAG = b"\x00"
+_NODE_TAG = b"\x01"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    """Hash a leaf. Tagged so leaves can never be confused with nodes."""
+    return sha256(_LEAF_TAG + data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    """Hash an interior node from its two children."""
+    return sha256(_NODE_TAG + hash_concat(left, right))
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof for one leaf of a Merkle tree.
+
+    Attributes:
+        leaf: the raw leaf payload being proven.
+        index: the position of the leaf in the original leaf list.
+        siblings: bottom-up list of sibling digests on the path to the root.
+        tree_size: number of leaves in the tree the proof was built from.
+    """
+
+    leaf: bytes
+    index: int
+    siblings: tuple[bytes, ...]
+    tree_size: int
+
+    def to_wire(self):
+        return {
+            "leaf": self.leaf,
+            "index": self.index,
+            "siblings": list(self.siblings),
+            "tree_size": self.tree_size,
+        }
+
+    def root(self) -> bytes:
+        """Recompute the Merkle root implied by this proof."""
+        if self.tree_size <= 0:
+            raise InvalidProofError("proof over an empty tree")
+        if not 0 <= self.index < self.tree_size:
+            raise InvalidProofError(
+                f"leaf index {self.index} out of range for tree of "
+                f"{self.tree_size} leaves"
+            )
+        digest = _leaf_hash(self.leaf)
+        position = self.index
+        level_size = self.tree_size
+        consumed = 0
+        while level_size > 1:
+            has_sibling = position % 2 == 0 and position + 1 >= level_size
+            if has_sibling:
+                # Odd node at the end of a level is promoted unchanged.
+                pass
+            else:
+                if consumed >= len(self.siblings):
+                    raise InvalidProofError("proof has too few sibling digests")
+                sibling = self.siblings[consumed]
+                consumed += 1
+                if position % 2 == 0:
+                    digest = _node_hash(digest, sibling)
+                else:
+                    digest = _node_hash(sibling, digest)
+            position //= 2
+            level_size = (level_size + 1) // 2
+        if consumed != len(self.siblings):
+            raise InvalidProofError("proof has extra sibling digests")
+        return digest
+
+    def verify(self, expected_root: bytes) -> bool:
+        """Return True iff this proof binds ``leaf`` to ``expected_root``."""
+        try:
+            return self.root() == expected_root
+        except InvalidProofError:
+            return False
+
+
+@dataclass
+class MerkleTree:
+    """A Merkle tree over an ordered list of byte-string leaves.
+
+    The tree handles non-power-of-two leaf counts by promoting the odd
+    last node of each level (Certificate-Transparency style), which keeps
+    proofs unambiguous without duplicating leaves.
+    """
+
+    leaves: list[bytes] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.leaves = [bytes(leaf) for leaf in self.leaves]
+        self._levels: list[list[bytes]] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def _build(self) -> list[list[bytes]]:
+        if self._levels is not None:
+            return self._levels
+        if not self.leaves:
+            self._levels = [[sha256(b"empty-merkle-tree")]]
+            return self._levels
+        level = [_leaf_hash(leaf) for leaf in self.leaves]
+        levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(_node_hash(level[i], level[i + 1]))
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            levels.append(nxt)
+            level = nxt
+        self._levels = levels
+        return levels
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return len(self.leaves)
+
+    def root(self) -> bytes:
+        """Return the Merkle root digest."""
+        return self._build()[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Build an inclusion proof for the leaf at ``index``."""
+        if not self.leaves:
+            raise InvalidProofError("cannot prove inclusion in an empty tree")
+        if not 0 <= index < len(self.leaves):
+            raise InvalidProofError(
+                f"leaf index {index} out of range for {len(self.leaves)} leaves"
+            )
+        levels = self._build()
+        siblings: list[bytes] = []
+        position = index
+        for level in levels[:-1]:
+            if position % 2 == 0:
+                if position + 1 < len(level):
+                    siblings.append(level[position + 1])
+            else:
+                siblings.append(level[position - 1])
+            position //= 2
+        return MerkleProof(
+            leaf=self.leaves[index],
+            index=index,
+            siblings=tuple(siblings),
+            tree_size=len(self.leaves),
+        )
+
+
+def merkle_root(leaves: list[bytes]) -> bytes:
+    """Convenience: the Merkle root of ``leaves``."""
+    return MerkleTree(list(leaves)).root()

@@ -1,0 +1,121 @@
+"""Signed messages and the multisignature ``ms(D)``.
+
+Section 4 of the paper has all participants of an AC2T multisign the
+transaction graph ``D`` at a timestamp ``t``:
+
+    ms(D) = sig(..., sig((D, t), p1), ..., p|V|)
+
+The order of participant signatures is not important; any order indicates
+that all participants agree on ``(D, t)``.  We therefore implement
+``ms(D)`` as a *set* of independent signatures over the same canonical
+digest, one per participant, which verifies under any ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import InvalidSignatureError
+from .ecdsa import EcdsaSignature
+from .hashing import hash_concat, tagged_hash
+from .keys import KeyPair, PublicKey
+
+
+@dataclass(frozen=True)
+class SignedMessage:
+    """A message digest signed by a single key."""
+
+    digest: bytes
+    signature: EcdsaSignature
+    signer: PublicKey
+
+    def verify(self) -> bool:
+        """Return True iff the signature is valid for the digest."""
+        return self.signer.verify(self.digest, self.signature)
+
+    def to_wire(self):
+        return {
+            "digest": self.digest,
+            "signature": self.signature.to_bytes(),
+            "signer": self.signer.to_bytes(),
+        }
+
+
+def sign_payload(keypair: KeyPair, domain: str, payload: bytes) -> SignedMessage:
+    """Sign ``payload`` under a domain-separation ``domain`` tag."""
+    digest = tagged_hash(domain, payload)
+    return SignedMessage(digest, keypair.sign(digest), keypair.public_key)
+
+
+def verify_payload(message: SignedMessage, domain: str, payload: bytes) -> bool:
+    """Verify a :class:`SignedMessage` against the expected payload."""
+    digest = tagged_hash(domain, payload)
+    return message.digest == digest and message.verify()
+
+
+@dataclass(frozen=True)
+class Multisignature:
+    """The multisignature ``ms(D)`` over a payload digest.
+
+    Attributes:
+        digest: the canonical digest of ``(D, t)``.
+        signatures: one :class:`SignedMessage` per required signer.
+
+    The multisignature is *complete* when every required public key has
+    contributed a valid signature over the shared digest.
+    """
+
+    digest: bytes
+    signatures: tuple[SignedMessage, ...] = field(default_factory=tuple)
+
+    def to_wire(self):
+        return {"digest": self.digest, "signatures": list(self.signatures)}
+
+    def id(self) -> bytes:
+        """A stable identifier for this multisignature (keying Trent's store).
+
+        The identifier covers only the digest, not the signature bytes, so
+        that re-signing the same ``(D, t)`` pair cannot be used to register
+        the same AC2T twice (the paper's timestamp ``t`` is what
+        distinguishes identical swaps between the same participants).
+        """
+        return tagged_hash("repro/ms-id", self.digest)
+
+    def signer_addresses(self) -> set[bytes]:
+        return {sig.signer.address().raw for sig in self.signatures}
+
+    def with_signature(self, message: SignedMessage) -> "Multisignature":
+        """Return a new multisignature including ``message``."""
+        if message.digest != self.digest:
+            raise InvalidSignatureError(
+                "signature is over a different digest than the multisignature"
+            )
+        return Multisignature(self.digest, self.signatures + (message,))
+
+    def verify(self, required_signers: list[PublicKey]) -> bool:
+        """Return True iff every required signer signed the digest validly.
+
+        Signature order is irrelevant, matching the paper's remark that
+        "the order of participant signatures in ms(D) is not important".
+        """
+        have = {
+            sig.signer.to_bytes()
+            for sig in self.signatures
+            if sig.digest == self.digest and sig.verify()
+        }
+        need = {pk.to_bytes() for pk in required_signers}
+        return need <= have
+
+
+def multisign(keypairs: list[KeyPair], domain: str, payload: bytes) -> Multisignature:
+    """Have every keypair sign ``payload``; returns the combined ``ms``."""
+    digest = tagged_hash(domain, payload)
+    signatures = tuple(
+        SignedMessage(digest, kp.sign(digest), kp.public_key) for kp in keypairs
+    )
+    return Multisignature(digest, signatures)
+
+
+def combine_payload(*parts: bytes) -> bytes:
+    """Canonical, unambiguous byte encoding of multi-part payloads."""
+    return hash_concat(*parts)

@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate: clock, events, network, failures."""
+
+from .events import Event, EventQueue, TraceRecord
+from .failures import CrashWindow, FailureInjector, FailureSchedule
+from .network import LatencyModel, Network, NetworkStats, Partition
+from .node import Node
+from .rng import RngRegistry, RngStream
+from .simulator import Simulator
+
+__all__ = [
+    "CrashWindow",
+    "Event",
+    "EventQueue",
+    "FailureInjector",
+    "FailureSchedule",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "Partition",
+    "RngRegistry",
+    "RngStream",
+    "Simulator",
+    "TraceRecord",
+]

@@ -1,0 +1,82 @@
+"""Event records and the simulator's priority queue.
+
+Events are ordered by (time, sequence-number) so that simultaneous events
+fire in scheduling order, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation time at which the callback fires.
+        seq: tie-breaker preserving scheduling order at equal times.
+        action: zero-argument callable to invoke.
+        label: human-readable description for traces.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (lazy deletion in the heap)."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` and return its handle."""
+        if time != time:  # NaN guard
+            raise SchedulingError("event time must not be NaN")
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest non-cancelled event, or None."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest pending event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One entry of the simulator's execution trace (for debugging/tests)."""
+
+    time: float
+    label: str

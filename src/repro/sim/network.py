@@ -1,0 +1,151 @@
+"""Message-passing network model with latency, loss, and partitions.
+
+The paper's motivating failure mode is an *asynchronous environment where
+crash failures and network delays are the norm* (Section 1).  This module
+gives experiments precise control over both: per-link latency is drawn
+from a configurable distribution, and partitions can isolate groups of
+nodes for intervals of simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+    from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Distribution of one-way message latencies.
+
+    ``base`` is the deterministic floor; ``jitter`` adds a uniform random
+    component in [0, jitter].  With ``jitter=0`` the network is fully
+    deterministic, which most unit tests use.
+    """
+
+    base: float = 0.05
+    jitter: float = 0.0
+
+    def sample(self, rng) -> float:
+        if self.jitter <= 0:
+            return self.base
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+@dataclass
+class Partition:
+    """A network partition separating ``group`` from everyone else."""
+
+    group: frozenset[str]
+    until: float  # absolute sim time at which the partition heals
+
+    def separates(self, a: str, b: str, now: float) -> bool:
+        if now >= self.until:
+            return False
+        return (a in self.group) != (b in self.group)
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing network activity (used by tests and benches)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    dropped_crashed: int = 0
+    dropped_loss: int = 0
+
+
+class Network:
+    """Routes messages between registered nodes over the simulator clock."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        name: str = "net",
+    ) -> None:
+        self.simulator = simulator
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self.name = name
+        self._nodes: dict[str, "Node"] = {}
+        self._partitions: list[Partition] = []
+        self._rng = simulator.stream(f"network/{name}")
+        self.stats = NetworkStats()
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        """Add a node to the network; its name must be unique."""
+        if node.name in self._nodes:
+            raise NetworkError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> "Node":
+        if name not in self._nodes:
+            raise NetworkError(f"unknown node {name!r}")
+        return self._nodes[name]
+
+    @property
+    def node_names(self) -> list[str]:
+        return sorted(self._nodes)
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, group: set[str], duration: float) -> Partition:
+        """Isolate ``group`` from all other nodes for ``duration`` seconds."""
+        part = Partition(frozenset(group), self.simulator.now + duration)
+        self._partitions.append(part)
+        return part
+
+    def heal_all(self) -> None:
+        """Immediately remove every active partition."""
+        self._partitions.clear()
+
+    def _is_partitioned(self, sender: str, recipient: str) -> bool:
+        now = self.simulator.now
+        self._partitions = [p for p in self._partitions if now < p.until]
+        return any(p.separates(sender, recipient, now) for p in self._partitions)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, sender: str, recipient: str, payload: Any) -> None:
+        """Send ``payload`` from ``sender`` to ``recipient`` asynchronously.
+
+        Delivery is dropped silently if the recipient is crashed at
+        delivery time, a partition separates the endpoints at send time,
+        or the loss model fires — mirroring best-effort gossip networks.
+        """
+        if recipient not in self._nodes:
+            raise NetworkError(f"unknown recipient {recipient!r}")
+        self.stats.sent += 1
+        if self._is_partitioned(sender, recipient):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_rate > 0 and self._rng.random() < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.latency.sample(self._rng)
+        target = self._nodes[recipient]
+
+        def deliver() -> None:
+            if target.crashed:
+                self.stats.dropped_crashed += 1
+                return
+            self.stats.delivered += 1
+            target.on_message(sender, payload)
+
+        self.simulator.schedule(delay, deliver, label=f"deliver {sender}->{recipient}")
+
+    def broadcast(self, sender: str, payload: Any) -> None:
+        """Send ``payload`` to every node except the sender."""
+        for name in self.node_names:
+            if name != sender:
+                self.send(sender, name, payload)

@@ -1,0 +1,73 @@
+"""Actor base class for simulation participants.
+
+Miners, protocol participants, and witness services are all nodes: they
+receive messages from a :class:`~repro.sim.network.Network`, keep local
+state, and schedule their own timers on the simulator.  Crash failures
+flip :attr:`crashed`; a crashed node neither receives messages nor fires
+timers until it recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .network import Network
+from .simulator import Simulator
+
+
+class Node:
+    """A named actor attached to a simulator and (optionally) a network."""
+
+    def __init__(self, simulator: Simulator, name: str, network: Network | None = None) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.network = network
+        self.crashed = False
+        self.inbox_log: list[tuple[float, str, Any]] = []
+        if network is not None:
+            network.register(self)
+
+    # -- messaging -----------------------------------------------------------
+
+    def send(self, recipient: str, payload: Any) -> None:
+        """Send a message through the attached network."""
+        if self.network is None:
+            raise RuntimeError(f"node {self.name!r} has no network attached")
+        if self.crashed:
+            return
+        self.network.send(self.name, recipient, payload)
+
+    def on_message(self, sender: str, payload: Any) -> None:
+        """Handle a delivered message.  Subclasses override :meth:`handle`."""
+        if self.crashed:
+            return
+        self.inbox_log.append((self.simulator.now, sender, payload))
+        self.handle(sender, payload)
+
+    def handle(self, sender: str, payload: Any) -> None:
+        """Process a message; default is to record it only."""
+
+    # -- timers ----------------------------------------------------------------
+
+    def after(self, delay: float, action: Callable[[], None], label: str = "") -> None:
+        """Run ``action`` after ``delay`` unless this node is crashed then."""
+
+        def guarded() -> None:
+            if not self.crashed:
+                action()
+
+        self.simulator.schedule(delay, guarded, label or f"{self.name} timer")
+
+    # -- failures ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Crash the node: it stops receiving messages and firing timers."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Recover from a crash; messages sent while crashed stay lost."""
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"{type(self).__name__}({self.name!r}, {status})"

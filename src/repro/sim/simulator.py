@@ -1,0 +1,141 @@
+"""The discrete-event simulation loop.
+
+The :class:`Simulator` owns the virtual clock and the event queue.  All
+other subsystems (chains, miners, networks, protocol drivers, failure
+injectors) schedule callbacks on it.  Time is a float in abstract
+"seconds"; nothing in the library depends on wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import SchedulingError
+from .events import Event, EventQueue, TraceRecord
+from .rng import RngRegistry, RngStream
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example:
+        >>> sim = Simulator(seed=7)
+        >>> fired = []
+        >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+        >>> sim.run()
+        >>> fired
+        [5.0]
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self.now: float = 0.0
+        self.rng = RngRegistry(seed)
+        self._queue = EventQueue()
+        self._trace_enabled = trace
+        self.trace: list[TraceRecord] = []
+        self._events_processed = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay:.3f}s in the past")
+        return self._queue.push(self.now + delay, action, label)
+
+    def schedule_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at an absolute simulation time."""
+        if time < self.now:
+            raise SchedulingError(
+                f"cannot schedule at {time:.3f}, current time is {self.now:.3f}"
+            )
+        return self._queue.push(time, action, label)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single earliest event. Returns False if queue was empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SchedulingError("event queue returned an event from the past")
+        self.now = event.time
+        if self._trace_enabled and event.label:
+            self.trace.append(TraceRecord(self.now, event.label))
+        self._events_processed += 1
+        event.action()
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run until the event queue drains. Returns events processed."""
+        processed = 0
+        while processed < max_events and self.step():
+            processed += 1
+        if processed >= max_events:
+            raise SchedulingError(f"simulation exceeded {max_events} events")
+        return processed
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> int:
+        """Run events with time <= ``time``; advances clock to ``time``.
+
+        Events scheduled after ``time`` stay queued, so the simulation can
+        be resumed with further ``run_until`` / ``run`` calls.
+        """
+        processed = 0
+        while processed < max_events:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            processed += 1
+        if processed >= max_events:
+            raise SchedulingError(f"simulation exceeded {max_events} events")
+        if time > self.now:
+            self.now = time
+        return processed
+
+    def run_until_true(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float,
+        max_events: int = 10_000_000,
+    ) -> bool:
+        """Run until ``predicate()`` holds or ``timeout`` is reached.
+
+        Returns True iff the predicate became true.  The predicate is
+        checked after every event, so it may inspect any simulation state.
+        """
+        deadline = self.now + timeout
+        if predicate():
+            return True
+        processed = 0
+        while processed < max_events:
+            next_time = self._queue.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.step()
+            processed += 1
+            if predicate():
+                return True
+        if processed >= max_events:
+            raise SchedulingError(f"simulation exceeded {max_events} events")
+        if deadline > self.now:
+            self.now = deadline
+        return predicate()
+
+    # -- utilities -----------------------------------------------------------
+
+    def stream(self, name: str) -> RngStream:
+        """Named deterministic RNG stream (see :mod:`repro.sim.rng`)."""
+        return self.rng.stream(name)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far."""
+        return self._events_processed

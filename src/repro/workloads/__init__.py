@@ -1,0 +1,37 @@
+"""Workload generators and scenario builders for tests, benches, examples."""
+
+from .graphs import (
+    bidirectional_path,
+    complete_digraph,
+    directed_cycle,
+    figure7a_cyclic,
+    figure7b_disconnected,
+    participant_keys,
+    random_graph,
+    ring_with_diameter,
+    two_party_swap,
+)
+from .scenarios import (
+    DEFAULT_FUNDING,
+    VALIDATOR_MODES,
+    ScenarioEnvironment,
+    build_scenario,
+    fund_edges,
+)
+
+__all__ = [
+    "DEFAULT_FUNDING",
+    "VALIDATOR_MODES",
+    "ScenarioEnvironment",
+    "bidirectional_path",
+    "build_scenario",
+    "complete_digraph",
+    "directed_cycle",
+    "figure7a_cyclic",
+    "figure7b_disconnected",
+    "fund_edges",
+    "participant_keys",
+    "random_graph",
+    "ring_with_diameter",
+    "two_party_swap",
+]

@@ -1,0 +1,216 @@
+"""End-to-end scenario builders: chains + miners + participants + failures.
+
+A scenario assembles everything a protocol driver needs into a
+:class:`ScenarioEnvironment` (a :class:`~repro.core.protocol.SwapEnvironment`
+plus the miners, network, and failure injector).  Tests, benchmarks and
+examples all build their worlds through this module so that setup is
+uniform and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.chain import Blockchain
+from ..chain.mempool import Mempool
+from ..chain.miner import MinerNode
+from ..chain.params import ChainParams, fast_chain
+from ..core.evidence import FullReplicaValidator, LightClientValidator
+from ..core.graph import SwapGraph
+from ..core.participant import ChainHandle, Participant
+from ..core.protocol import SwapEnvironment
+from ..errors import ProtocolError
+from ..sim.failures import FailureInjector, FailureSchedule
+from ..sim.network import LatencyModel, Network
+from ..sim.simulator import Simulator
+
+DEFAULT_FUNDING = 100_000
+
+#: Evidence-validation strategies a scenario can wire up (Section 4.3).
+VALIDATOR_MODES = ("anchor", "full-replica", "light-client")
+
+
+@dataclass
+class ScenarioEnvironment(SwapEnvironment):
+    """A fully assembled world: environment plus operational machinery."""
+
+    network: Network | None = None
+    miners: dict[str, MinerNode] = field(default_factory=dict)
+    injector: FailureInjector | None = None
+    witness_chain_id: str = "witness"
+    validator_mode: str = "anchor"
+
+    def start_mining(self) -> None:
+        for miner in self.miners.values():
+            miner.start()
+
+    def apply_failures(self, schedule: FailureSchedule) -> None:
+        """Schedule crash/partition windows against this world's nodes."""
+        if self.injector is None:
+            self.injector = FailureInjector(self.simulator, self.network)
+        nodes = dict(self.participants)
+        nodes.update(self.miners)
+        self.injector.apply(schedule, nodes)
+
+    def warm_up(self, blocks: int = 1) -> None:
+        """Advance the simulation until every chain has ``blocks`` blocks.
+
+        Gives each chain a little history so that stable headers exist
+        before a protocol starts (mirrors joining mature networks).
+        """
+        for chain_id, chain in self.chains.items():
+            interval = chain.params.block_interval
+            self.simulator.run_until_true(
+                lambda c=chain: c.height >= blocks,
+                timeout=(blocks + 2) * interval * 2,
+            )
+
+
+def build_scenario(
+    graph: SwapGraph | None = None,
+    chain_ids: list[str] | None = None,
+    chain_params: dict[str, ChainParams] | None = None,
+    witness_chain_id: str = "witness",
+    participants: list[str] | None = None,
+    seed: int = 0,
+    funding: int = DEFAULT_FUNDING,
+    funding_chunks: int = 8,
+    validator_mode: str = "anchor",
+    block_interval: float = 1.0,
+    confirmation_depth: int = 2,
+    latency: LatencyModel | None = None,
+) -> ScenarioEnvironment:
+    """Build a complete simulation world.
+
+    Args:
+        graph: if given, chains and participants are derived from it.
+        chain_ids: extra/explicit chain names (the witness chain is always
+            added).
+        chain_params: overrides per chain id; chains not listed get
+            :func:`~repro.chain.params.fast_chain` with the supplied
+            ``block_interval`` / ``confirmation_depth``.
+        witness_chain_id: the coordinating chain's id.
+        participants: explicit participant names (default: from graph).
+        seed: master seed for all randomness.
+        funding: genesis balance of every participant on every chain.
+        funding_chunks: how many UTXOs the funding is split into (more
+            chunks allow more concurrent in-flight messages).
+        validator_mode: how miners validate foreign-chain evidence —
+            "anchor" (relay contracts, the paper's proposal),
+            "full-replica", or "light-client" (Section 4.3).
+        block_interval / confirmation_depth: defaults for fast chains.
+        latency: network latency model (default: deterministic 50 ms).
+
+    Returns:
+        A ready :class:`ScenarioEnvironment` with mining already started.
+    """
+    if validator_mode not in VALIDATOR_MODES:
+        raise ProtocolError(
+            f"validator_mode must be one of {VALIDATOR_MODES}, got {validator_mode!r}"
+        )
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, latency=latency or LatencyModel())
+
+    names: list[str] = list(participants or [])
+    wanted_chains: list[str] = list(chain_ids or [])
+    if graph is not None:
+        names = names or graph.participant_names()
+        wanted_chains.extend(sorted(graph.chains_used()))
+    if witness_chain_id not in wanted_chains:
+        wanted_chains.append(witness_chain_id)
+    if not names:
+        raise ProtocolError("scenario needs participants (or a graph)")
+    # Preserve order, drop duplicates.
+    seen: set[str] = set()
+    ordered_chains = [c for c in wanted_chains if not (c in seen or seen.add(c))]
+
+    actors = {
+        name: Participant(simulator, name, network=network) for name in names
+    }
+
+    chains: dict[str, Blockchain] = {}
+    mempools: dict[str, Mempool] = {}
+    miners: dict[str, MinerNode] = {}
+    for chain_id in ordered_chains:
+        params = (chain_params or {}).get(chain_id) or fast_chain(
+            chain_id,
+            block_interval=block_interval,
+            confirmation_depth=confirmation_depth,
+        )
+        # Split each participant's funding into several UTXOs so that
+        # multiple in-flight messages never contend for one coin.
+        chunk = max(funding // max(funding_chunks, 1), 1)
+        allocations = []
+        for actor in actors.values():
+            remaining = funding
+            while remaining > 0:
+                value = min(chunk, remaining)
+                allocations.append((actor.address, value))
+                remaining -= value
+        chain = Blockchain(params, allocations)
+        mempool = Mempool(chain)
+        miner = MinerNode(simulator, chain, mempool, network=network)
+        chains[chain_id] = chain
+        mempools[chain_id] = mempool
+        miners[chain_id] = miner
+        handle = ChainHandle(chain=chain, mempool=mempool)
+        for actor in actors.values():
+            actor.join_chain(handle)
+
+    _wire_validators(chains, witness_chain_id, validator_mode)
+
+    env = ScenarioEnvironment(
+        simulator=simulator,
+        chains=chains,
+        mempools=mempools,
+        participants=actors,
+        network=network,
+        miners=miners,
+        injector=FailureInjector(simulator, network),
+        witness_chain_id=witness_chain_id,
+        validator_mode=validator_mode,
+    )
+    env.start_mining()
+    return env
+
+
+def _wire_validators(
+    chains: dict[str, Blockchain], witness_chain_id: str, mode: str
+) -> None:
+    """Configure Section 4.3 evidence validation for every chain.
+
+    * "anchor": no validator registries; contracts verify self-contained
+      relay evidence against the stable headers stored at registration
+      (the paper's proposal — fully decentralized).
+    * "full-replica": every chain's miners hold full copies of all other
+      chains and consult them directly.
+    * "light-client": every chain's miners run header-only light nodes of
+      all other chains.
+    """
+    if mode == "anchor":
+        return
+    for chain_id, chain in chains.items():
+        if mode == "full-replica":
+            validator = FullReplicaValidator()
+            for other_id, other in chains.items():
+                if other_id != chain_id:
+                    validator.add_chain(other)
+        else:  # light-client
+            validator = LightClientValidator()
+            for other_id, other in chains.items():
+                if other_id != chain_id:
+                    validator.track(other)
+        chain.validators = validator
+
+
+def fund_edges(env: ScenarioEnvironment, graph: SwapGraph) -> None:
+    """Sanity-check that every edge's source can cover its amount."""
+    for edge in graph.edges:
+        actor = env.participant(edge.source)
+        balance = actor.balance_on(edge.chain_id)
+        fee = env.chain(edge.chain_id).params.fees.deploy
+        if balance < edge.amount + fee:
+            raise ProtocolError(
+                f"{edge.source} holds {balance} on {edge.chain_id}, needs "
+                f"{edge.amount + fee}"
+            )

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.mempool import Mempool
+from repro.chain.miner import MinerNode
+from repro.chain.params import fast_chain
+from repro.crypto.keys import KeyPair
+from repro.sim.simulator import Simulator
+
+ALICE = KeyPair.from_seed("alice")
+BOB = KeyPair.from_seed("bob")
+CAROL = KeyPair.from_seed("carol")
+MINER = KeyPair.from_seed("miner")
+
+
+@pytest.fixture
+def alice():
+    return ALICE
+
+
+@pytest.fixture
+def bob():
+    return BOB
+
+
+@pytest.fixture
+def carol():
+    return CAROL
+
+
+@pytest.fixture
+def simulator():
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def chain():
+    """A fast test chain funding alice/bob/carol generously."""
+    params = fast_chain("testnet")
+    return Blockchain(
+        params,
+        [(ALICE.address, 100_000), (BOB.address, 100_000), (CAROL.address, 100_000)],
+    )
+
+
+@pytest.fixture
+def mempool(chain):
+    return Mempool(chain)
+
+
+@pytest.fixture
+def miner(simulator, chain, mempool):
+    return MinerNode(simulator, chain, mempool)

@@ -1,0 +1,191 @@
+"""Adversarial scenarios: participants trying to cheat the protocols.
+
+The paper's threat model is trust-free: any participant may be
+malicious.  These tests check that forged or mismatched evidence cannot
+trick SCw into committing, that nobody can settle against the decision,
+and that value is conserved end to end no matter what happens.
+"""
+
+import pytest
+
+from repro.core.ac3wn import (
+    PERMISSIONLESS_CONTRACT_CLASS,
+    WitnessState,
+    run_ac3wn,
+)
+from repro.core.evidence import build_publication_evidence, build_state_evidence
+from repro.workloads.graphs import two_party_swap
+from repro.workloads.scenarios import build_scenario
+
+
+def total_system_value(env, chain_id):
+    """Circulating value on a chain: all UTXOs plus contract balances."""
+    state = env.chain(chain_id).state_at()
+    locked = sum(c.balance for c in state.contracts.values())
+    return state.utxos.total_value() + locked
+
+
+class TestForgedEvidence:
+    def _world(self, seed):
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=seed)
+        env = build_scenario(graph=graph, seed=seed)
+        env.warm_up(2)
+        return env, graph
+
+    def test_wrong_amount_contract_fails_verification(self):
+        """Alice deploys a contract locking HALF the agreed amount and
+        submits it as evidence: VerifyContracts must reject."""
+        env, graph = self._world(201)
+        alice = env.participant("alice")
+        bob = env.participant("bob")
+        witness = env.chain("witness")
+
+        # Register SCw honestly.
+        from repro.core.ac3wn import AC3WNDriver, AC3WNConfig
+
+        driver = AC3WNDriver(env, graph, AC3WNConfig(witness_chain_id="witness"))
+        assert driver._register_witness_contract()
+        scw_msg = driver._scw_deploy.message_id()
+        env.simulator.run_until_true(
+            lambda: witness.message_depth(scw_msg) >= 2, timeout=60.0
+        )
+        driver._witness_anchor = witness.stable_header()
+
+        # Alice under-locks on chain a; Bob deploys honestly on chain b.
+        cheap = alice.deploy_contract(
+            "a",
+            PERMISSIONLESS_CONTRACT_CLASS,
+            args=(bob.address.raw, "witness", driver._scw_id, 2, driver._witness_anchor),
+            value=graph.edges[0].amount // 2,  # WRONG
+        )
+        honest = bob.deploy_contract(
+            "b",
+            PERMISSIONLESS_CONTRACT_CLASS,
+            args=(alice.address.raw, "witness", driver._scw_id, 2, driver._witness_anchor),
+            value=graph.edges[1].amount,
+        )
+        env.simulator.run_until_true(
+            lambda: env.chain("a").message_depth(cheap.message_id()) >= 2
+            and env.chain("b").message_depth(honest.message_id()) >= 2,
+            timeout=60.0,
+        )
+        evidences = (
+            build_publication_evidence(env.chain("a"), cheap, anchor=driver._anchors["a"]),
+            build_publication_evidence(env.chain("b"), honest, anchor=driver._anchors["b"]),
+        )
+        call = alice.call_contract(
+            "witness", driver._scw_id, "authorize_redeem", (evidences,)
+        )
+        env.simulator.run_until_true(
+            lambda: witness.receipt(call.message_id()) is not None, timeout=60.0
+        )
+        receipt = witness.receipt(call.message_id())
+        assert receipt.status == "reverted"
+        assert witness.contract(driver._scw_id).state == WitnessState.PUBLISHED
+
+    def test_wrong_witness_reference_fails_verification(self):
+        """A contract conditioned on a DIFFERENT SCw does not satisfy the
+        edge spec — maliciously re-using an old swap's contract fails."""
+        env, graph = self._world(202)
+        alice = env.participant("alice")
+        bob = env.participant("bob")
+        witness = env.chain("witness")
+
+        from repro.core.ac3wn import AC3WNDriver, AC3WNConfig
+
+        driver = AC3WNDriver(env, graph, AC3WNConfig(witness_chain_id="witness"))
+        assert driver._register_witness_contract()
+        scw_msg = driver._scw_deploy.message_id()
+        env.simulator.run_until_true(
+            lambda: witness.message_depth(scw_msg) >= 2, timeout=60.0
+        )
+        driver._witness_anchor = witness.stable_header()
+
+        rogue_scw_id = b"\x66" * 32  # not this swap's coordinator
+        rogue = alice.deploy_contract(
+            "a",
+            PERMISSIONLESS_CONTRACT_CLASS,
+            args=(bob.address.raw, "witness", rogue_scw_id, 2, driver._witness_anchor),
+            value=graph.edges[0].amount,
+        )
+        honest = bob.deploy_contract(
+            "b",
+            PERMISSIONLESS_CONTRACT_CLASS,
+            args=(alice.address.raw, "witness", driver._scw_id, 2, driver._witness_anchor),
+            value=graph.edges[1].amount,
+        )
+        env.simulator.run_until_true(
+            lambda: env.chain("a").message_depth(rogue.message_id()) >= 2
+            and env.chain("b").message_depth(honest.message_id()) >= 2,
+            timeout=60.0,
+        )
+        evidences = (
+            build_publication_evidence(env.chain("a"), rogue, anchor=driver._anchors["a"]),
+            build_publication_evidence(env.chain("b"), honest, anchor=driver._anchors["b"]),
+        )
+        call = alice.call_contract(
+            "witness", driver._scw_id, "authorize_redeem", (evidences,)
+        )
+        env.simulator.run_until_true(
+            lambda: witness.receipt(call.message_id()) is not None, timeout=60.0
+        )
+        assert witness.receipt(call.message_id()).status == "reverted"
+
+
+class TestSettlingAgainstTheDecision:
+    def test_refund_impossible_after_commit(self):
+        """Once RDauth exists, even the asset's original owner cannot
+        refund: there is no RFauth evidence to present, ever."""
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=203)
+        env = build_scenario(graph=graph, seed=203)
+        env.warm_up(2)
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        assert outcome.decision == "commit"
+
+        witness = env.chain("witness")
+        record = outcome.contracts["alice->bob@a"]
+        # Forge "RFauth" state evidence from the RDauth call: claims RFauth
+        # but the authorizing function was authorize_redeem → rejected.
+        from repro.core.evidence import StateEvidence
+
+        scw_id = None
+        for contract_id, contract in witness.state_at().contracts.items():
+            if type(contract).CLASS_NAME == "AC3WN-Witness":
+                scw_id = contract_id
+        assert scw_id is not None
+        # Find the authorizing call on the witness chain.
+        auth_call = None
+        for block in witness.main_chain():
+            for message in block.messages:
+                if getattr(message, "function", None) == "authorize_redeem":
+                    auth_call = message
+        assert auth_call is not None
+        forged = build_state_evidence(
+            witness, scw_id, auth_call, "RDauth",
+            anchor=witness.block_at_height(0).header,
+        )
+        # Re-claim it as RFauth.
+        from dataclasses import replace
+
+        fake_rf = replace(forged, state="RFauth")
+        alice = env.participant("alice")
+        call = alice.call_contract("a", record.contract_id, "refund", (fake_rf,))
+        env.simulator.run_until_true(
+            lambda: env.chain("a").receipt(call.message_id()) is not None,
+            timeout=60.0,
+        )
+        assert env.chain("a").receipt(call.message_id()).status == "reverted"
+        assert env.chain("a").contract(record.contract_id).state == "RD"
+
+
+class TestValueConservation:
+    @pytest.mark.parametrize("decliners", [frozenset(), frozenset({"bob"})])
+    def test_total_value_invariant(self, decliners):
+        """Commit or abort: no value is created or destroyed anywhere."""
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=204)
+        env = build_scenario(graph=graph, seed=204 + len(decliners))
+        env.warm_up(2)
+        before = {cid: total_system_value(env, cid) for cid in env.chains}
+        run_ac3wn(env, graph, witness_chain_id="witness", decliners=decliners)
+        after = {cid: total_system_value(env, cid) for cid in env.chains}
+        assert before == after

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_swap_defaults(self):
+        args = build_parser().parse_args(["swap"])
+        assert args.protocol == "ac3wn"
+        assert args.diameter == 2
+
+    def test_bad_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["swap", "--protocol", "magic"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Bitcoin" in out and "7 tps" in out
+        assert "bottleneck: bitcoin" in out
+
+    def test_figure10(self, capsys):
+        assert main(["figure10", "--max-diameter", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "2.0x" in out  # diameter 4
+
+    def test_witness_depth(self, capsys):
+        assert main(["witness-depth", "--value-at-risk", "1000000"]) == 0
+        out = capsys.readouterr().out
+        assert "bitcoin: d =     21" in out
+
+    def test_swap_ac3wn(self, capsys):
+        assert main(["swap", "--protocol", "ac3wn", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "decision=commit" in out
+        assert "scw_confirmed" in out
+
+    def test_swap_nolan(self, capsys):
+        assert main(["swap", "--protocol", "nolan", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "decision=commit" in out
+
+    def test_swap_ring_herlihy(self, capsys):
+        assert main(["swap", "--protocol", "herlihy", "--diameter", "3", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "decision=commit" in out

@@ -1,0 +1,282 @@
+"""Tests for the smart-contract runtime: deploys, calls, reverts, fees."""
+
+import pytest
+
+from repro.chain.contracts import (
+    ContractRegistry,
+    SmartContract,
+    register_contract,
+    requires,
+)
+from repro.chain.messages import CallMessage, DeployMessage, sign_message
+from repro.chain.transaction import TxInput, TxOutput
+from repro.errors import ContractError, FeeError, UnknownContractError, ValidationError
+from tests.conftest import ALICE, BOB, MINER
+
+
+@register_contract
+class Vault(SmartContract):
+    """Test contract: lock value, release on demand, guarded ops."""
+
+    CLASS_NAME = "TestVault"
+
+    def constructor(self, ctx, beneficiary_raw: bytes):
+        from repro.crypto.keys import Address
+
+        self.beneficiary = Address(beneficiary_raw)
+        self.withdrawals = 0
+
+    def withdraw(self, ctx, amount: int):
+        requires(amount > 0, "amount must be positive")
+        requires(amount <= self.balance, "insufficient vault balance")
+        ctx.transfer(self.beneficiary, amount)
+        self.withdrawals += 1
+
+    def explode(self, ctx):
+        requires(False, "always fails")
+
+    def _hidden(self, ctx):  # pragma: no cover - must be unreachable
+        raise AssertionError("private function was invoked")
+
+
+def funding_for(chain, keypair, amount):
+    """Pick outpoints covering ``amount``; return (inputs, change)."""
+    state = chain.state_at()
+    chosen, total = [], 0
+    for op in state.utxos.outpoints_of(keypair.address):
+        chosen.append(TxInput(op))
+        total += state.utxos.get(op).value
+        if total >= amount:
+            break
+    assert total >= amount, "test fixture underfunded"
+    change = (TxOutput(keypair.address, total - amount),) if total > amount else ()
+    return tuple(chosen), change
+
+
+def deploy_vault(chain, value=1000, fee=10, sender=ALICE, beneficiary=BOB):
+    inputs, change = funding_for(chain, sender, value + fee)
+    msg = DeployMessage(
+        sender=sender.public_key,
+        contract_class="TestVault",
+        args=(beneficiary.address.raw,),
+        value=value,
+        fee=fee,
+        inputs=inputs,
+        change=change,
+    )
+    msg = sign_message(msg, sender)
+    chain.add_block(chain.make_block([msg], MINER.address, 1.0))
+    return msg
+
+
+def call_vault(chain, contract_id, function, args, sender=BOB, fee=5, timestamp=2.0):
+    inputs, change = funding_for(chain, sender, fee)
+    msg = CallMessage(
+        sender=sender.public_key,
+        contract_id=contract_id,
+        function=function,
+        args=args,
+        fee=fee,
+        inputs=inputs,
+        change=change,
+        nonce=int(timestamp * 1000),
+    )
+    msg = sign_message(msg, sender)
+    chain.add_block(chain.make_block([msg], MINER.address, timestamp))
+    return msg
+
+
+class TestDeployment:
+    def test_deploy_locks_value(self, chain):
+        msg = deploy_vault(chain, value=1000)
+        contract = chain.contract(msg.contract_id())
+        assert contract.balance == 1000
+        assert contract.owner == ALICE.address
+
+    def test_constructor_ran(self, chain):
+        msg = deploy_vault(chain)
+        assert chain.contract(msg.contract_id()).beneficiary == BOB.address
+
+    def test_deploy_spends_funding(self, chain):
+        before = chain.balance_of(ALICE.address)
+        deploy_vault(chain, value=1000, fee=10)
+        assert chain.balance_of(ALICE.address) == before - 1010
+
+    def test_deploy_fee_to_miner(self, chain):
+        deploy_vault(chain, fee=10)
+        assert chain.balance_of(MINER.address) == 10
+
+    def test_unsigned_deploy_rejected(self, chain):
+        inputs, change = funding_for(chain, ALICE, 10)
+        msg = DeployMessage(
+            sender=ALICE.public_key,
+            contract_class="TestVault",
+            args=(BOB.address.raw,),
+            value=0,
+            fee=10,
+            inputs=inputs,
+            change=change,
+        )
+        with pytest.raises(ValidationError):
+            chain.state_at().clone().apply_message(
+                msg, chain.params, 1, 1.0, chain.registry
+            )
+
+    def test_underfunded_deploy_rejected(self, chain):
+        msg = DeployMessage(
+            sender=ALICE.public_key,
+            contract_class="TestVault",
+            args=(BOB.address.raw,),
+            value=100,
+            fee=10,
+            inputs=(),
+            change=(),
+        )
+        msg = sign_message(msg, ALICE)
+        with pytest.raises(FeeError):
+            chain.state_at().clone().apply_message(
+                msg, chain.params, 1, 1.0, chain.registry
+            )
+
+    def test_unknown_class_rejected(self, chain):
+        inputs, change = funding_for(chain, ALICE, 10)
+        msg = sign_message(
+            DeployMessage(
+                sender=ALICE.public_key,
+                contract_class="NoSuchClass",
+                args=(),
+                value=0,
+                fee=10,
+                inputs=inputs,
+                change=change,
+            ),
+            ALICE,
+        )
+        with pytest.raises(ContractError):
+            chain.state_at().clone().apply_message(
+                msg, chain.params, 1, 1.0, chain.registry
+            )
+
+
+class TestCalls:
+    def test_successful_call_transfers(self, chain):
+        deploy = deploy_vault(chain, value=1000)
+        before = chain.balance_of(BOB.address)
+        call_vault(chain, deploy.contract_id(), "withdraw", (400,))
+        assert chain.balance_of(BOB.address) == before + 400 - 5  # minus fee
+        assert chain.contract(deploy.contract_id()).balance == 600
+
+    def test_revert_preserves_state(self, chain):
+        deploy = deploy_vault(chain, value=1000)
+        call = call_vault(chain, deploy.contract_id(), "withdraw", (5000,))
+        receipt = chain.receipt(call.message_id())
+        assert receipt.status == "reverted"
+        assert chain.contract(deploy.contract_id()).balance == 1000
+        assert chain.contract(deploy.contract_id()).withdrawals == 0
+
+    def test_revert_still_charges_fee(self, chain):
+        deploy = deploy_vault(chain, value=1000, fee=10)
+        call_vault(chain, deploy.contract_id(), "explode", (), fee=5)
+        assert chain.balance_of(MINER.address) == 15
+
+    def test_call_unknown_contract_rejected(self, chain):
+        with pytest.raises(UnknownContractError):
+            call_vault(chain, b"\x00" * 32, "withdraw", (1,))
+
+    def test_private_function_not_callable(self, chain):
+        deploy = deploy_vault(chain)
+        with pytest.raises(ContractError):
+            call_vault(chain, deploy.contract_id(), "_hidden", ())
+
+    def test_reserved_name_not_callable(self, chain):
+        deploy = deploy_vault(chain)
+        with pytest.raises(ContractError):
+            call_vault(chain, deploy.contract_id(), "constructor", ())
+
+    def test_payable_call_increases_balance(self, chain):
+        deploy = deploy_vault(chain, value=100)
+        inputs, change = funding_for(chain, BOB, 55)
+        msg = sign_message(
+            CallMessage(
+                sender=BOB.public_key,
+                contract_id=deploy.contract_id(),
+                function="withdraw",
+                args=(0,),  # reverts (amount must be positive)…
+                value=50,
+                fee=5,
+                inputs=inputs,
+                change=change,
+            ),
+            BOB,
+        )
+        chain.add_block(chain.make_block([msg], MINER.address, 2.0))
+        # …so the attached value is refunded to Bob, not kept.
+        assert chain.contract(deploy.contract_id()).balance == 100
+
+    def test_events_recorded_in_receipt(self, chain):
+        @register_contract
+        class Emitter(SmartContract):
+            CLASS_NAME = "TestEmitter"
+
+            def ping(self, ctx):
+                ctx.emit("pinged", by=str(ctx.sender))
+
+        inputs, change = funding_for(chain, ALICE, 10)
+        deploy = sign_message(
+            DeployMessage(
+                sender=ALICE.public_key,
+                contract_class="TestEmitter",
+                args=(),
+                fee=10,
+                inputs=inputs,
+                change=change,
+            ),
+            ALICE,
+        )
+        chain.add_block(chain.make_block([deploy], MINER.address, 1.0))
+        call = call_vault(chain, deploy.contract_id(), "ping", ())
+        receipt = chain.receipt(call.message_id())
+        assert receipt.events[0][0] == "pinged"
+
+
+class TestRegistry:
+    def test_duplicate_name_rejected(self):
+        registry = ContractRegistry()
+
+        class A(SmartContract):
+            CLASS_NAME = "Dup"
+
+        class B(SmartContract):
+            CLASS_NAME = "Dup"
+
+        registry.register(A)
+        with pytest.raises(ContractError):
+            registry.register(B)
+
+    def test_reregistering_same_class_ok(self):
+        registry = ContractRegistry()
+
+        class A(SmartContract):
+            CLASS_NAME = "Same"
+
+        registry.register(A)
+        registry.register(A)
+
+    def test_missing_class_name_rejected(self):
+        registry = ContractRegistry()
+
+        class NoName(SmartContract):
+            pass
+
+        with pytest.raises(ContractError):
+            registry.register(NoName)
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ContractError):
+            ContractRegistry().resolve("ghost")
+
+    def test_describe_snapshot(self, chain):
+        deploy = deploy_vault(chain, value=77)
+        snapshot = chain.contract(deploy.contract_id()).describe()
+        assert snapshot["class"] == "TestVault"
+        assert snapshot["balance"] == 77

@@ -1,0 +1,138 @@
+"""Crash-failure experiments (the paper's Section 1 motivation, E7).
+
+The HTLC baselines violate all-or-nothing atomicity when a participant
+crashes past a timelock; AC3WN never does.  These tests pin both facts.
+"""
+
+import pytest
+
+from repro.core.ac3wn import run_ac3wn
+from repro.core.nolan import run_nolan
+from repro.sim.failures import FailureSchedule
+from repro.workloads.graphs import directed_cycle, two_party_swap
+from repro.workloads.scenarios import build_scenario
+
+
+def fresh_env(timestamp, seed, graph_factory=two_party_swap, **kwargs):
+    graph = graph_factory(chain_a="a", chain_b="b", timestamp=timestamp, **kwargs) \
+        if graph_factory is two_party_swap else graph_factory(timestamp=timestamp)
+    env = build_scenario(graph=graph, seed=seed)
+    env.warm_up(2)
+    return env, graph
+
+
+class TestNolanUnderCrash:
+    def test_recipient_crash_past_timelock_loses_assets(self):
+        """The paper's exact scenario: Bob crashes after Alice redeems;
+        SC1's timelock expires; Alice refunds SC1 — Bob ends up worse."""
+        env, graph = fresh_env(timestamp=1, seed=41)
+        # Both contracts confirm by t≈6; Bob crashes just before Alice's
+        # reveal lands and recovers only after every timelock expired.
+        env.apply_failures(FailureSchedule().crash("bob", start=6.5, end=500.0))
+        outcome = run_nolan(env, graph)
+        assert outcome.decision == "mixed"
+        assert not outcome.is_atomic
+        states = outcome.final_states()
+        # Bob's incoming asset was redeemed by Alice…
+        assert states["bob->alice@b"] == "RD"
+        # …while the asset destined to Bob went back to Alice.
+        assert states["alice->bob@a"] == "RF"
+
+    def test_crash_before_any_deploy_is_safe(self):
+        """A crash before step 1 simply prevents the swap: no asset moves."""
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=2)
+        env = build_scenario(graph=graph, seed=42)
+        # Crash *before* the warm-up so Alice is down from the very start.
+        env.apply_failures(FailureSchedule().crash("alice", start=0.0, end=None))
+        env.warm_up(2)
+        outcome = run_nolan(env, graph)
+        assert outcome.is_atomic
+        assert all(
+            record.final_state in ("unpublished", "RF")
+            for record in outcome.contracts.values()
+        )
+
+    def test_short_crash_within_margin_is_survivable(self):
+        """A brief outage that ends before the timelocks is harmless."""
+        env, graph = fresh_env(timestamp=3, seed=43)
+        env.apply_failures(FailureSchedule().crash("bob", start=8.0, end=10.0))
+        outcome = run_nolan(env, graph)
+        assert outcome.decision == "commit"
+        assert outcome.is_atomic
+
+
+class TestAC3WNUnderCrash:
+    def test_same_crash_preserves_atomicity(self):
+        """AC3WN under the identical failure: Bob redeems after recovery."""
+        env, graph = fresh_env(timestamp=4, seed=44)
+        env.apply_failures(FailureSchedule().crash("bob", start=8.0, end=60.0))
+        outcome = run_ac3wn(
+            env, graph, witness_chain_id="witness", settle_timeout=100.0
+        )
+        assert outcome.decision == "commit"
+        assert outcome.is_atomic
+        assert all(r.final_state == "RD" for r in outcome.contracts.values())
+
+    def test_permanent_crash_never_violates_atomicity(self):
+        """Even if Bob never recovers, no contract is ever refunded once
+        RDauth exists: the decided side is the only one that can settle."""
+        env, graph = fresh_env(timestamp=5, seed=45)
+        env.apply_failures(FailureSchedule().crash("bob", start=8.0, end=None))
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        assert outcome.is_atomic
+        states = outcome.final_states()
+        # Bob's own redemption is pending (he is down), but nothing
+        # conflicts with the commit decision.
+        assert states["bob->alice@b"] == "RD"  # Alice is alive and redeems
+        assert states["alice->bob@a"] in ("P", "RD")
+        assert "RF" not in states.values()
+
+    def test_crash_before_deploy_aborts_atomically(self):
+        """If Bob crashes before publishing, the swap aborts and Alice's
+        published contract refunds — all-or-nothing holds."""
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=6)
+        env = build_scenario(graph=graph, seed=46)
+        env.apply_failures(FailureSchedule().crash("bob", start=0.0, end=None))
+        env.warm_up(2)
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        assert outcome.decision == "abort"
+        assert outcome.is_atomic
+        states = outcome.final_states()
+        assert states["alice->bob@a"] == "RF"
+        assert states["bob->alice@b"] == "unpublished"
+
+    def test_registrar_crash_with_fallback(self):
+        """If the registrar is down at start, any alive participant
+        registers SCw instead (first alive in name order)."""
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=7)
+        env = build_scenario(graph=graph, seed=47)
+        env.apply_failures(FailureSchedule().crash("alice", start=0.0, end=None))
+        env.warm_up(2)
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        # Bob registered; Alice (crashed) never deployed: abort, atomic.
+        assert outcome.decision == "abort"
+        assert outcome.is_atomic
+
+    def test_multiparty_crash_mid_deployment(self):
+        graph = directed_cycle(3, chain_ids=["c0", "c1", "c2"], timestamp=8)
+        env = build_scenario(graph=graph, seed=48)
+        env.warm_up(2)
+        env.apply_failures(FailureSchedule().crash("p01", start=4.5, end=None))
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        assert outcome.is_atomic
+        # Whatever was decided, there is no RD/RF mix.
+        assert outcome.decision in ("commit", "abort")
+
+
+class TestPartitionFailures:
+    def test_network_partition_is_harmless_to_ac3wn(self):
+        """Partitions delay protocol messages between participants but
+        cannot cause a mixed settlement."""
+        env, graph = fresh_env(timestamp=9, seed=49)
+        env.apply_failures(
+            FailureSchedule().partition({"bob"}, start=6.0, end=20.0)
+        )
+        outcome = run_ac3wn(
+            env, graph, witness_chain_id="witness", settle_timeout=60.0
+        )
+        assert outcome.is_atomic

@@ -1,0 +1,94 @@
+"""Reproducibility tests: identical seeds produce identical worlds.
+
+Determinism is a design pillar (DESIGN.md): every experiment in the
+benchmark suite must be exactly repeatable.  These tests pin it at every
+level — crypto, chain, protocol.
+"""
+
+from repro.core.ac3wn import run_ac3wn
+from repro.core.herlihy import run_herlihy
+from repro.workloads.graphs import directed_cycle, two_party_swap
+from repro.workloads.scenarios import build_scenario
+
+
+class TestCryptoDeterminism:
+    def test_key_derivation(self):
+        from repro.crypto.keys import KeyPair
+
+        a = KeyPair.from_seed("determinism")
+        b = KeyPair.from_seed("determinism")
+        assert a.private_scalar == b.private_scalar
+
+    def test_signature_bytes(self):
+        from repro.crypto.hashing import sha256
+        from repro.crypto.keys import KeyPair
+
+        kp = KeyPair.from_seed("sig")
+        digest = sha256(b"message")
+        assert kp.sign(digest).to_bytes() == kp.sign(digest).to_bytes()
+
+    def test_graph_digest(self):
+        assert two_party_swap(timestamp=5).digest() == two_party_swap(timestamp=5).digest()
+
+    def test_multisignature_id(self):
+        from repro.crypto.keys import KeyPair
+
+        graph = two_party_swap(timestamp=5)
+        kps = {n: KeyPair.from_seed(f"participant/{n}") for n in graph.participant_names()}
+        assert graph.multisign(kps).id() == graph.multisign(kps).id()
+
+
+class TestChainDeterminism:
+    def test_identical_worlds_same_heads(self):
+        def build():
+            graph = two_party_swap(chain_a="x", chain_b="y", timestamp=1)
+            env = build_scenario(graph=graph, seed=31337)
+            env.warm_up(4)
+            return {cid: chain.head_hash for cid, chain in env.chains.items()}
+
+        assert build() == build()
+
+    def test_poisson_mining_deterministic_per_seed(self):
+        from repro.chain.chain import Blockchain
+        from repro.chain.mempool import Mempool
+        from repro.chain.miner import MinerNode
+        from repro.chain.params import fast_chain
+        from repro.sim.simulator import Simulator
+        from repro.crypto.keys import KeyPair
+
+        def run():
+            sim = Simulator(seed=404)
+            params = fast_chain("poisson-d").with_overrides(deterministic_intervals=False)
+            chain = Blockchain(params, [(KeyPair.from_seed("a").address, 10)])
+            MinerNode(sim, chain, Mempool(chain)).start()
+            sim.run_until(20.0)
+            return chain.head_hash
+
+        assert run() == run()
+
+
+class TestProtocolDeterminism:
+    def test_ac3wn_outcome_reproducible(self):
+        def run():
+            graph = two_party_swap(chain_a="x", chain_b="y", timestamp=9)
+            env = build_scenario(graph=graph, seed=777)
+            env.warm_up(2)
+            outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+            return (
+                outcome.decision,
+                outcome.latency,
+                tuple(sorted(outcome.final_states().items())),
+                outcome.fees_paid,
+            )
+
+        assert run() == run()
+
+    def test_herlihy_outcome_reproducible(self):
+        def run():
+            graph = directed_cycle(3, chain_ids=["d0", "d1", "d2"], timestamp=10)
+            env = build_scenario(graph=graph, seed=778)
+            env.warm_up(2)
+            outcome = run_herlihy(env, graph)
+            return (outcome.decision, outcome.latency, outcome.fees_paid)
+
+        assert run() == run()

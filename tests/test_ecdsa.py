@@ -1,0 +1,178 @@
+"""Unit + property tests for the pure-Python secp256k1 ECDSA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ecdsa
+from repro.crypto.hashing import sha256
+from repro.errors import InvalidKeyError, InvalidSignatureError
+
+scalars = st.integers(min_value=1, max_value=ecdsa.N - 1)
+digests = st.binary(min_size=32, max_size=32)
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        assert ecdsa.is_on_curve(ecdsa.G)
+
+    def test_infinity_on_curve(self):
+        assert ecdsa.is_on_curve(ecdsa.INFINITY)
+
+    def test_point_plus_infinity(self):
+        assert ecdsa.point_add(ecdsa.G, ecdsa.INFINITY) == ecdsa.G
+        assert ecdsa.point_add(ecdsa.INFINITY, ecdsa.G) == ecdsa.G
+
+    def test_point_plus_negation_is_infinity(self):
+        assert ecdsa.point_add(ecdsa.G, ecdsa.point_neg(ecdsa.G)).is_infinity
+
+    def test_doubling_matches_addition(self):
+        assert ecdsa.point_add(ecdsa.G, ecdsa.G) == ecdsa.scalar_mult(2, ecdsa.G)
+
+    def test_scalar_mult_distributes(self):
+        # (a + b)G == aG + bG
+        a, b = 123456789, 987654321
+        lhs = ecdsa.scalar_mult(a + b, ecdsa.G)
+        rhs = ecdsa.point_add(ecdsa.scalar_mult(a, ecdsa.G), ecdsa.scalar_mult(b, ecdsa.G))
+        assert lhs == rhs
+
+    def test_order_times_g_is_infinity(self):
+        assert ecdsa.scalar_mult(ecdsa.N, ecdsa.G).is_infinity
+
+    @given(scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_derived_points_on_curve(self, d):
+        assert ecdsa.is_on_curve(ecdsa.derive_public_point(d))
+
+
+class TestPointEncoding:
+    def test_compress_roundtrip(self):
+        point = ecdsa.derive_public_point(42)
+        assert ecdsa.decompress_point(ecdsa.compress_point(point)) == point
+
+    def test_compressed_length(self):
+        assert len(ecdsa.compress_point(ecdsa.G)) == 33
+
+    def test_reject_bad_prefix(self):
+        data = b"\x05" + ecdsa.GX.to_bytes(32, "big")
+        with pytest.raises(InvalidKeyError):
+            ecdsa.decompress_point(data)
+
+    def test_reject_short_encoding(self):
+        with pytest.raises(InvalidKeyError):
+            ecdsa.decompress_point(b"\x02" + b"\x00" * 16)
+
+    def test_reject_x_not_on_curve(self):
+        # x = 5 yields a non-residue for secp256k1.
+        data = b"\x02" + (5).to_bytes(32, "big")
+        with pytest.raises(InvalidKeyError):
+            ecdsa.decompress_point(data)
+
+    def test_reject_infinity_compression(self):
+        with pytest.raises(InvalidKeyError):
+            ecdsa.compress_point(ecdsa.INFINITY)
+
+    @given(scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_random_points(self, d):
+        point = ecdsa.derive_public_point(d)
+        assert ecdsa.decompress_point(ecdsa.compress_point(point)) == point
+
+
+class TestKeyValidation:
+    def test_zero_scalar_invalid(self):
+        with pytest.raises(InvalidKeyError):
+            ecdsa.validate_private_scalar(0)
+
+    def test_order_scalar_invalid(self):
+        with pytest.raises(InvalidKeyError):
+            ecdsa.validate_private_scalar(ecdsa.N)
+
+    def test_non_int_invalid(self):
+        with pytest.raises(InvalidKeyError):
+            ecdsa.validate_private_scalar("nope")
+
+
+class TestSignVerify:
+    def test_roundtrip(self):
+        digest = sha256(b"message")
+        sig = ecdsa.sign_digest(7, digest)
+        assert ecdsa.verify_digest(ecdsa.derive_public_point(7), digest, sig)
+
+    def test_wrong_key_fails(self):
+        digest = sha256(b"message")
+        sig = ecdsa.sign_digest(7, digest)
+        assert not ecdsa.verify_digest(ecdsa.derive_public_point(8), digest, sig)
+
+    def test_wrong_digest_fails(self):
+        sig = ecdsa.sign_digest(7, sha256(b"a"))
+        assert not ecdsa.verify_digest(ecdsa.derive_public_point(7), sha256(b"b"), sig)
+
+    def test_deterministic_signatures(self):
+        digest = sha256(b"same message")
+        assert ecdsa.sign_digest(99, digest) == ecdsa.sign_digest(99, digest)
+
+    def test_low_s_normalization(self):
+        digest = sha256(b"any")
+        sig = ecdsa.sign_digest(1234, digest)
+        assert sig.s <= ecdsa.N // 2
+
+    def test_rejects_short_digest(self):
+        with pytest.raises(InvalidSignatureError):
+            ecdsa.sign_digest(7, b"short")
+
+    def test_verify_rejects_zero_r(self):
+        digest = sha256(b"m")
+        bad = ecdsa.EcdsaSignature(0, 1)
+        assert not ecdsa.verify_digest(ecdsa.derive_public_point(7), digest, bad)
+
+    def test_verify_rejects_infinity_key(self):
+        digest = sha256(b"m")
+        sig = ecdsa.sign_digest(7, digest)
+        assert not ecdsa.verify_digest(ecdsa.INFINITY, digest, sig)
+
+    def test_verify_rejects_bad_digest_length(self):
+        sig = ecdsa.sign_digest(7, sha256(b"m"))
+        assert not ecdsa.verify_digest(ecdsa.derive_public_point(7), b"xx", sig)
+
+    @given(scalars, digests)
+    @settings(max_examples=15, deadline=None)
+    def test_property_roundtrip(self, d, digest):
+        sig = ecdsa.sign_digest(d, digest)
+        assert ecdsa.verify_digest(ecdsa.derive_public_point(d), digest, sig)
+
+    @given(scalars, digests, digests)
+    @settings(max_examples=10, deadline=None)
+    def test_property_digest_binding(self, d, d1, d2):
+        if d1 == d2:
+            return
+        sig = ecdsa.sign_digest(d, d1)
+        assert not ecdsa.verify_digest(ecdsa.derive_public_point(d), d2, sig)
+
+
+class TestSignatureEncoding:
+    def test_bytes_roundtrip(self):
+        sig = ecdsa.sign_digest(5, sha256(b"x"))
+        assert ecdsa.EcdsaSignature.from_bytes(sig.to_bytes()) == sig
+
+    def test_fixed_width(self):
+        assert len(ecdsa.sign_digest(5, sha256(b"x")).to_bytes()) == 64
+
+    def test_from_bytes_rejects_bad_length(self):
+        with pytest.raises(InvalidSignatureError):
+            ecdsa.EcdsaSignature.from_bytes(b"\x00" * 63)
+
+
+class TestDeterministicNonce:
+    def test_nonce_in_range(self):
+        k = ecdsa.deterministic_nonce(7, sha256(b"m"))
+        assert 1 <= k < ecdsa.N
+
+    def test_nonce_depends_on_key(self):
+        digest = sha256(b"m")
+        assert ecdsa.deterministic_nonce(7, digest) != ecdsa.deterministic_nonce(8, digest)
+
+    def test_nonce_depends_on_digest(self):
+        assert ecdsa.deterministic_nonce(7, sha256(b"a")) != ecdsa.deterministic_nonce(
+            7, sha256(b"b")
+        )

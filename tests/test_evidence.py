@@ -1,0 +1,316 @@
+"""Tests for Section 4.3 evidence construction and validation."""
+
+import pytest
+from dataclasses import replace
+
+from repro.chain.messages import CallMessage, DeployMessage, sign_message
+from repro.core.evidence import (
+    AnchorValidator,
+    FullReplicaValidator,
+    LightClientValidator,
+    PublicationEvidence,
+    StateEvidence,
+    build_publication_evidence,
+    build_state_evidence,
+    verify_publication_evidence,
+    verify_state_evidence,
+)
+from repro.errors import EvidenceError
+from tests.conftest import ALICE, BOB, MINER
+from tests.test_contracts_runtime import funding_for
+
+
+def deploy_counter_like_witness(chain, timestamp=1.0):
+    """Deploy a WitnessContract-shaped target via the AC3WN class.
+
+    We reuse the real witness contract so that the authorizing functions
+    exist; a minimal two-party graph provides the multisignature.
+    """
+    from repro.core.ac3wn import EdgeSpec
+    from repro.workloads.graphs import two_party_swap
+    from repro.crypto.keys import KeyPair
+
+    graph = two_party_swap()
+    keypairs = {
+        name: KeyPair.from_seed(f"participant/{name}")
+        for name in graph.participant_names()
+    }
+    ms = graph.multisign(keypairs)
+    keys = tuple(key.to_bytes() for _, key in graph.participants)
+    specs = tuple(
+        EdgeSpec(e.chain_id, b"\x00" * 20, b"\x01" * 20, e.amount, 1)
+        for e in graph.edges
+    )
+    inputs, change = funding_for(chain, ALICE, 10)
+    msg = sign_message(
+        DeployMessage(
+            sender=ALICE.public_key,
+            contract_class="AC3WN-Witness",
+            args=(keys, ms, graph.digest(), specs, ()),
+            value=0,
+            fee=10,
+            inputs=inputs,
+            change=change,
+        ),
+        ALICE,
+    )
+    chain.add_block(chain.make_block([msg], MINER.address, timestamp))
+    return msg
+
+
+def authorize_refund(chain, contract_id, timestamp=2.0, sender=BOB):
+    inputs, change = funding_for(chain, sender, 5)
+    msg = sign_message(
+        CallMessage(
+            sender=sender.public_key,
+            contract_id=contract_id,
+            function="authorize_refund",
+            args=(),
+            fee=5,
+            inputs=inputs,
+            change=change,
+        ),
+        sender,
+    )
+    chain.add_block(chain.make_block([msg], MINER.address, timestamp))
+    return msg
+
+
+def grow(chain, blocks, start=10.0):
+    for i in range(blocks):
+        chain.add_block(chain.make_block([], MINER.address, start + i))
+
+
+class TestPublicationEvidence:
+    def test_build_and_verify_against_genesis_anchor(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        evidence = build_publication_evidence(chain, deploy, anchor=anchor)
+        verified = verify_publication_evidence(evidence, anchor, min_depth=2)
+        assert verified.contract_id() == deploy.contract_id()
+
+    def test_depth_requirement_enforced(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        anchor = chain.block_at_height(0).header
+        evidence = build_publication_evidence(chain, deploy, anchor=anchor)
+        with pytest.raises(EvidenceError):
+            verify_publication_evidence(evidence, anchor, min_depth=5)
+
+    def test_wrong_anchor_rejected(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        grow(chain, 3)
+        genesis = chain.block_at_height(0).header
+        other_anchor = chain.block_at_height(2).header
+        evidence = build_publication_evidence(chain, deploy, anchor=genesis)
+        with pytest.raises(EvidenceError):
+            verify_publication_evidence(evidence, other_anchor, min_depth=1)
+
+    def test_tampered_deploy_rejected(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        evidence = build_publication_evidence(chain, deploy, anchor=anchor)
+        tampered = replace(evidence, deploy=replace(deploy, nonce=deploy.nonce + 1))
+        with pytest.raises(EvidenceError):
+            verify_publication_evidence(tampered, anchor, min_depth=1)
+
+    def test_wrong_height_rejected(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        evidence = build_publication_evidence(chain, deploy, anchor=anchor)
+        with pytest.raises(EvidenceError):
+            verify_publication_evidence(
+                replace(evidence, height=evidence.height + 1), anchor, min_depth=1
+            )
+
+    def test_unincluded_message_cannot_build(self, chain):
+        inputs, change = funding_for(chain, ALICE, 10)
+        msg = sign_message(
+            DeployMessage(
+                sender=ALICE.public_key,
+                contract_class="HTLC",
+                args=(BOB.address.raw, b"\x00" * 32, 10_000_000),
+                value=0,
+                fee=10,
+                inputs=inputs,
+                change=change,
+            ),
+            ALICE,
+        )
+        with pytest.raises(EvidenceError):
+            build_publication_evidence(chain, msg)
+
+
+class TestStateEvidence:
+    def test_refund_authorization_proven(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        call = authorize_refund(chain, deploy.contract_id())
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        evidence = build_state_evidence(
+            chain, deploy.contract_id(), call, "RFauth", anchor=anchor
+        )
+        assert verify_state_evidence(evidence, anchor, min_depth=2) == (
+            deploy.contract_id(),
+            "RFauth",
+        )
+
+    def test_claimed_state_must_match_function(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        call = authorize_refund(chain, deploy.contract_id())
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        evidence = build_state_evidence(
+            chain, deploy.contract_id(), call, "RDauth", anchor=anchor
+        )
+        with pytest.raises(EvidenceError):
+            verify_state_evidence(evidence, anchor, min_depth=1)
+
+    def test_reverted_call_not_provable(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        authorize_refund(chain, deploy.contract_id(), timestamp=2.0)
+        # Second authorize_refund reverts (state is no longer P).
+        second = authorize_refund(chain, deploy.contract_id(), timestamp=3.0, sender=ALICE)
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        assert chain.receipt(second.message_id()).status == "reverted"
+        evidence = build_state_evidence(
+            chain, deploy.contract_id(), second, "RFauth", anchor=anchor
+        )
+        with pytest.raises(EvidenceError):
+            verify_state_evidence(evidence, anchor, min_depth=1)
+
+    def test_call_must_target_claimed_contract(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        call = authorize_refund(chain, deploy.contract_id())
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        evidence = build_state_evidence(
+            chain, deploy.contract_id(), call, "RFauth", anchor=anchor
+        )
+        forged = replace(evidence, contract_id=b"\x99" * 32)
+        with pytest.raises(EvidenceError):
+            verify_state_evidence(forged, anchor, min_depth=1)
+
+
+class TestValidatorStrategies:
+    def _setup(self, chain):
+        deploy = deploy_counter_like_witness(chain)
+        call = authorize_refund(chain, deploy.contract_id())
+        grow(chain, 3)
+        anchor = chain.block_at_height(0).header
+        pub = build_publication_evidence(chain, deploy, anchor=anchor)
+        state = build_state_evidence(
+            chain, deploy.contract_id(), call, "RFauth", anchor=anchor
+        )
+        return deploy, pub, state, anchor
+
+    def test_full_replica_validator(self, chain):
+        deploy, pub, state, _ = self._setup(chain)
+        validator = FullReplicaValidator({chain.params.chain_id: chain})
+        assert validator.validate_publication(pub, 2) is not None
+        assert validator.validate_state(state, 2) == (deploy.contract_id(), "RFauth")
+
+    def test_full_replica_unknown_chain(self, chain):
+        _, pub, state, _ = self._setup(chain)
+        validator = FullReplicaValidator({})
+        assert validator.validate_publication(pub, 1) is None
+        assert validator.validate_state(state, 1) is None
+
+    def test_full_replica_depth(self, chain):
+        _, pub, _, _ = self._setup(chain)
+        validator = FullReplicaValidator({chain.params.chain_id: chain})
+        assert validator.validate_publication(pub, 100) is None
+
+    def test_light_client_validator(self, chain):
+        deploy, pub, state, _ = self._setup(chain)
+        validator = LightClientValidator()
+        validator.track(chain)
+        assert validator.validate_publication(pub, 2) is not None
+        assert validator.validate_state(state, 2) == (deploy.contract_id(), "RFauth")
+
+    def test_light_client_untracked_chain(self, chain):
+        _, pub, _, _ = self._setup(chain)
+        validator = LightClientValidator()
+        assert validator.validate_publication(pub, 1) is None
+
+    def test_anchor_validator(self, chain):
+        deploy, pub, state, anchor = self._setup(chain)
+        validator = AnchorValidator({chain.params.chain_id: anchor})
+        assert validator.validate_publication(pub, 2) is not None
+        assert validator.validate_state(state, 2) == (deploy.contract_id(), "RFauth")
+
+    def test_anchor_validator_missing_anchor(self, chain):
+        _, pub, _, _ = self._setup(chain)
+        validator = AnchorValidator({})
+        assert validator.validate_publication(pub, 1) is None
+
+    def test_anchor_validator_returns_none_not_raises(self, chain):
+        _, pub, _, anchor = self._setup(chain)
+        validator = AnchorValidator({chain.params.chain_id: anchor})
+        bad = replace(pub, height=pub.height + 1)
+        assert validator.validate_publication(bad, 1) is None
+
+
+class TestHeaderRelayContract:
+    def test_relay_flips_on_valid_evidence(self, chain):
+        """Figure 6's end-to-end flow on a second chain."""
+        from repro.chain.chain import Blockchain
+        from repro.chain.params import fast_chain
+
+        validated = chain
+        deploy = deploy_counter_like_witness(validated)
+        grow(validated, 3)
+        anchor = validated.block_at_height(0).header
+
+        validator_chain = Blockchain(
+            fast_chain("validator"),
+            [(ALICE.address, 100_000), (BOB.address, 100_000)],
+        )
+        inputs, change = funding_for(validator_chain, ALICE, 10)
+        relay_deploy = sign_message(
+            DeployMessage(
+                sender=ALICE.public_key,
+                contract_class="HeaderRelay",
+                args=(
+                    validated.params.chain_id,
+                    anchor,
+                    deploy.message_id(),
+                    2,
+                ),
+                fee=10,
+                inputs=inputs,
+                change=change,
+            ),
+            ALICE,
+        )
+        validator_chain.add_block(
+            validator_chain.make_block([relay_deploy], MINER.address, 1.0)
+        )
+        evidence = build_publication_evidence(validated, deploy, anchor=anchor)
+        inputs, change = funding_for(validator_chain, BOB, 5)
+        submit = sign_message(
+            CallMessage(
+                sender=BOB.public_key,
+                contract_id=relay_deploy.contract_id(),
+                function="submit_evidence",
+                args=(
+                    evidence.headers,
+                    evidence.height,
+                    evidence.message_proof,
+                    evidence.receipt_proof,
+                ),
+                fee=5,
+                inputs=inputs,
+                change=change,
+            ),
+            BOB,
+        )
+        validator_chain.add_block(
+            validator_chain.make_block([submit], MINER.address, 2.0)
+        )
+        relay = validator_chain.contract(relay_deploy.contract_id())
+        assert relay.state == "S2"
+        assert relay.observed_height == evidence.height

@@ -1,0 +1,139 @@
+"""Fork experiments on the witness network (Lemmas 5.1/5.3, Section 6.3).
+
+A fork can briefly carry ``SCw = RDauth`` on one branch and ``RFauth`` on
+another; the longest-chain rule converges to exactly one.  Waiting depth
+``d`` before acting on a decision is what makes the transient fork
+harmless — and an attacker who cannot out-mine ``d`` blocks cannot flip
+an observed decision.
+"""
+
+import pytest
+
+from repro.chain.miner import AttackMiner
+from repro.core.ac3wn import WitnessState
+from tests.conftest import ALICE, BOB, MINER
+from tests.test_ac3wn_contracts import call_contract, deploy_witness, grow
+
+
+def build_refund_call_message(chain, contract_id, sender, nonce):
+    """A signed authorize_refund call, NOT submitted to the chain."""
+    from repro.chain.messages import CallMessage, sign_message
+    from tests.test_contracts_runtime import funding_for
+
+    inputs, change = funding_for(chain, sender, 5)
+    return sign_message(
+        CallMessage(
+            sender=sender.public_key,
+            contract_id=contract_id,
+            function="authorize_refund",
+            args=(),
+            fee=5,
+            inputs=inputs,
+            change=change,
+            nonce=nonce,
+        ),
+        sender,
+    )
+
+
+class TestConflictingBranches:
+    def _forked_witness(self, chain):
+        """Public branch: RFauth by Bob.  Private branch: RFauth by Alice
+        (a *different* call).  Returns (scw_id, fork_point, attacker)."""
+        deploy = deploy_witness(chain)
+        scw_id = deploy.contract_id()
+        fork_point = chain.head_hash
+
+        # Public branch: Bob's authorization, two blocks deep.
+        call_contract(chain, scw_id, "authorize_refund", (), BOB, 2.0)
+        grow(chain, 1, start=3.0)
+
+        # Private branch from the fork point with Alice's authorization.
+        attacker = AttackMiner(chain)
+        attacker.fork_from(fork_point)
+        alice_call = build_refund_call_message(chain, scw_id, ALICE, nonce=777)
+        attacker.extend([alice_call], timestamp=2.5)
+        return scw_id, fork_point, attacker
+
+    def test_states_diverge_across_branches(self, chain):
+        scw_id, fork_point, attacker = self._forked_witness(chain)
+        # Main chain says RFauth (via Bob's call)…
+        assert chain.contract(scw_id).state == WitnessState.REFUND_AUTHORIZED
+        # …and so does the private branch (via Alice's call), but the
+        # authorizing *calls* differ: the branches genuinely conflict.
+        private_state = attacker._tip_state.contract(scw_id)
+        assert private_state.state == WitnessState.REFUND_AUTHORIZED
+
+    def test_short_attack_branch_cannot_flip(self, chain):
+        scw_id, _, attacker = self._forked_witness(chain)
+        head_before = chain.head_hash
+        assert attacker.release() is False
+        assert chain.head_hash == head_before
+
+    def test_deep_attack_branch_reorgs_decision(self, chain):
+        """Without the depth-d rule, an attacker can rewrite the decision:
+        the reorged chain carries Alice's call, not Bob's."""
+        deploy = deploy_witness(chain)
+        scw_id = deploy.contract_id()
+        fork_point = chain.head_hash
+
+        bob_call = call_contract(chain, scw_id, "authorize_refund", (), BOB, 2.0)
+        attacker = AttackMiner(chain)
+        attacker.fork_from(fork_point)
+        alice_call = build_refund_call_message(chain, scw_id, ALICE, nonce=778)
+        attacker.extend([alice_call], timestamp=2.5)
+        attacker.extend([], timestamp=3.0)
+        attacker.extend([], timestamp=3.5)
+        assert attacker.release() is True
+        # Bob's call is no longer on the main chain; Alice's is.
+        assert chain.find_message(bob_call.message_id()) is None
+        assert chain.find_message(alice_call.message_id()) is not None
+
+    def test_depth_rule_detects_unstable_decision(self, chain):
+        """The depth discipline: a decision at depth < d must not be
+        acted upon, and indeed it can still be reorged away."""
+        deploy = deploy_witness(chain)
+        scw_id = deploy.contract_id()
+        bob_call = call_contract(chain, scw_id, "authorize_refund", (), BOB, 2.0)
+        depth = chain.message_depth(bob_call.message_id())
+        assert depth == 1
+        assert depth < chain.params.confirmation_depth  # not yet actionable
+
+    def test_decision_stable_after_depth_d(self, chain):
+        deploy = deploy_witness(chain)
+        scw_id = deploy.contract_id()
+        bob_call = call_contract(chain, scw_id, "authorize_refund", (), BOB, 2.0)
+        grow(chain, chain.params.confirmation_depth, start=3.0)
+        assert (
+            chain.message_depth(bob_call.message_id())
+            > chain.params.confirmation_depth
+        )
+        # An attacker would now need to out-mine depth-d blocks; with a
+        # branch of the same length it fails.
+        attacker = AttackMiner(chain)
+        attacker.fork_from(chain.block_at_height(1).block_id())
+        for i in range(chain.params.confirmation_depth):
+            attacker.extend([], timestamp=10.0 + i)
+        assert attacker.release() is False
+        assert chain.find_message(bob_call.message_id()) is not None
+
+
+class TestEconomicDepthRule:
+    def test_paper_worked_example(self):
+        from repro.analysis.security import paper_worked_example
+
+        assert paper_worked_example() == 21  # "d must be > 20"
+
+    def test_attack_cost_scales_with_depth(self):
+        from repro.analysis.security import attack_cost_usd
+
+        assert attack_cost_usd(20, 300_000.0, 6.0) == pytest.approx(1_000_000.0)
+        assert attack_cost_usd(40, 300_000.0, 6.0) == pytest.approx(2_000_000.0)
+
+    def test_required_depth_makes_attack_unprofitable(self):
+        from repro.analysis.security import is_depth_safe, required_depth
+
+        for va in (1e4, 1e5, 1e6, 1e7):
+            d = required_depth(va, 300_000.0, 6.0)
+            assert is_depth_safe(d, va, 300_000.0, 6.0)
+            assert not is_depth_safe(d - 1, va, 300_000.0, 6.0)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.crypto.hashing."""
+
+import hashlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import hashing
+
+
+class TestSha256:
+    def test_matches_stdlib(self):
+        assert hashing.sha256(b"abc") == hashlib.sha256(b"abc").digest()
+
+    def test_empty_input(self):
+        assert hashing.sha256(b"") == hashlib.sha256(b"").digest()
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            hashing.sha256("not bytes")
+
+    def test_accepts_bytearray(self):
+        assert hashing.sha256(bytearray(b"xy")) == hashing.sha256(b"xy")
+
+    def test_digest_size(self):
+        assert len(hashing.sha256(b"x")) == hashing.DIGEST_SIZE
+
+
+class TestDoubleSha256:
+    def test_is_double_application(self):
+        once = hashing.sha256(b"block")
+        assert hashing.double_sha256(b"block") == hashing.sha256(once)
+
+
+class TestHashlock:
+    def test_roundtrip(self):
+        secret = b"my-secret"
+        lock = hashing.hashlock(secret)
+        assert hashing.verify_hashlock(lock, secret)
+
+    def test_wrong_secret_fails(self):
+        lock = hashing.hashlock(b"right")
+        assert not hashing.verify_hashlock(lock, b"wrong")
+
+    @given(st.binary(min_size=0, max_size=128))
+    def test_any_secret_verifies_against_own_lock(self, secret):
+        assert hashing.verify_hashlock(hashing.hashlock(secret), secret)
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64))
+    def test_distinct_secrets_do_not_cross_verify(self, a, b):
+        if a != b:
+            assert not hashing.verify_hashlock(hashing.hashlock(a), b)
+
+
+class TestHashConcat:
+    def test_length_prefixing_prevents_ambiguity(self):
+        # Without length prefixes these two would collide.
+        assert hashing.hash_concat(b"ab", b"c") != hashing.hash_concat(b"a", b"bc")
+
+    def test_empty_parts_are_significant(self):
+        assert hashing.hash_concat(b"x") != hashing.hash_concat(b"x", b"")
+
+    def test_rejects_non_bytes(self):
+        with pytest.raises(TypeError):
+            hashing.hash_concat(b"ok", "bad")
+
+    @given(st.lists(st.binary(max_size=32), min_size=0, max_size=6))
+    def test_deterministic(self, parts):
+        assert hashing.hash_concat(*parts) == hashing.hash_concat(*parts)
+
+
+class TestTaggedHash:
+    def test_domain_separation(self):
+        assert hashing.tagged_hash("a", b"x") != hashing.tagged_hash("b", b"x")
+
+    def test_same_tag_same_data(self):
+        assert hashing.tagged_hash("t", b"d") == hashing.tagged_hash("t", b"d")
+
+
+class TestHelpers:
+    def test_hash_hex_is_hex_of_digest(self):
+        assert hashing.hash_hex(b"q") == hashing.sha256(b"q").hex()
+
+    def test_hash_str_utf8(self):
+        assert hashing.hash_str("héllo") == hashing.sha256("héllo".encode("utf-8"))
+
+    @given(st.integers(min_value=-(2**128), max_value=2**128))
+    def test_hash_int_deterministic(self, value):
+        assert hashing.hash_int(value) == hashing.hash_int(value)
+
+    def test_hash_int_sign_sensitivity(self):
+        assert hashing.hash_int(1) != hashing.hash_int(-1)

@@ -1,0 +1,151 @@
+"""Tests for key pairs, addresses, signed messages, and ms(D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.keys import Address, KeyPair, PublicKey
+from repro.crypto.hashing import sha256
+from repro.crypto.signatures import (
+    Multisignature,
+    SignedMessage,
+    multisign,
+    sign_payload,
+    verify_payload,
+)
+from repro.errors import InvalidKeyError, InvalidSignatureError
+
+
+class TestKeyPair:
+    def test_from_seed_deterministic(self):
+        assert KeyPair.from_seed("alice").address == KeyPair.from_seed("alice").address
+
+    def test_different_seeds_different_keys(self):
+        assert KeyPair.from_seed("a").address != KeyPair.from_seed("b").address
+
+    def test_from_seed_accepts_bytes(self):
+        assert KeyPair.from_seed(b"alice").address == KeyPair.from_seed("alice").address
+
+    def test_sign_verify(self):
+        kp = KeyPair.from_seed("signer")
+        digest = sha256(b"payload")
+        assert kp.public_key.verify(digest, kp.sign(digest))
+
+    def test_from_scalar_validates(self):
+        with pytest.raises(InvalidKeyError):
+            KeyPair.from_scalar(0)
+
+
+class TestPublicKey:
+    def test_bytes_roundtrip(self):
+        pk = KeyPair.from_seed("x").public_key
+        assert PublicKey.from_bytes(pk.to_bytes()).to_bytes() == pk.to_bytes()
+
+    def test_address_is_20_bytes(self):
+        assert len(KeyPair.from_seed("x").address.raw) == 20
+
+    def test_address_deterministic(self):
+        pk = KeyPair.from_seed("x").public_key
+        assert pk.address() == pk.address()
+
+
+class TestAddress:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(InvalidKeyError):
+            Address(b"short")
+
+    def test_hex(self):
+        addr = Address(b"\xab" * 20)
+        assert addr.hex() == "ab" * 20
+
+
+class TestSignedMessage:
+    def test_sign_and_verify_payload(self):
+        kp = KeyPair.from_seed("p")
+        msg = sign_payload(kp, "domain", b"payload")
+        assert verify_payload(msg, "domain", b"payload")
+
+    def test_domain_binding(self):
+        kp = KeyPair.from_seed("p")
+        msg = sign_payload(kp, "domain-a", b"payload")
+        assert not verify_payload(msg, "domain-b", b"payload")
+
+    def test_payload_binding(self):
+        kp = KeyPair.from_seed("p")
+        msg = sign_payload(kp, "d", b"payload")
+        assert not verify_payload(msg, "d", b"other")
+
+    def test_tampered_signer_fails(self):
+        kp = KeyPair.from_seed("p")
+        other = KeyPair.from_seed("q")
+        msg = sign_payload(kp, "d", b"x")
+        forged = SignedMessage(msg.digest, msg.signature, other.public_key)
+        assert not forged.verify()
+
+
+class TestMultisignature:
+    def _keys(self, n):
+        return [KeyPair.from_seed(f"signer-{i}") for i in range(n)]
+
+    def test_complete_multisig_verifies(self):
+        kps = self._keys(3)
+        ms = multisign(kps, "swap", b"graph")
+        assert ms.verify([kp.public_key for kp in kps])
+
+    def test_missing_signer_fails(self):
+        kps = self._keys(3)
+        ms = multisign(kps[:2], "swap", b"graph")
+        assert not ms.verify([kp.public_key for kp in kps])
+
+    def test_signature_order_irrelevant(self):
+        kps = self._keys(4)
+        forward = multisign(kps, "swap", b"graph")
+        backward = multisign(list(reversed(kps)), "swap", b"graph")
+        required = [kp.public_key for kp in kps]
+        assert forward.verify(required) and backward.verify(required)
+
+    def test_extra_signers_do_not_hurt(self):
+        kps = self._keys(3)
+        ms = multisign(kps, "swap", b"graph")
+        assert ms.verify([kp.public_key for kp in kps[:2]])
+
+    def test_id_stable_across_signature_order(self):
+        kps = self._keys(3)
+        a = multisign(kps, "swap", b"graph")
+        b = multisign(list(reversed(kps)), "swap", b"graph")
+        assert a.id() == b.id()
+
+    def test_id_differs_per_payload(self):
+        kps = self._keys(2)
+        assert multisign(kps, "swap", b"g1").id() != multisign(kps, "swap", b"g2").id()
+
+    def test_with_signature_incremental(self):
+        kps = self._keys(2)
+        base = multisign(kps[:1], "swap", b"graph")
+        extra = multisign(kps[1:], "swap", b"graph").signatures[0]
+        combined = base.with_signature(extra)
+        assert combined.verify([kp.public_key for kp in kps])
+
+    def test_with_signature_rejects_other_digest(self):
+        kps = self._keys(2)
+        base = multisign(kps[:1], "swap", b"graph")
+        foreign = multisign(kps[1:], "swap", b"DIFFERENT").signatures[0]
+        with pytest.raises(InvalidSignatureError):
+            base.with_signature(foreign)
+
+    def test_invalid_signature_not_counted(self):
+        kps = self._keys(2)
+        ms = multisign(kps, "swap", b"graph")
+        # Corrupt one signature: swap the signer key of the first entry.
+        bad = SignedMessage(
+            ms.signatures[0].digest, ms.signatures[0].signature, kps[1].public_key
+        )
+        corrupted = Multisignature(ms.digest, (bad, ms.signatures[1]))
+        assert not corrupted.verify([kp.public_key for kp in kps])
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_property_n_of_n(self, n):
+        kps = self._keys(n)
+        ms = multisign(kps, "d", b"p")
+        assert ms.verify([kp.public_key for kp in kps])

@@ -1,0 +1,142 @@
+"""Tests for light clients and SPV verification (Section 4.3)."""
+
+import pytest
+
+from repro.chain.lightclient import LightClient, verify_header_linkage
+from repro.errors import EvidenceError, InvalidBlockError
+from tests.conftest import ALICE, BOB, MINER
+from tests.test_chain import transfer_message
+
+
+def grow(chain, blocks, start_time=1.0):
+    for i in range(blocks):
+        chain.add_block(chain.make_block([], MINER.address, start_time + i))
+
+
+class TestHeaderLinkage:
+    def test_valid_run(self, chain):
+        grow(chain, 4)
+        verify_header_linkage(chain.header_chain(0))
+
+    def test_broken_link_detected(self, chain):
+        grow(chain, 3)
+        headers = chain.header_chain(0)
+        with pytest.raises(EvidenceError):
+            verify_header_linkage([headers[0], headers[2]])
+
+    def test_cross_chain_mix_detected(self, chain):
+        from repro.chain.chain import Blockchain
+        from repro.chain.params import fast_chain
+
+        other = Blockchain(fast_chain("other"), [(ALICE.address, 10)])
+        grow(chain, 1)
+        grow(other, 1)
+        with pytest.raises(EvidenceError):
+            verify_header_linkage([chain.header_chain(0)[0], other.header_chain(0)[1]])
+
+
+class TestLightClientSync:
+    def test_sync_from_full_node(self, chain):
+        grow(chain, 5)
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        assert client.sync_from(chain) == 5
+        assert client.height == 5
+
+    def test_incremental_sync(self, chain):
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        grow(chain, 2)
+        client.sync_from(chain)
+        grow(chain, 3, start_time=10.0)
+        assert client.sync_from(chain) == 3
+        assert client.height == 5
+
+    def test_non_genesis_anchor_rejected(self, chain):
+        grow(chain, 1)
+        with pytest.raises(InvalidBlockError):
+            LightClient(chain.params, chain.block_at_height(1).header)
+
+    def test_gap_rejected(self, chain):
+        grow(chain, 3)
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        with pytest.raises(EvidenceError):
+            client.accept_headers([chain.block_at_height(2).header])
+
+    def test_conflicting_header_rejected(self, chain):
+        grow(chain, 2)
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        client.sync_from(chain)
+        # Build a competing block at height 1 and offer it as history.
+        fork = chain.make_block(
+            [transfer_message(chain, ALICE, BOB, 1)],
+            MINER.address,
+            1.0,
+            parent_hash=chain.block_at_height(0).block_id(),
+        )
+        with pytest.raises(EvidenceError):
+            client.accept_headers([fork.header])
+
+    def test_wrong_chain_header_rejected(self, chain):
+        from repro.chain.chain import Blockchain
+        from repro.chain.params import fast_chain
+
+        other = Blockchain(fast_chain("other"), [(ALICE.address, 10)])
+        grow(other, 1)
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        with pytest.raises(EvidenceError):
+            client.accept_header(other.block_at_height(1).header)
+
+
+class TestSPVInclusion:
+    def test_inclusion_verifies_at_depth(self, chain):
+        msg = transfer_message(chain, ALICE, BOB, 10)
+        chain.add_block(chain.make_block([msg], MINER.address, 1.0))
+        grow(chain, 3, start_time=2.0)
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        client.sync_from(chain)
+        proof, header = chain.inclusion_proof(msg.message_id())
+        assert client.verify_inclusion(
+            msg.message_id(), proof, header.height, min_depth=2
+        )
+
+    def test_insufficient_depth_fails(self, chain):
+        msg = transfer_message(chain, ALICE, BOB, 10)
+        chain.add_block(chain.make_block([msg], MINER.address, 1.0))
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        client.sync_from(chain)
+        proof, header = chain.inclusion_proof(msg.message_id())
+        assert not client.verify_inclusion(
+            msg.message_id(), proof, header.height, min_depth=3
+        )
+
+    def test_wrong_leaf_fails(self, chain):
+        msg = transfer_message(chain, ALICE, BOB, 10)
+        chain.add_block(chain.make_block([msg], MINER.address, 1.0))
+        grow(chain, 3, start_time=2.0)
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        client.sync_from(chain)
+        proof, header = chain.inclusion_proof(msg.message_id())
+        assert not client.verify_inclusion(
+            b"\xff" * 32, proof, header.height, min_depth=1
+        )
+
+    def test_future_height_fails(self, chain):
+        msg = transfer_message(chain, ALICE, BOB, 10)
+        chain.add_block(chain.make_block([msg], MINER.address, 1.0))
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        proof, header = chain.inclusion_proof(msg.message_id())
+        # Client never synced: height 1 is beyond its view.
+        assert not client.verify_inclusion(
+            msg.message_id(), proof, header.height, min_depth=1
+        )
+
+    def test_default_min_depth_is_confirmation_depth(self, chain):
+        msg = transfer_message(chain, ALICE, BOB, 10)
+        chain.add_block(chain.make_block([msg], MINER.address, 1.0))
+        client = LightClient(chain.params, chain.block_at_height(0).header)
+        client.sync_from(chain)
+        proof, header = chain.inclusion_proof(msg.message_id())
+        # depth 1 < confirmation_depth 2
+        assert not client.verify_inclusion(msg.message_id(), proof, header.height)
+        grow(chain, 1, start_time=2.0)
+        client.sync_from(chain)
+        assert client.verify_inclusion(msg.message_id(), proof, header.height)

@@ -1,0 +1,131 @@
+"""Unit + property tests for Merkle trees and inclusion proofs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root
+from repro.errors import InvalidProofError
+
+
+class TestTreeBasics:
+    def test_single_leaf_root_is_stable(self):
+        assert MerkleTree([b"a"]).root() == MerkleTree([b"a"]).root()
+
+    def test_root_depends_on_leaf_content(self):
+        assert MerkleTree([b"a"]).root() != MerkleTree([b"b"]).root()
+
+    def test_root_depends_on_leaf_order(self):
+        assert MerkleTree([b"a", b"b"]).root() != MerkleTree([b"b", b"a"]).root()
+
+    def test_empty_tree_has_sentinel_root(self):
+        assert len(MerkleTree([]).root()) == 32
+
+    def test_size(self):
+        assert MerkleTree([b"x", b"y", b"z"]).size == 3
+
+    def test_leaf_vs_node_domain_separation(self):
+        # A one-leaf tree whose leaf equals another tree's root must not
+        # produce that root (second-preimage resistance by tagging).
+        inner = MerkleTree([b"a", b"b"]).root()
+        assert MerkleTree([inner]).root() != inner
+
+    def test_merkle_root_helper(self):
+        assert merkle_root([b"a", b"b"]) == MerkleTree([b"a", b"b"]).root()
+
+
+class TestProofs:
+    def test_proof_verifies(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        for i in range(4):
+            proof = tree.proof(i)
+            assert proof.verify(tree.root())
+
+    def test_proof_fails_against_other_root(self):
+        tree = MerkleTree([b"a", b"b"])
+        other = MerkleTree([b"a", b"c"])
+        assert not tree.proof(0).verify(other.root())
+
+    def test_odd_leaf_counts(self):
+        for n in (1, 3, 5, 7, 9, 13):
+            leaves = [f"leaf-{i}".encode() for i in range(n)]
+            tree = MerkleTree(leaves)
+            for i in range(n):
+                assert tree.proof(i).verify(tree.root()), (n, i)
+
+    def test_proof_out_of_range(self):
+        tree = MerkleTree([b"a"])
+        with pytest.raises(InvalidProofError):
+            tree.proof(1)
+        with pytest.raises(InvalidProofError):
+            tree.proof(-1)
+
+    def test_proof_on_empty_tree(self):
+        with pytest.raises(InvalidProofError):
+            MerkleTree([]).proof(0)
+
+    def test_tampered_leaf_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c"])
+        proof = tree.proof(1)
+        bad = MerkleProof(b"evil", proof.index, proof.siblings, proof.tree_size)
+        assert not bad.verify(tree.root())
+
+    def test_tampered_index_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.proof(0)
+        bad = MerkleProof(proof.leaf, 1, proof.siblings, proof.tree_size)
+        assert not bad.verify(tree.root())
+
+    def test_truncated_siblings_fail(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.proof(0)
+        bad = MerkleProof(proof.leaf, proof.index, proof.siblings[:-1], proof.tree_size)
+        assert not bad.verify(tree.root())
+
+    def test_extra_siblings_fail(self):
+        tree = MerkleTree([b"a", b"b"])
+        proof = tree.proof(0)
+        bad = MerkleProof(
+            proof.leaf, proof.index, proof.siblings + (b"\x00" * 32,), proof.tree_size
+        )
+        assert not bad.verify(tree.root())
+
+    def test_wrong_tree_size_fails(self):
+        tree = MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.proof(2)
+        bad = MerkleProof(proof.leaf, proof.index, proof.siblings, 8)
+        assert not bad.verify(tree.root())
+
+
+@st.composite
+def leaves_and_index(draw):
+    leaves = draw(st.lists(st.binary(max_size=48), min_size=1, max_size=40))
+    index = draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    return leaves, index
+
+
+class TestProofProperties:
+    @given(leaves_and_index())
+    @settings(max_examples=60)
+    def test_every_leaf_provable(self, case):
+        leaves, index = case
+        tree = MerkleTree(leaves)
+        assert tree.proof(index).verify(tree.root())
+
+    @given(leaves_and_index(), st.binary(min_size=1, max_size=16))
+    @settings(max_examples=40)
+    def test_forged_leaf_never_verifies(self, case, forged):
+        leaves, index = case
+        tree = MerkleTree(leaves)
+        proof = tree.proof(index)
+        if forged == proof.leaf:
+            return
+        bad = MerkleProof(forged, proof.index, proof.siblings, proof.tree_size)
+        assert not bad.verify(tree.root())
+
+    @given(leaves_and_index())
+    @settings(max_examples=40)
+    def test_proof_root_matches_tree_root(self, case):
+        leaves, index = case
+        tree = MerkleTree(leaves)
+        assert tree.proof(index).root() == tree.root()

@@ -1,0 +1,121 @@
+"""Tests for the participant actor: wallets, funding, crash guards."""
+
+import pytest
+
+from repro.chain.chain import Blockchain
+from repro.chain.mempool import Mempool
+from repro.chain.miner import MinerNode
+from repro.chain.params import fast_chain
+from repro.core.participant import ChainHandle, Participant
+from repro.errors import InsufficientFundsError, ProtocolError
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(seed=77)
+    alice = Participant(sim, "alice")
+    params = fast_chain("p-net")
+    chain = Blockchain(params, [(alice.address, 100), (alice.address, 100)])
+    mempool = Mempool(chain)
+    miner = MinerNode(sim, chain, mempool)
+    alice.join_chain(ChainHandle(chain=chain, mempool=mempool))
+    miner.start()
+    return sim, alice, chain, mempool
+
+
+class TestIdentity:
+    def test_default_keypair_from_name(self):
+        sim = Simulator()
+        a1 = Participant(sim, "zoe")
+        from repro.crypto.keys import KeyPair
+
+        assert a1.address == KeyPair.from_seed("participant/zoe").address
+
+    def test_explicit_keypair(self):
+        from repro.crypto.keys import KeyPair
+
+        sim = Simulator()
+        kp = KeyPair.from_seed("custom")
+        p = Participant(sim, "x", keypair=kp)
+        assert p.address == kp.address
+
+
+class TestChainAccess:
+    def test_unknown_chain_raises(self, world):
+        _, alice, _, _ = world
+        with pytest.raises(ProtocolError):
+            alice.chain("nonexistent")
+
+    def test_balance_on(self, world):
+        _, alice, _, _ = world
+        assert alice.balance_on("p-net") == 200
+
+
+class TestSubmission:
+    def test_transfer_submits_and_mines(self, world):
+        sim, alice, chain, _ = world
+        from repro.crypto.keys import KeyPair
+
+        bob_addr = KeyPair.from_seed("bob").address
+        message = alice.transfer("p-net", bob_addr, 50)
+        sim.run_until(1.5)
+        assert chain.find_message(message.message_id()) is not None
+        assert chain.balance_of(bob_addr) == 50
+
+    def test_crashed_participant_cannot_act(self, world):
+        _, alice, _, _ = world
+        alice.crash()
+        from repro.crypto.keys import KeyPair
+
+        with pytest.raises(ProtocolError):
+            alice.transfer("p-net", KeyPair.from_seed("bob").address, 1)
+        with pytest.raises(ProtocolError):
+            alice.deploy_contract("p-net", "HTLC", args=())
+        with pytest.raises(ProtocolError):
+            alice.call_contract("p-net", b"\x00" * 32, "redeem", args=())
+
+    def test_insufficient_funds(self, world):
+        _, alice, _, _ = world
+        from repro.crypto.keys import KeyPair
+
+        with pytest.raises(InsufficientFundsError):
+            alice.transfer("p-net", KeyPair.from_seed("bob").address, 10_000)
+
+    def test_pending_spends_prevent_self_conflict(self, world):
+        """Two rapid submissions pick disjoint coins."""
+        sim, alice, chain, mempool = world
+        from repro.crypto.keys import KeyPair
+
+        bob_addr = KeyPair.from_seed("bob").address
+        m1 = alice.transfer("p-net", bob_addr, 50)
+        m2 = alice.transfer("p-net", bob_addr, 50)
+        spent1 = {inp.outpoint for inp in m1.tx.inputs}
+        spent2 = {inp.outpoint for inp in m2.tx.inputs}
+        assert spent1.isdisjoint(spent2)
+        sim.run_until(1.5)
+        # Both landed: no self-double-spend.
+        assert chain.find_message(m1.message_id()) is not None
+        assert chain.find_message(m2.message_id()) is not None
+
+    def test_pending_spends_unlock_after_mining(self, world):
+        sim, alice, chain, _ = world
+        from repro.crypto.keys import KeyPair
+
+        bob_addr = KeyPair.from_seed("bob").address
+        alice.transfer("p-net", bob_addr, 150)  # uses both genesis coins
+        with pytest.raises(InsufficientFundsError):
+            alice.transfer("p-net", bob_addr, 40)
+        sim.run_until(1.5)  # change mined: 200 - 150 - 1 fee = 49 back
+        alice.transfer("p-net", bob_addr, 40)
+
+    def test_submitted_log(self, world):
+        _, alice, _, _ = world
+        from repro.crypto.keys import KeyPair
+
+        msg = alice.transfer("p-net", KeyPair.from_seed("bob").address, 5)
+        assert ("p-net", msg.message_id()) in alice.submitted
+
+    def test_nonces_monotone(self, world):
+        _, alice, _, _ = world
+        assert alice.next_nonce() < alice.next_nonce()

@@ -1,0 +1,116 @@
+"""Property-based protocol tests: AC3WN atomicity under adversity.
+
+Lemma 5.1 states AC3WN is atomic (absent deep forks).  Here hypothesis
+drives randomized crash schedules, decliner sets, and graph shapes, and
+the invariant checked after every run is the paper's all-or-nothing
+property: never a mix of redeemed and refunded contracts in one AC2T.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ac3wn import run_ac3wn
+from repro.core.herlihy import run_herlihy
+from repro.errors import GraphError
+from repro.sim.failures import FailureSchedule
+from repro.workloads.graphs import directed_cycle, random_graph, two_party_swap
+from repro.workloads.scenarios import build_scenario
+from repro.sim.rng import RngRegistry
+
+_slow = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestAC3WNAtomicityProperty:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        crash_victim=st.sampled_from(["alice", "bob", None]),
+        crash_start=st.floats(min_value=0.0, max_value=20.0),
+        crash_duration=st.floats(min_value=0.5, max_value=100.0),
+    )
+    @_slow
+    def test_two_party_crashes_never_mix_outcomes(
+        self, seed, crash_victim, crash_start, crash_duration
+    ):
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=seed)
+        env = build_scenario(graph=graph, seed=seed)
+        if crash_victim is not None:
+            env.apply_failures(
+                FailureSchedule().crash(
+                    crash_victim, start=crash_start, end=crash_start + crash_duration
+                )
+            )
+        env.warm_up(2)
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        assert outcome.is_atomic
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=4),
+        decliner_index=st.integers(min_value=0, max_value=3),
+    )
+    @_slow
+    def test_ring_decliners_never_mix_outcomes(self, seed, n, decliner_index):
+        graph = directed_cycle(
+            n, chain_ids=[f"c{i}" for i in range(n)], timestamp=seed
+        )
+        env = build_scenario(graph=graph, seed=seed)
+        env.warm_up(2)
+        decliners = frozenset({f"p{decliner_index % n:02d}"})
+        outcome = run_ac3wn(
+            env, graph, witness_chain_id="witness", decliners=decliners
+        )
+        assert outcome.is_atomic
+        assert outcome.decision == "abort"
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=4),
+        p=st.floats(min_value=0.3, max_value=0.9),
+    )
+    @_slow
+    def test_random_graphs_commit_atomically(self, seed, n, p):
+        rng = RngRegistry(seed).stream("property-graph")
+        graph = random_graph(
+            n, p, rng, chain_ids=["x", "y"], timestamp=seed
+        )
+        env = build_scenario(graph=graph, seed=seed)
+        env.warm_up(2)
+        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+        assert outcome.is_atomic
+        assert outcome.decision == "commit"
+
+
+class TestHerlihyComparisonProperty:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @_slow
+    def test_happy_path_is_atomic_for_both(self, seed):
+        graph = two_party_swap(chain_a="a", chain_b="b", timestamp=seed)
+        env = build_scenario(graph=graph, seed=seed)
+        env.warm_up(2)
+        assert run_herlihy(env, graph).is_atomic
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=5),
+        p=st.floats(min_value=0.2, max_value=0.9),
+    )
+    @_slow
+    def test_herlihy_refusal_is_principled(self, seed, n, p):
+        """Herlihy either sequences the graph (waves cover everyone) or
+        raises GraphError — never a silent partial execution."""
+        rng = RngRegistry(seed).stream("refusal-graph")
+        graph = random_graph(n, p, rng, chain_ids=["x"], timestamp=seed)
+        from repro.core.herlihy import compute_publish_waves
+
+        leader = graph.participant_names()[0]
+        try:
+            waves = compute_publish_waves(graph, leader)
+        except GraphError:
+            return
+        assert set(waves) == set(graph.participant_names())
+        assert waves[leader] == 0
+        assert all(w >= 0 for w in waves.values())

@@ -1,0 +1,111 @@
+"""Tests for the canonical wire encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.wire import canonical_encode, wire_hash
+
+
+# Wire values: recursively built from the supported universe.
+wire_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**64), max_value=2**64)
+    | st.text(max_size=24)
+    | st.binary(max_size=24),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+class TestPrimitives:
+    def test_none(self):
+        assert canonical_encode(None) == b"N"
+
+    def test_booleans_distinct_from_ints(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_int_sign(self):
+        assert canonical_encode(-5) != canonical_encode(5)
+
+    def test_str_vs_bytes_distinct(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_large_ints(self):
+        big = 2**300
+        assert canonical_encode(big) == canonical_encode(big)
+        assert canonical_encode(big) != canonical_encode(big + 1)
+
+    def test_floats_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode(1.5)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+
+
+class TestContainers:
+    def test_tuple_list_equivalent(self):
+        assert canonical_encode((1, 2)) == canonical_encode([1, 2])
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_encode({"a": 1, "b": 2}) == canonical_encode({"b": 2, "a": 1})
+
+    def test_dict_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_encode({1: "x"})
+
+    def test_nesting_unambiguous(self):
+        assert canonical_encode([[1], [2]]) != canonical_encode([[1, 2]])
+        assert canonical_encode([[], [1]]) != canonical_encode([[1], []])
+
+    def test_empty_containers_distinct(self):
+        assert canonical_encode([]) != canonical_encode({})
+
+
+class _Wireable:
+    def __init__(self, inner):
+        self.inner = inner
+
+    def to_wire(self):
+        return {"inner": self.inner}
+
+
+class TestToWireProtocol:
+    def test_object_with_to_wire(self):
+        assert canonical_encode(_Wireable(5)) == canonical_encode({"inner": 5})
+
+    def test_nested_wireable(self):
+        assert canonical_encode([_Wireable(1)]) == canonical_encode([{"inner": 1}])
+
+
+class TestWireHash:
+    def test_domain_separation(self):
+        assert wire_hash(1, domain="a") != wire_hash(1, domain="b")
+
+    def test_stable(self):
+        value = {"k": [1, b"x", None]}
+        assert wire_hash(value) == wire_hash(value)
+
+    @given(wire_values)
+    @settings(max_examples=80)
+    def test_property_deterministic(self, value):
+        assert canonical_encode(value) == canonical_encode(value)
+
+    @given(wire_values, wire_values)
+    @settings(max_examples=80)
+    def test_property_injective_encoding(self, a, b):
+        # Tuples and lists are deliberately identified; normalize first.
+        def norm(v):
+            if isinstance(v, (list, tuple)):
+                return tuple(norm(x) for x in v)
+            if isinstance(v, dict):
+                return tuple(sorted((k, norm(x)) for k, x in v.items()))
+            return v
+
+        if norm(a) != norm(b):
+            assert canonical_encode(a) != canonical_encode(b)

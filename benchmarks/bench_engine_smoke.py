@@ -1,0 +1,79 @@
+"""Engine smoke benchmark: the per-PR throughput-regression tripwire.
+
+Runs 50 concurrent AC2Ts (all four protocols round-robin) through the
+SwapEngine in one shared simulation and checks the invariants that must
+never regress: every swap terminates, the witness-based protocols show
+zero atomicity violations, real concurrency is sustained, and the run is
+seed-reproducible.  Budgeted to finish in well under 30 seconds so CI
+can run it on every pull request.
+"""
+
+from repro.engine import PROTOCOLS, SwapEngine
+from repro.workloads.scenarios import build_multi_scenario, poisson_swap_traffic
+
+from conftest import print_table
+
+SMOKE_SWAPS = 50
+SMOKE_RATE = 10.0
+SMOKE_SEED = 90
+
+
+def _smoke_run():
+    traffic = poisson_swap_traffic(
+        SMOKE_SWAPS, rate=SMOKE_RATE, seed=SMOKE_SEED, chain_ids=["c0", "c1", "c2"]
+    )
+    env = build_multi_scenario([graph for _, graph in traffic], seed=SMOKE_SEED)
+    env.warm_up(2)
+    engine = SwapEngine(env)
+    offset = env.simulator.now
+    for index, (at, graph) in enumerate(traffic):
+        engine.submit(
+            graph, protocol=PROTOCOLS[index % len(PROTOCOLS)], at=offset + at
+        )
+    return engine.run()
+
+
+def test_engine_smoke_50_concurrent(benchmark, table_printer):
+    """50 mixed-protocol AC2Ts: all settle, zero violations, concurrent."""
+    result = benchmark.pedantic(_smoke_run, rounds=1, iterations=1)
+    metrics = result.metrics
+    rows = [
+        [
+            name,
+            pm.total,
+            pm.committed,
+            pm.atomicity_violations,
+            f"{pm.p50_latency:.1f}s",
+            f"{pm.p99_latency:.1f}s",
+        ]
+        for name, pm in sorted(result.by_protocol.items())
+    ]
+    rows.append(
+        [
+            "all",
+            metrics.total,
+            metrics.committed,
+            metrics.atomicity_violations,
+            f"{metrics.p50_latency:.1f}s",
+            f"{metrics.p99_latency:.1f}s",
+        ]
+    )
+    table_printer(
+        f"Engine smoke: {SMOKE_SWAPS} concurrent AC2Ts, "
+        f"{metrics.swaps_per_second:.2f} swaps/s, peak {metrics.max_in_flight}",
+        ["protocol", "swaps", "committed", "violations", "p50", "p99"],
+        rows,
+    )
+    assert metrics.total == SMOKE_SWAPS
+    assert metrics.atomicity_violations == 0
+    for name in ("ac3tw", "ac3wn"):
+        assert result.by_protocol[name].atomicity_violations == 0
+    assert metrics.max_in_flight > SMOKE_SWAPS // 3  # genuinely concurrent
+
+
+def test_engine_smoke_seed_reproducible():
+    """Two identical smoke runs produce identical traces and metrics."""
+    first = _smoke_run()
+    second = _smoke_run()
+    assert first.trace() == second.trace()
+    assert first.metrics == second.metrics

@@ -9,8 +9,7 @@ protocols on the simulator for each diameter, reported in Δ units.
 import pytest
 
 from repro.analysis.latency import ac3wn_latency, figure10_series, herlihy_latency
-from repro.core.ac3wn import run_ac3wn
-from repro.core.herlihy import run_herlihy
+from repro.engine import SwapEngine
 from repro.workloads.graphs import ring_with_diameter
 from repro.workloads.scenarios import build_scenario
 
@@ -21,16 +20,16 @@ ANALYTIC_MAX_DIAMETER = 14
 
 
 def _measured_latency(protocol: str, diameter: int, seed: int) -> float:
-    """Run one swap end-to-end; return latency in Δ units."""
+    """Run one swap end-to-end through the engine; return latency in Δs."""
     chain_ids = [f"c{i}" for i in range(diameter)]
     graph = ring_with_diameter(diameter, chain_ids=chain_ids, timestamp=seed)
     env = build_scenario(graph=graph, seed=seed)
     env.warm_up(2)
     delta = 2.0  # confirmation_depth(2) × block_interval(1s)
-    if protocol == "herlihy":
-        outcome = run_herlihy(env, graph)
-    else:
-        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
+    engine = SwapEngine(env, default_protocol=protocol)
+    engine.submit(graph)
+    result = engine.run()
+    (outcome,) = result.outcomes
     assert outcome.decision == "commit", outcome.summary()
     return outcome.latency / delta
 

@@ -47,7 +47,7 @@ def test_counts_match_actual_run():
     driver = AC3WNDriver(env, graph, AC3WNConfig(witness_chain_id="witness"))
     outcome = driver.run()
     assert outcome.decision == "commit"
-    submitted = len(driver._submitted_messages)
+    submitted = len(driver._submitted)
     from repro.analysis.intermediated import ac2t_path
 
     model = ac2t_path(graph, "ac3wn").onchain_transactions

@@ -8,13 +8,24 @@ at the rate of its slowest member:
 so the witness should be chosen *from the involved chains* to avoid
 becoming the bottleneck.  Table 1 lists the top-4 permissionless
 cryptocurrencies by market cap with their published tps.
+
+Two complementary views live here: the paper's *analytic* min() rule
+over published per-chain tps, and the *measured* view distilled from a
+:class:`~repro.engine.engine.SwapEngine` run, where hundreds of
+concurrent AC2Ts share chains and the observed swaps/sec emerges from
+actual block-capacity contention rather than a closed-form bound.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..chain.params import TABLE1_TPS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..engine.engine import EngineResult
+    from ..engine.metrics import EngineMetrics
 
 #: Table 1 rows in the paper's order (market-cap ranked).
 TABLE1_ROWS = [
@@ -81,3 +92,24 @@ def best_witness(
 def paper_example() -> ThroughputResult:
     """The paper's example: ETH+LTC assets witnessed by Bitcoin → 7 tps."""
     return ac2t_throughput(["ethereum", "litecoin"], "bitcoin")
+
+
+# ---------------------------------------------------------------------------
+# Measured throughput: distilled from SwapEngine runs
+# ---------------------------------------------------------------------------
+
+
+def engine_throughput_report(result: "EngineResult") -> list["EngineMetrics"]:
+    """Per-protocol measured throughput rows for one engine run.
+
+    The overall row comes first (labelled by its protocol, or "mixed"),
+    followed by one row per protocol in name order — ready to print next
+    to the analytic Table 1 numbers.  Rows are plain
+    :class:`~repro.engine.metrics.EngineMetrics` (which carries
+    ``swaps_per_second`` and the derived ``commits_per_second``), so
+    there is exactly one aggregate type to keep in sync.
+    """
+    rows = [result.metrics]
+    if len(result.by_protocol) > 1:
+        rows.extend(metrics for _, metrics in sorted(result.by_protocol.items()))
+    return rows

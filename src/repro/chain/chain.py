@@ -11,7 +11,7 @@ converges the contract to a single state (Section 4.2, Lemma 5.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..crypto.keys import Address, KeyPair
 from ..crypto.merkle import MerkleProof
@@ -65,6 +65,7 @@ class Blockchain:
         self._message_index: dict[bytes, list[MessageLocation]] = {}
         self._head_hash: bytes = b""
         self.orphans_rejected = 0
+        self._block_listeners: list[Callable[[Block], None]] = []
 
         genesis = self._build_genesis(genesis_allocations or [])
         self._connect(genesis, check_work=False)
@@ -136,7 +137,28 @@ class Blockchain:
         simulator delivers blocks in causal order per miner).
         """
         self._validate_structure(block)
-        return self._connect(block, check_work=True)
+        became_head = self._connect(block, check_work=True)
+        for listener in list(self._block_listeners):
+            listener(block)
+        return became_head
+
+    # -- block listeners -----------------------------------------------------
+
+    def add_block_listener(self, listener: Callable[[Block], None]) -> None:
+        """Subscribe ``listener`` to every successfully connected block.
+
+        Listeners fire synchronously after the block (and its state) are
+        installed, in subscription order — the on-block-mined hook that
+        event-driven protocol drivers advance on.
+        """
+        self._block_listeners.append(listener)
+
+    def remove_block_listener(self, listener: Callable[[Block], None]) -> None:
+        """Unsubscribe ``listener``; missing listeners are a no-op."""
+        try:
+            self._block_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _validate_structure(self, block: Block) -> None:
         header = block.header

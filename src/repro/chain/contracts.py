@@ -145,6 +145,15 @@ class ContractRegistry:
         self._classes[name] = cls
         return cls
 
+    def unregister(self, name: str) -> type[SmartContract] | None:
+        """Remove (and return) the class registered under ``name``.
+
+        Missing names are a no-op, so re-importable modules (e.g. test
+        files loaded both as a top-level module and as ``tests.<name>``)
+        can call ``unregister`` before ``register`` to stay idempotent.
+        """
+        return self._classes.pop(name, None)
+
     def resolve(self, name: str) -> type[SmartContract]:
         if name not in self._classes:
             raise ContractError(f"unknown contract class {name!r}")
@@ -152,6 +161,10 @@ class ContractRegistry:
 
     def __contains__(self, name: str) -> bool:
         return name in self._classes
+
+    def registered_names(self) -> list[str]:
+        """Sorted names currently registered (for scoped snapshots)."""
+        return sorted(self._classes)
 
 
 #: The default global registry; protocol modules register their contract

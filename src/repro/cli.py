@@ -19,13 +19,18 @@ import sys
 
 from .analysis.latency import figure10_series
 from .analysis.security import PAPER_WITNESS_CANDIDATES
-from .analysis.throughput import TABLE1_ROWS, ac2t_throughput
+from .analysis.throughput import TABLE1_ROWS, ac2t_throughput, engine_throughput_report
 from .core.ac3wn import run_ac3wn
 from .core.herlihy import run_herlihy
 from .core.nolan import run_nolan
+from .engine import PROTOCOLS, SwapEngine
 from .sim.failures import FailureSchedule
 from .workloads.graphs import ring_with_diameter, two_party_swap
-from .workloads.scenarios import build_scenario
+from .workloads.scenarios import (
+    build_multi_scenario,
+    build_scenario,
+    poisson_swap_traffic,
+)
 
 
 def _cmd_swap(args: argparse.Namespace) -> int:
@@ -100,6 +105,77 @@ def _cmd_witness_depth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine(args: argparse.Namespace) -> int:
+    """Run N concurrent AC2Ts through the SwapEngine; print metrics."""
+    for name, value, minimum in (
+        ("--swaps", args.swaps, 1),
+        ("--chains", args.chains, 1),
+        ("--participants", args.participants, 2),
+    ):
+        if value < minimum:
+            print(f"repro engine: {name} must be at least {minimum}", file=sys.stderr)
+            return 2
+    if args.rate <= 0:
+        print("repro engine: --rate must be positive", file=sys.stderr)
+        return 2
+    if args.protocol in ("nolan", "mixed") and args.participants != 2:
+        print(
+            "repro engine: Nolan's protocol is strictly two-party; "
+            f"--protocol {args.protocol} requires --participants 2",
+            file=sys.stderr,
+        )
+        return 2
+    chain_ids = [f"chain-{i}" for i in range(args.chains)]
+    traffic = poisson_swap_traffic(
+        args.swaps,
+        rate=args.rate,
+        seed=args.seed,
+        chain_ids=chain_ids,
+        participants_per_swap=args.participants,
+    )
+    env = build_multi_scenario(
+        [graph for _, graph in traffic],
+        seed=args.seed,
+        validator_mode=args.validator_mode,
+    )
+    env.warm_up(2)
+    engine = SwapEngine(
+        env,
+        default_protocol="ac3wn" if args.protocol == "mixed" else args.protocol,
+        eager=args.eager,
+    )
+    # Arrivals were generated from t=0; shift them past the warm-up so
+    # the schedule stays genuinely open-loop (no clamped head batch).
+    offset = env.simulator.now
+    if args.protocol == "mixed":
+        for index, (at, graph) in enumerate(traffic):
+            engine.submit(
+                graph, protocol=PROTOCOLS[index % len(PROTOCOLS)], at=offset + at
+            )
+    else:
+        engine.submit_many(traffic, offset=offset)
+    result = engine.run()
+
+    print(
+        f"{'protocol':>8} | {'swaps':>5} | {'commit':>6} | {'viol':>4} | "
+        f"{'swaps/s':>8} | {'p50':>7} | {'p99':>7} | {'peak':>4}"
+    )
+    for row in engine_throughput_report(result):
+        peak = str(row.max_in_flight) if row.max_in_flight else "-"
+        print(
+            f"{row.protocol:>8} | {row.total:>5} | {row.commit_rate:>6.1%} | "
+            f"{row.atomicity_violations:>4} | {row.swaps_per_second:>8.2f} | "
+            f"{row.p50_latency:>6.1f}s | {row.p99_latency:>6.1f}s | "
+            f"{peak:>4}"
+        )
+    print(
+        f"\n{result.metrics.total} swaps over {result.metrics.makespan:.1f} "
+        f"simulated seconds (peak {result.metrics.max_in_flight} in flight); "
+        f"{result.metrics.atomicity_violations} atomicity violations"
+    )
+    return 0 if result.metrics.atomicity_violations == 0 else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     """Table 1 plus the paper's throughput example."""
     for name, _, tps in TABLE1_ROWS:
@@ -144,6 +220,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1 = sub.add_parser("table1", help="Table 1 + Section 6.4 example")
     table1.set_defaults(func=_cmd_table1)
+
+    engine = sub.add_parser(
+        "engine", help="run N concurrent AC2Ts through the SwapEngine"
+    )
+    engine.add_argument(
+        "--protocol",
+        choices=list(PROTOCOLS) + ["mixed"],
+        default="ac3wn",
+        help="protocol for every swap, or 'mixed' to round-robin all four",
+    )
+    engine.add_argument("--swaps", type=int, default=50)
+    engine.add_argument("--rate", type=float, default=5.0, help="arrivals per second")
+    engine.add_argument("--chains", type=int, default=3, help="number of asset chains")
+    engine.add_argument("--participants", type=int, default=2, help="per swap")
+    engine.add_argument("--seed", type=int, default=0)
+    engine.add_argument(
+        "--eager",
+        action="store_true",
+        help="advance drivers on block hooks, not just poll ticks",
+    )
+    engine.add_argument(
+        "--validator-mode",
+        choices=["anchor", "full-replica", "light-client"],
+        default="anchor",
+    )
+    engine.set_defaults(func=_cmd_engine)
     return parser
 
 

@@ -20,6 +20,7 @@ from .ac3wn import (
     run_ac3wn,
 )
 from .contract_template import AtomicSwapContract, SwapState
+from .driver import ProtocolDriver
 from .evidence import (
     AnchorValidator,
     EvidenceValidator,
@@ -76,6 +77,7 @@ __all__ = [
     "PERMISSIONLESS_CONTRACT_CLASS",
     "Participant",
     "PermissionlessSC",
+    "ProtocolDriver",
     "PublicationEvidence",
     "StateEvidence",
     "SwapEnvironment",

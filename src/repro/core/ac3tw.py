@@ -21,19 +21,19 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..chain.contracts import ExecutionContext, register_contract
-from ..chain.messages import CallMessage, DeployMessage
 from ..crypto.commitment import (
     CommitmentPurpose,
     SignatureCommitment,
     witness_statement_digest,
 )
 from ..crypto.ecdsa import EcdsaSignature
-from ..crypto.keys import Address, KeyPair, PublicKey
+from ..crypto.keys import KeyPair, PublicKey
 from ..crypto.signatures import Multisignature
 from ..errors import InsufficientFundsError, WitnessError
 from .contract_template import AtomicSwapContract
+from .driver import ProtocolDriver
 from .graph import SwapGraph
-from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+from .protocol import SwapEnvironment, SwapOutcome, edge_key
 
 CENTRALIZED_CONTRACT_CLASS = "AC3-CentralizedSC"
 
@@ -218,8 +218,13 @@ class AC3TWConfig:
     poll_interval: float | None = None
 
 
-class AC3TWDriver:
-    """Executes one AC2T with the centralized-witness protocol."""
+class AC3TWDriver(ProtocolDriver):
+    """Executes one AC2T with the centralized-witness protocol.
+
+    A non-blocking state machine with three phases: *deploy* (all asset
+    contracts concurrently), a synchronous *decision* at Trent, and
+    *settle* (redeem or refund every published contract).
+    """
 
     protocol_name = "ac3tw"
 
@@ -229,39 +234,19 @@ class AC3TWDriver:
         graph: SwapGraph,
         witness: TrustedWitness,
         config: AC3TWConfig | None = None,
+        eager: bool = False,
     ) -> None:
-        self.env = env
-        self.graph = graph
-        self.witness = witness
         self.config = config or AC3TWConfig()
-        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
-        for edge in graph.edges:
-            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
-        self._deploys: dict[str, DeployMessage] = {}
-        self._settle_calls: dict[str, CallMessage] = {}
-        self._submitted: list[tuple[str, bytes]] = []
-        self._ms_id: bytes = b""
-        involved = graph.chains_used()
-        fastest = min(env.chain(c).params.block_interval for c in involved)
-        self._poll = (
-            self.config.poll_interval
-            if self.config.poll_interval is not None
-            else max(fastest / 4.0, 1e-3)
+        super().__init__(
+            env, graph, poll_interval=self.config.poll_interval, eager=eager
         )
-
-    @property
-    def sim(self):
-        return self.env.simulator
-
-    def _delta(self, chain_id: str) -> float:
-        params = self.env.chain(chain_id).params
-        return params.confirmation_depth * params.block_interval
-
-    def _max_delta(self) -> float:
-        return max(self._delta(c) for c in self.graph.chains_used())
-
-    def _address_of(self, name: str) -> Address:
-        return self.graph.participant_keys()[name].address()
+        self.witness = witness
+        self._ms_id: bytes = b""
+        self._phase = "deploy"
+        self._deploy_deadline = 0.0
+        self._settle_timeout = 0.0
+        self._signature: EcdsaSignature | None = None
+        self._settle_function: str | None = None
 
     # -- deployment --------------------------------------------------------
 
@@ -291,21 +276,7 @@ class AC3TWDriver:
             record.contract_id = deploy.contract_id()
             record.deploy_message_id = deploy.message_id()
             record.deployed_at = self.sim.now
-            self._submitted.append((edge.chain_id, deploy.message_id()))
-
-    def _edge_confirmed(self, edge) -> bool:
-        key = edge_key(edge)
-        deploy = self._deploys.get(key)
-        if deploy is None:
-            return False
-        chain = self.env.chain(edge.chain_id)
-        ok = chain.message_depth(deploy.message_id()) >= chain.params.confirmation_depth
-        if ok and self.outcome.contracts[key].confirmed_at is None:
-            self.outcome.contracts[key].confirmed_at = self.sim.now
-        return ok
-
-    def _all_confirmed(self) -> bool:
-        return all(self._edge_confirmed(e) for e in self.graph.edges)
+            self._track(edge.chain_id, deploy)
 
     # -- settlement ----------------------------------------------------------
 
@@ -328,53 +299,17 @@ class AC3TWDriver:
             except InsufficientFundsError:
                 continue  # retry next tick
             self._settle_calls[key] = call
-            self._submitted.append((edge.chain_id, call.message_id()))
+            self._track(edge.chain_id, call)
 
-    def _settled_count(self) -> int:
-        count = 0
-        for edge in self.graph.edges:
-            key = edge_key(edge)
-            record = self.outcome.contracts[key]
-            if key not in self._deploys:
-                continue
-            chain = self.env.chain(edge.chain_id)
-            if not chain.has_contract(record.contract_id):
-                continue
-            if chain.contract(record.contract_id).is_settled:
-                if record.settled_at is None:
-                    record.settled_at = self.sim.now
-                count += 1
-        return count
+    def _settle_step(self) -> None:
+        self._try_settle(self._signature, self._settle_function)
 
-    def _record_final_states(self) -> None:
-        for edge in self.graph.edges:
-            key = edge_key(edge)
-            record = self.outcome.contracts[key]
-            if key not in self._deploys:
-                record.final_state = "unpublished"
-                continue
-            chain = self.env.chain(edge.chain_id)
-            record.final_state = (
-                chain.contract(record.contract_id).state
-                if chain.has_contract(record.contract_id)
-                else "unpublished"
-            )
+    # -- state machine -------------------------------------------------------------
 
-    def _collect_fees(self) -> None:
-        self.outcome.fees_paid = sum(
-            receipt.fee_paid
-            for chain_id, mid in self._submitted
-            if (receipt := self.env.chain(chain_id).receipt(mid)) is not None
-        )
-
-    # -- protocol -----------------------------------------------------------------
-
-    def run(self) -> SwapOutcome:
-        sim = self.sim
-        self.outcome.started_at = sim.now
+    def _begin(self) -> None:
         delta = self._max_delta()
         deploy_timeout = self.config.deploy_timeout or 4.0 * delta
-        settle_timeout = self.config.settle_timeout or 4.0 * delta
+        self._settle_timeout = self.config.settle_timeout or 4.0 * delta
 
         # Step 1-2: multisign the graph and register it at Trent.
         ms = self.graph.multisign(self.env.keypairs())
@@ -383,58 +318,55 @@ class AC3TWDriver:
         except WitnessError as exc:
             self.outcome.notes.append(f"registration failed: {exc}")
             self.outcome.decision = "undecided"
-            self.outcome.finished_at = sim.now
-            return self.outcome
-        self.outcome.phase_times["registered"] = sim.now
+            self._finish()
+            return
+        self.outcome.phase_times["registered"] = self.sim.now
+        self._deploy_deadline = self.sim.now + deploy_timeout
+        self._phase = "deploy"
 
-        # Step 3-4: concurrent contract deployment.
-        deadline = sim.now + deploy_timeout
-        while sim.now < deadline and not self._all_confirmed():
-            self._try_deploy_edges()
-            sim.run_until(min(deadline, sim.now + self._poll))
+    def _advance(self) -> None:
+        if self._phase == "deploy":
+            self._advance_deploy()
+        elif self._phase == "settle":
+            self._advance_settle()
+
+    # Step 3-4: concurrent contract deployment.
+    def _advance_deploy(self) -> None:
         all_published = self._all_confirmed()
-        self.outcome.phase_times["contracts_deployed"] = sim.now
+        if all_published or self.sim.now >= self._deploy_deadline:
+            self.outcome.phase_times["contracts_deployed"] = self.sim.now
+            self._decide(all_published)
+            return
+        self._try_deploy_edges()
+        self._schedule_tick(self._deploy_deadline)
 
-        # Step 5-6: request the decision signature from Trent.
-        signature = None
-        function = None
+    # Step 5-6: request the decision signature from Trent (synchronous —
+    # Trent is an off-chain service, not a chain).
+    def _decide(self, all_published: bool) -> None:
         try:
             if all_published:
                 contract_ids = {
                     key: deploy.contract_id() for key, deploy in self._deploys.items()
                 }
-                signature = self.witness.request_redemption(self._ms_id, contract_ids)
-                function = "redeem"
+                self._signature = self.witness.request_redemption(
+                    self._ms_id, contract_ids
+                )
+                self._settle_function = "redeem"
                 self.outcome.decision = "commit"
             else:
                 self.outcome.notes.append(
                     "not all contracts confirmed before the deadline; aborting"
                 )
-                signature = self.witness.request_refund(self._ms_id)
-                function = "refund"
+                self._signature = self.witness.request_refund(self._ms_id)
+                self._settle_function = "refund"
                 self.outcome.decision = "abort"
         except WitnessError as exc:
             self.outcome.notes.append(f"witness refused: {exc}")
             self.outcome.decision = "undecided"
-            self.outcome.finished_at = sim.now
-            self._record_final_states()
-            self._collect_fees()
-            return self.outcome
-        self.outcome.phase_times["decision"] = sim.now
-
-        # Settlement.
-        settle_deadline = sim.now + settle_timeout
-        target = len(self._deploys)
-        while sim.now < settle_deadline and self._settled_count() < target:
-            self._try_settle(signature, function)
-            sim.run_until(min(settle_deadline, sim.now + self._poll))
-        self._settled_count()
-        self.outcome.phase_times["settled"] = sim.now
-
-        self._record_final_states()
-        self._collect_fees()
-        self.outcome.finished_at = sim.now
-        return self.outcome
+            self._finish()
+            return
+        self.outcome.phase_times["decision"] = self.sim.now
+        self._enter_settle_phase(self._settle_timeout)
 
 
 def run_ac3tw(

@@ -32,10 +32,11 @@ from ..chain.contracts import (
     requires,
 )
 from ..chain.messages import CallMessage, DeployMessage
-from ..crypto.keys import Address, PublicKey
+from ..crypto.keys import PublicKey
 from ..crypto.signatures import Multisignature
 from ..errors import InsufficientFundsError, EvidenceError, ProtocolError
 from .contract_template import AtomicSwapContract
+from .driver import ProtocolDriver
 from .evidence import (
     PublicationEvidence,
     StateEvidence,
@@ -45,7 +46,7 @@ from .evidence import (
     verify_state_evidence,
 )
 from .graph import SwapGraph
-from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+from .protocol import SwapEnvironment, SwapOutcome, edge_key
 
 WITNESS_CONTRACT_CLASS = "AC3WN-Witness"
 PERMISSIONLESS_CONTRACT_CLASS = "AC3-PermissionlessSC"
@@ -307,75 +308,68 @@ class AC3WNConfig:
     poll_interval: float | None = None
 
 
-class AC3WNDriver:
+class AC3WNDriver(ProtocolDriver):
     """Executes one AC2T end-to-end with the AC3WN protocol.
 
     The driver plays every participant's honest strategy, respecting
     crash state (a crashed participant takes no action until recovery)
-    and the configured decliners.  It advances the shared simulator
-    itself, so callers simply invoke :meth:`run`.
+    and the configured decliners.  It is a non-blocking state machine
+    whose phases mirror the paper's four Δ-phases: *scw-wait* (SCw
+    confirmation), *deploy* (parallel asset contracts), *decision-wait*
+    (the SCw flip confirming), and *settle* (parallel redemptions or
+    refunds).
     """
 
     protocol_name = "ac3wn"
 
-    def __init__(self, env: SwapEnvironment, graph: SwapGraph, config: AC3WNConfig) -> None:
-        self.env = env
-        self.graph = graph
-        self.config = config
+    def __init__(
+        self,
+        env: SwapEnvironment,
+        graph: SwapGraph,
+        config: AC3WNConfig,
+        eager: bool = False,
+    ) -> None:
         if config.witness_chain_id not in env.chains:
             raise ProtocolError(f"unknown witness chain {config.witness_chain_id!r}")
+        self.config = config
+        super().__init__(
+            env,
+            graph,
+            poll_interval=config.poll_interval,
+            extra_chain_ids=(config.witness_chain_id,),
+            eager=eager,
+        )
         self.witness_chain = env.chain(config.witness_chain_id)
-        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
-        for edge in graph.edges:
-            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
         self._scw_deploy: DeployMessage | None = None
         self._scw_id: bytes = b""
         self._anchors: dict[str, BlockHeader] = {}
         self._witness_anchor: BlockHeader | None = None
         self._decision_call: CallMessage | None = None
-        self._deploys: dict[str, DeployMessage] = {}  # edge key -> deploy
-        self._settle_calls: dict[str, CallMessage] = {}
-        self._submitted_messages: list[tuple[str, bytes]] = []
-        if config.poll_interval is None:
-            involved = set(graph.chains_used()) | {config.witness_chain_id}
-            fastest = min(env.chain(c).params.block_interval for c in involved)
-            self._poll = max(fastest / 4.0, 1e-3)
-        else:
-            self._poll = config.poll_interval
+        self._phase = "scw-wait"
+        self._witness_timeout = 0.0
+        self._deploy_timeout = 0.0
+        self._settle_timeout = 0.0
+        self._scw_deadline = 0.0
+        self._deploy_deadline = 0.0
+        self._decision_deadline = 0.0
+        self._decided_state: str | None = None
+        self._decision_retried = False
 
     # -- small helpers -----------------------------------------------------
-
-    @property
-    def sim(self):
-        return self.env.simulator
 
     def _alive(self, name: str) -> bool:
         return not self.env.participant(name).crashed
 
     def _first_alive(self) -> str | None:
-        alive = self.env.alive_participants()
-        return alive[0] if alive else None
+        """First alive participant *of this AC2T* in name order.
 
-    def _delta(self, chain_id: str) -> float:
-        """Δ for one chain: time to publish + be publicly recognized."""
-        params = self.env.chain(chain_id).params
-        return params.confirmation_depth * params.block_interval
-
-    def _max_delta(self) -> float:
-        chains = set(self.graph.chains_used()) | {self.config.witness_chain_id}
-        return max(self._delta(c) for c in chains)
-
-    def _poll_until(self, predicate, timeout: float) -> bool:
-        """Advance the simulation until ``predicate`` or timeout."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            if predicate():
-                return True
-            self.sim.run_until(min(deadline, self.sim.now + self._poll))
-        return predicate()
-
-    def _track(self, chain_id: str, message) -> None:
-        self._submitted_messages.append((chain_id, message.message_id()))
+        Scoped to the swap's graph (not the whole environment) so that
+        engine runs with hundreds of co-hosted swaps stay isolated.
+        """
+        for name in self.graph.participant_names():
+            if self._alive(name):
+                return name
+        return None
 
     # -- phase 1: register SCw ------------------------------------------------
 
@@ -413,9 +407,6 @@ class AC3WNDriver:
         self._track(self.config.witness_chain_id, deploy)
         return True
 
-    def _address_of(self, name: str) -> Address:
-        return self.graph.participant_keys()[name].address()
-
     # -- phase 2: parallel asset-contract deployment ------------------------------
 
     def _try_deploy_edges(self) -> None:
@@ -450,21 +441,6 @@ class AC3WNDriver:
             record.deploy_message_id = deploy.message_id()
             record.deployed_at = self.sim.now
             self._track(edge.chain_id, deploy)
-
-    def _edge_confirmed(self, edge) -> bool:
-        key = edge_key(edge)
-        deploy = self._deploys.get(key)
-        if deploy is None:
-            return False
-        chain = self.env.chain(edge.chain_id)
-        depth = chain.message_depth(deploy.message_id())
-        confirmed = depth >= chain.params.confirmation_depth
-        if confirmed and self.outcome.contracts[key].confirmed_at is None:
-            self.outcome.contracts[key].confirmed_at = self.sim.now
-        return confirmed
-
-    def _all_confirmed(self) -> bool:
-        return all(self._edge_confirmed(edge) for edge in self.graph.edges)
 
     # -- phase 3: decision -----------------------------------------------------
 
@@ -549,146 +525,126 @@ class AC3WNDriver:
             self._settle_calls[key] = call
             self._track(edge.chain_id, call)
 
-    def _settled_count(self) -> int:
-        count = 0
-        for edge in self.graph.edges:
-            key = edge_key(edge)
-            record = self.outcome.contracts[key]
-            if key not in self._deploys:
-                continue
-            chain = self.env.chain(edge.chain_id)
-            if not chain.has_contract(record.contract_id):
-                continue
-            contract = chain.contract(record.contract_id)
-            if contract.is_settled:
-                if record.settled_at is None:
-                    record.settled_at = self.sim.now
-                count += 1
-        return count
+    def _settle_step(self) -> None:
+        self._try_settle(self._decided_state)
 
     def _published_count(self) -> int:
         return len(self._deploys)
 
-    # -- final bookkeeping ----------------------------------------------------------
+    # -- the protocol (state machine) ---------------------------------------------------
 
-    def _record_final_states(self) -> None:
-        for edge in self.graph.edges:
-            key = edge_key(edge)
-            record = self.outcome.contracts[key]
-            if key not in self._deploys:
-                record.final_state = "unpublished"
-                continue
-            chain = self.env.chain(edge.chain_id)
-            if not chain.has_contract(record.contract_id):
-                record.final_state = "unpublished"
-                continue
-            record.final_state = chain.contract(record.contract_id).state
-
-    def _collect_fees(self) -> None:
-        total = 0
-        for chain_id, message_id in self._submitted_messages:
-            receipt = self.env.chain(chain_id).receipt(message_id)
-            if receipt is not None:
-                total += receipt.fee_paid
-        self.outcome.fees_paid = total
-
-    # -- the protocol ------------------------------------------------------------------
-
-    def run(self) -> SwapOutcome:
-        """Execute the AC2T; returns the populated outcome record."""
-        sim = self.sim
-        self.outcome.started_at = sim.now
-        self.outcome.phase_times["start"] = sim.now
+    def _begin(self) -> None:
+        self.outcome.phase_times["start"] = self.sim.now
         delta = self._max_delta()
-        witness_delta = self._delta(self.config.witness_chain_id)
-        deploy_timeout = self.config.deploy_timeout or 4.0 * delta
-        settle_timeout = self.config.settle_timeout or 4.0 * delta
+        witness_delta = self._chain_delta(self.config.witness_chain_id)
+        self._deploy_timeout = self.config.deploy_timeout or 4.0 * delta
+        self._settle_timeout = self.config.settle_timeout or 4.0 * delta
         # Witness-chain waits honour the configured deploy timeout too:
         # a congested witness chain may take far longer than 4Δ to
         # include coordination messages (Section 5.2's bottleneck case).
-        witness_timeout = max(4.0 * witness_delta, deploy_timeout)
+        self._witness_timeout = max(4.0 * witness_delta, self._deploy_timeout)
 
         # Phase 1: register SCw on the witness network.
         if not self._register_witness_contract():
             self.outcome.decision = "undecided"
-            self.outcome.finished_at = sim.now
-            return self.outcome
+            self._finish()
+            return
+        self._phase = "scw-wait"
+        self._scw_deadline = self.sim.now + self._witness_timeout
+
+    def _advance(self) -> None:
+        if self._phase == "scw-wait":
+            self._advance_scw_wait()
+        elif self._phase == "deploy":
+            self._advance_deploy()
+        elif self._phase == "decision-wait":
+            self._advance_decision_wait()
+        elif self._phase == "settle":
+            self._advance_settle()
+
+    def _advance_scw_wait(self) -> None:
         scw_message = self._scw_deploy.message_id()
-        if not self._poll_until(
-            lambda: self.witness_chain.message_depth(scw_message)
-            >= self.witness_chain.params.confirmation_depth,
-            timeout=witness_timeout,
-        ):
+        confirmed = (
+            self.witness_chain.message_depth(scw_message)
+            >= self.witness_chain.params.confirmation_depth
+        )
+        if confirmed:
+            self.outcome.phase_times["scw_confirmed"] = self.sim.now
+            # Asset contracts reference the witness anchor as of SCw
+            # confirmation.
+            self._witness_anchor = self.witness_chain.stable_header()
+            self._phase = "deploy"
+            self._deploy_deadline = self.sim.now + self._deploy_timeout
+            self._advance_deploy()
+            return
+        if self.sim.now >= self._scw_deadline:
             self.outcome.notes.append("SCw never confirmed")
             self.outcome.decision = "undecided"
-            self.outcome.finished_at = sim.now
-            return self.outcome
-        self.outcome.phase_times["scw_confirmed"] = sim.now
-        # Asset contracts reference the witness anchor as of SCw confirmation.
-        self._witness_anchor = self.witness_chain.stable_header()
+            self._finish()
+            return
+        self._schedule_tick(self._scw_deadline)
 
-        # Phase 2: all participants deploy their contracts in parallel.
-        deploy_deadline = sim.now + deploy_timeout
-        while sim.now < deploy_deadline and not self._all_confirmed():
-            self._try_deploy_edges()
-            sim.run_until(min(deploy_deadline, sim.now + self._poll))
+    # Phase 2: all participants deploy their contracts in parallel.
+    def _advance_deploy(self) -> None:
         all_published = self._all_confirmed()
-        self.outcome.phase_times["contracts_deployed"] = sim.now
+        if all_published or self.sim.now >= self._deploy_deadline:
+            self.outcome.phase_times["contracts_deployed"] = self.sim.now
+            # Phase 3: flip SCw (commit if everything confirmed, abort
+            # otherwise).
+            if all_published:
+                self._submit_redeem_authorization()
+            else:
+                self.outcome.notes.append(
+                    f"only {self._published_count()}/{self.graph.num_contracts} "
+                    f"contracts confirmed before the deadline; aborting"
+                )
+                self._submit_refund_authorization()
+            self._phase = "decision-wait"
+            self._decision_deadline = self.sim.now + self._witness_timeout
+            self._advance_decision_wait()
+            return
+        self._try_deploy_edges()
+        self._schedule_tick(self._deploy_deadline)
 
-        # Phase 3: flip SCw (commit if everything confirmed, abort otherwise).
-        if all_published:
-            self._submit_redeem_authorization()
-        else:
-            self.outcome.notes.append(
-                f"only {self._published_count()}/{self.graph.num_contracts} "
-                f"contracts confirmed before the deadline; aborting"
-            )
-            self._submit_refund_authorization()
-        if not self._poll_until(self._decision_confirmed, timeout=witness_timeout):
-            self.outcome.notes.append("decision call never confirmed")
-            self.outcome.decision = "undecided"
-            self.outcome.finished_at = sim.now
-            self._record_final_states()
-            self._collect_fees()
-            return self.outcome
-
-        receipt = self.witness_chain.receipt(self._decision_call.message_id())
-        if receipt.status != "ok":
-            # The authorize_redeem was rejected (e.g. stale evidence);
-            # fall back to the abort path.
-            self.outcome.notes.append(f"authorization reverted: {receipt.error}")
-            self._submit_refund_authorization()
-            if not self._poll_until(self._decision_confirmed, timeout=witness_timeout):
-                self.outcome.decision = "undecided"
-                self.outcome.finished_at = sim.now
-                self._record_final_states()
-                self._collect_fees()
-                return self.outcome
+    def _advance_decision_wait(self) -> None:
+        if self._decision_confirmed():
             receipt = self.witness_chain.receipt(self._decision_call.message_id())
-
-        decided_state = (
-            WitnessState.REDEEM_AUTHORIZED
-            if self._decision_call.function == "authorize_redeem"
-            else WitnessState.REFUND_AUTHORIZED
-        )
-        self.outcome.decision = (
-            "commit" if decided_state == WitnessState.REDEEM_AUTHORIZED else "abort"
-        )
-        self.outcome.phase_times["decision"] = sim.now
-
-        # Phase 4: parallel settlement (redeem on commit, refund on abort).
-        settle_deadline = sim.now + settle_timeout
-        target = self._published_count()
-        while sim.now < settle_deadline and self._settled_count() < target:
-            self._try_settle(decided_state)
-            sim.run_until(min(settle_deadline, sim.now + self._poll))
-        self._settled_count()  # final refresh of settled_at stamps
-        self.outcome.phase_times["settled"] = sim.now
-
-        self._record_final_states()
-        self._collect_fees()
-        self.outcome.finished_at = sim.now
-        return self.outcome
+            if receipt.status != "ok" and not self._decision_retried:
+                # The authorize_redeem was rejected (e.g. stale evidence);
+                # fall back to the abort path.
+                self._decision_retried = True
+                self.outcome.notes.append(f"authorization reverted: {receipt.error}")
+                if not self._submit_refund_authorization():
+                    # No alive participant can flip SCw; the stale reverted
+                    # call must not be mistaken for a decision.
+                    self.outcome.decision = "undecided"
+                    self._finish()
+                    return
+                self._decision_deadline = self.sim.now + self._witness_timeout
+                self._schedule_tick(self._decision_deadline)
+                return
+            self._decided_state = (
+                WitnessState.REDEEM_AUTHORIZED
+                if self._decision_call.function == "authorize_redeem"
+                else WitnessState.REFUND_AUTHORIZED
+            )
+            self.outcome.decision = (
+                "commit"
+                if self._decided_state == WitnessState.REDEEM_AUTHORIZED
+                else "abort"
+            )
+            self.outcome.phase_times["decision"] = self.sim.now
+            # Phase 4: parallel settlement (redeem on commit, refund on
+            # abort).
+            self._enter_settle_phase(self._settle_timeout)
+            return
+        if self.sim.now >= self._decision_deadline:
+            if not self._decision_retried:
+                self.outcome.notes.append("decision call never confirmed")
+            self.outcome.decision = "undecided"
+            self._finish()
+            return
+        self._schedule_tick(self._decision_deadline)
 
 
 def run_ac3wn(

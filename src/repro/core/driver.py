@@ -1,0 +1,294 @@
+"""The shared non-blocking protocol-driver lifecycle.
+
+Historically every protocol driver (Nolan, Herlihy, AC3TW, AC3WN) ran its
+AC2T by monopolizing the shared simulator inside blocking
+``Simulator.run_until`` / ``run_until_true`` loops, so exactly one swap
+could be in flight at a time.  :class:`ProtocolDriver` replaces that with
+an event-driven state machine:
+
+* the driver never advances the simulator itself — it *schedules* its
+  next activation as a simulator callback (a poll tick, clamped to the
+  current phase's deadline) and returns;
+* optionally (``eager=True``) it also subscribes to the involved chains'
+  on-block-mined hooks (:meth:`repro.chain.chain.Blockchain.add_block_listener`)
+  so confirmations are observed the instant the enabling block connects;
+* when the protocol reaches a terminal state the driver finalizes its
+  :class:`~repro.core.protocol.SwapOutcome` and fires ``on_complete``
+  callbacks — which is what lets :class:`repro.engine.SwapEngine`
+  multiplex hundreds of concurrent AC2Ts over one simulation.
+
+The poll cadence of the non-eager mode reproduces the historical blocking
+loops tick for tick, so single-swap runs (``driver.run()`` — an engine of
+one) behave exactly as before the refactor.
+
+Subclasses implement three hooks:
+
+* :meth:`_begin` — synchronous protocol setup at start time (register,
+  compute deadlines, enter the first phase);
+* :meth:`_advance` — one idempotent state-machine step: inspect chain
+  state, submit whatever messages the phase permits, transition phases,
+  and either schedule the next activation (:meth:`_schedule_tick`) or
+  terminate (:meth:`_finish`);
+* optionally :meth:`_finalize` — last-moment outcome bookkeeping (e.g.
+  Herlihy derives its decision from the settled states).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..chain.block import Block
+from ..chain.chain import Blockchain
+from ..chain.messages import CallMessage, DeployMessage
+from ..crypto.keys import Address
+from ..sim.events import Event
+from .graph import AssetEdge, SwapGraph
+from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+
+
+class ProtocolDriver:
+    """Base class: one AC2T executed as a non-blocking state machine."""
+
+    protocol_name = "abstract"
+
+    def __init__(
+        self,
+        env: SwapEnvironment,
+        graph: SwapGraph,
+        poll_interval: float | None = None,
+        extra_chain_ids: tuple[str, ...] = (),
+        eager: bool = False,
+    ) -> None:
+        self.env = env
+        self.graph = graph
+        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
+        for edge in graph.edges:
+            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
+
+        #: Deploy/call messages submitted so far, keyed by edge key.
+        self._deploys: dict[str, DeployMessage] = {}
+        self._settle_calls: dict[str, CallMessage] = {}
+        #: Every (chain_id, message_id) this driver submitted, for fees.
+        self._submitted: list[tuple[str, bytes]] = []
+
+        self.started = False
+        self.finished = False
+        #: Callbacks fired exactly once with the final outcome.
+        self.on_complete: list[Callable[[SwapOutcome], None]] = []
+
+        self._eager = eager
+        self._watched: list[Blockchain] = []
+        self._pending_tick: Event | None = None
+        self._phase = "init"
+        self._settle_deadline = 0.0
+        self._settle_target = 0
+
+        involved = set(graph.chains_used()) | set(extra_chain_ids)
+        self._involved_chain_ids = sorted(involved)
+        fastest = min(
+            env.chain(c).params.block_interval for c in self._involved_chain_ids
+        )
+        self._poll = (
+            poll_interval if poll_interval is not None else max(fastest / 4.0, 1e-3)
+        )
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _begin(self) -> None:
+        """Synchronous setup at start time; enter the first phase."""
+        raise NotImplementedError
+
+    def _advance(self) -> None:
+        """One idempotent state-machine step (see module docstring)."""
+        raise NotImplementedError
+
+    def _finalize(self) -> None:
+        """Optional last-moment outcome bookkeeping before completion."""
+
+    # -- conveniences shared by every protocol -------------------------------
+
+    @property
+    def sim(self):
+        return self.env.simulator
+
+    def _address_of(self, name: str) -> Address:
+        return self.graph.participant_keys()[name].address()
+
+    def _chain_delta(self, chain_id: str) -> float:
+        """Δ for one chain: time to publish + be publicly recognized."""
+        params = self.env.chain(chain_id).params
+        return params.confirmation_depth * params.block_interval
+
+    def _max_delta(self) -> float:
+        return max(self._chain_delta(c) for c in self._involved_chain_ids)
+
+    def _track(self, chain_id: str, message) -> None:
+        self._submitted.append((chain_id, message.message_id()))
+
+    def _edge_confirmed(self, edge: AssetEdge) -> bool:
+        key = edge_key(edge)
+        deploy = self._deploys.get(key)
+        if deploy is None:
+            return False
+        chain = self.env.chain(edge.chain_id)
+        ok = chain.message_depth(deploy.message_id()) >= chain.params.confirmation_depth
+        if ok and self.outcome.contracts[key].confirmed_at is None:
+            self.outcome.contracts[key].confirmed_at = self.sim.now
+        return ok
+
+    def _all_confirmed(self) -> bool:
+        return all(self._edge_confirmed(edge) for edge in self.graph.edges)
+
+    def _record_final_states(self) -> None:
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            if key not in self._deploys:
+                record.final_state = "unpublished"
+                continue
+            chain = self.env.chain(edge.chain_id)
+            record.final_state = (
+                chain.contract(record.contract_id).state
+                if chain.has_contract(record.contract_id)
+                else "unpublished"
+            )
+            if record.final_state in ("RD", "RF") and record.settled_at is None:
+                record.settled_at = self.sim.now
+
+    def _collect_fees(self) -> None:
+        self.outcome.fees_paid = sum(
+            receipt.fee_paid
+            for chain_id, mid in self._submitted
+            if (receipt := self.env.chain(chain_id).receipt(mid)) is not None
+        )
+
+    # -- shared settle phase -------------------------------------------------
+    #
+    # Both witness protocols end identically: keep attempting settlement
+    # calls until every published contract is settled or the deadline
+    # passes, then finalize.  Subclasses supply the per-tick attempt via
+    # :meth:`_settle_step` and enter the phase with :meth:`_enter_settle_phase`.
+
+    def _settled_count(self) -> int:
+        count = 0
+        for edge in self.graph.edges:
+            key = edge_key(edge)
+            record = self.outcome.contracts[key]
+            if key not in self._deploys:
+                continue
+            chain = self.env.chain(edge.chain_id)
+            if not chain.has_contract(record.contract_id):
+                continue
+            if chain.contract(record.contract_id).is_settled:
+                if record.settled_at is None:
+                    record.settled_at = self.sim.now
+                count += 1
+        return count
+
+    def _settle_step(self) -> None:
+        """One settle attempt (redeem/refund whatever is still open)."""
+        raise NotImplementedError
+
+    def _enter_settle_phase(self, timeout: float) -> None:
+        self._phase = "settle"
+        self._settle_deadline = self.sim.now + timeout
+        self._settle_target = len(self._deploys)
+        self._advance_settle()
+
+    def _advance_settle(self) -> None:
+        if (
+            self.sim.now >= self._settle_deadline
+            or self._settled_count() >= self._settle_target
+        ):
+            self._settled_count()  # final refresh of settled_at stamps
+            self.outcome.phase_times["settled"] = self.sim.now
+            self._finish()
+            return
+        self._settle_step()
+        self._schedule_tick(self._settle_deadline)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ProtocolDriver":
+        """Arm the state machine; returns immediately (non-blocking)."""
+        if self.started:
+            return self
+        self.started = True
+        self.outcome.started_at = self.sim.now
+        if self._eager:
+            for chain_id in self._involved_chain_ids:
+                chain = self.env.chain(chain_id)
+                chain.add_block_listener(self._on_block)
+                self._watched.append(chain)
+        self._begin()
+        if not self.finished:
+            self._advance()
+        return self
+
+    def _on_block(self, block: Block) -> None:
+        """On-block-mined hook: re-examine the world as soon as it grows."""
+        if not self.finished:
+            self._advance()
+
+    def _schedule_tick(self, deadline: float | None = None) -> None:
+        """Schedule the next activation at ``min(deadline, now + poll)``.
+
+        At most one tick is ever outstanding; rescheduling cancels the
+        previous one (relevant in eager mode, where block hooks can
+        advance the machine between ticks).
+        """
+        if self.finished:
+            return
+        target = self.sim.now + self._poll
+        if deadline is not None:
+            target = min(deadline, target)
+        if target <= self.sim.now:
+            target = self.sim.now + self._poll
+        if self._pending_tick is not None:
+            self._pending_tick.cancel()
+        self._pending_tick = self.sim.schedule_at(
+            target, self._tick, label=f"{self.protocol_name} driver tick"
+        )
+
+    def _tick(self) -> None:
+        self._pending_tick = None
+        if not self.finished:
+            self._advance()
+
+    def _finish(self) -> None:
+        """Terminal bookkeeping; fires ``on_complete`` exactly once."""
+        if self.finished:
+            return
+        self._record_final_states()
+        self._collect_fees()
+        self.outcome.finished_at = self.sim.now
+        self._finalize()
+        self.finished = True
+        if self._pending_tick is not None:
+            self._pending_tick.cancel()
+            self._pending_tick = None
+        for chain in self._watched:
+            chain.remove_block_listener(self._on_block)
+        self._watched.clear()
+        for callback in list(self.on_complete):
+            callback(self.outcome)
+
+    # -- single-swap compatibility -------------------------------------------
+
+    def run(self) -> SwapOutcome:
+        """Execute this one AC2T to completion (an engine of N=1).
+
+        Processes simulator events until the driver terminates.  Other
+        scheduled activity (miners, failure injectors, other drivers)
+        advances normally in between — the driver itself never blocks the
+        simulation, it just happens to be the only consumer here.
+        """
+        self.start()
+        sim = self.sim
+        while not self.finished and sim.step():
+            pass
+        if not self.finished:
+            # Queue drained with the protocol still undecided (a world
+            # with no miners): finalize from whatever state exists.
+            self._finish()
+        return self.outcome

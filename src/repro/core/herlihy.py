@@ -23,6 +23,11 @@ waves never stabilize (cyclic graphs that stay cyclic after removing the
 leader — Figure 7a) or the graph is disconnected from the leader
 (Figure 7b), a :class:`~repro.errors.GraphError` is raised, matching
 Section 5.3's claims.
+
+The driver is a non-blocking :class:`~repro.core.driver.ProtocolDriver`
+state machine: every activation attempts publishes, redemptions, and
+refunds that the wave discipline currently permits, then yields the
+simulator until the next tick (or block, in eager mode).
 """
 
 from __future__ import annotations
@@ -30,13 +35,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..chain.block import encode_time
-from ..chain.messages import CallMessage, DeployMessage
+from ..chain.messages import CallMessage
 from ..crypto.hashing import hashlock
-from ..crypto.keys import Address
 from ..errors import InsufficientFundsError, GraphError
+from .driver import ProtocolDriver
 from .graph import AssetEdge, SwapGraph
 from .htlc import HTLCContract  # noqa: F401  (registers the contract class)
-from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+from .protocol import SwapEnvironment, SwapOutcome, edge_key
 
 HTLC_CONTRACT_CLASS = "HTLC"
 
@@ -103,53 +108,42 @@ class HerlihyConfig:
     poll_interval: float | None = None
 
 
-class HerlihyDriver:
+class HerlihyDriver(ProtocolDriver):
     """Executes one AC2T with the single-leader HTLC protocol."""
 
     protocol_name = "herlihy"
 
     def __init__(
-        self, env: SwapEnvironment, graph: SwapGraph, config: HerlihyConfig | None = None
+        self,
+        env: SwapEnvironment,
+        graph: SwapGraph,
+        config: HerlihyConfig | None = None,
+        eager: bool = False,
     ) -> None:
-        self.env = env
-        self.graph = graph
         self.config = config or HerlihyConfig()
+        super().__init__(
+            env, graph, poll_interval=self.config.poll_interval, eager=eager
+        )
         self.leader = self.config.leader or graph.participant_names()[0]
         self.waves = compute_publish_waves(graph, self.leader)
         self.num_waves = max(self.waves.values()) + 1
-        self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
-        for edge in graph.edges:
-            self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
 
         self.secret = b"herlihy-secret:" + graph.digest()[:16]
         self.lock = hashlock(self.secret)
-        self._deploys: dict[str, DeployMessage] = {}
         self._redeem_calls: dict[str, CallMessage] = {}
         self._refund_calls: dict[str, CallMessage] = {}
         self._secret_public = False
-        self._submitted: list[tuple[str, bytes]] = []
-        fastest = min(
-            env.chain(c).params.block_interval for c in graph.chains_used()
-        )
-        self._poll = (
-            self.config.poll_interval
-            if self.config.poll_interval is not None
-            else max(fastest / 4.0, 1e-3)
-        )
+        self._deploy_done_at: float | None = None
+        self._t0 = 0.0
+        self._delta = 0.0
+        self._last_timelock = 0.0
+        self._horizon = 0.0
 
     # -- timing ------------------------------------------------------------
 
-    @property
-    def sim(self):
-        return self.env.simulator
-
     def delta(self) -> float:
         """Δ: enough time to publish/alter a contract on any used chain."""
-        return max(
-            self.env.chain(c).params.confirmation_depth
-            * self.env.chain(c).params.block_interval
-            for c in self.graph.chains_used()
-        )
+        return self._max_delta()
 
     def timelock_for(self, edge: AssetEdge, t0: float, delta: float) -> float:
         """Refund time of the contract on ``edge``.
@@ -163,20 +157,6 @@ class HerlihyDriver:
         return t0 + delta * (rungs + self.config.delta_margin)
 
     # -- helpers -------------------------------------------------------------
-
-    def _address_of(self, name: str) -> Address:
-        return self.graph.participant_keys()[name].address()
-
-    def _edge_confirmed(self, edge: AssetEdge) -> bool:
-        key = edge_key(edge)
-        deploy = self._deploys.get(key)
-        if deploy is None:
-            return False
-        chain = self.env.chain(edge.chain_id)
-        ok = chain.message_depth(deploy.message_id()) >= chain.params.confirmation_depth
-        if ok and self.outcome.contracts[key].confirmed_at is None:
-            self.outcome.contracts[key].confirmed_at = self.sim.now
-        return ok
 
     def _contract_state(self, edge: AssetEdge) -> str:
         key = edge_key(edge)
@@ -225,7 +205,7 @@ class HerlihyDriver:
             record.contract_id = deploy.contract_id()
             record.deploy_message_id = deploy.message_id()
             record.deployed_at = self.sim.now
-            self._submitted.append((edge.chain_id, deploy.message_id()))
+            self._track(edge.chain_id, deploy)
 
     # -- redeem phase -------------------------------------------------------------
 
@@ -281,7 +261,7 @@ class HerlihyDriver:
             except InsufficientFundsError:
                 continue  # retry next tick
             self._redeem_calls[key] = call
-            self._submitted.append((edge.chain_id, call.message_id()))
+            self._track(edge.chain_id, call)
 
     def _observe_reveals(self) -> None:
         """The secret becomes public the moment any redemption lands."""
@@ -320,7 +300,7 @@ class HerlihyDriver:
             except InsufficientFundsError:
                 continue  # retry next tick
             self._refund_calls[key] = call
-            self._submitted.append((edge.chain_id, call.message_id()))
+            self._track(edge.chain_id, call)
 
     # -- bookkeeping ------------------------------------------------------------------
 
@@ -339,51 +319,45 @@ class HerlihyDriver:
             if record.final_state in ("RD", "RF") and record.settled_at is None:
                 record.settled_at = self.sim.now
 
-    def _collect_fees(self) -> None:
-        self.outcome.fees_paid = sum(
-            receipt.fee_paid
-            for chain_id, mid in self._submitted
-            if (receipt := self.env.chain(chain_id).receipt(mid)) is not None
-        )
+    # -- state machine ------------------------------------------------------------------
 
-    # -- protocol -----------------------------------------------------------------------
-
-    def run(self) -> SwapOutcome:
-        sim = self.sim
-        t0 = sim.now
-        delta = self.delta()
-        self.outcome.started_at = t0
-        self.outcome.phase_times["start"] = t0
-
+    def _begin(self) -> None:
+        self._t0 = self.sim.now
+        self._delta = self.delta()
+        self.outcome.phase_times["start"] = self._t0
         # The protocol ends for sure once every timelock has expired and
         # the refunds have had time to land.
-        last_timelock = max(
-            self.timelock_for(edge, t0, delta) for edge in self.graph.edges
+        self._last_timelock = max(
+            self.timelock_for(edge, self._t0, self._delta)
+            for edge in self.graph.edges
         )
-        horizon = last_timelock + (self.config.settle_timeout or 2.0 * delta)
+        self._horizon = self._last_timelock + (
+            self.config.settle_timeout or 2.0 * self._delta
+        )
 
-        deploy_done_at = None
-        while sim.now < horizon:
-            self._try_publish(t0, delta)
-            self._observe_reveals()
-            self._try_redeem(t0, delta)
-            self._try_refund(t0, delta)
-            if deploy_done_at is None and len(self._deploys) == len(
-                self.graph.edges
-            ) and all(self._edge_confirmed(e) for e in self.graph.edges):
-                deploy_done_at = sim.now
-                self.outcome.phase_times["contracts_deployed"] = sim.now
-            if self._all_settled() and len(self._deploys) == len(self.graph.edges):
-                break
-            if self._all_settled() and sim.now > last_timelock:
-                break
-            sim.run_until(sim.now + self._poll)
+    def _advance(self) -> None:
+        if self.sim.now >= self._horizon:
+            self._finish()
+            return
+        self._try_publish(self._t0, self._delta)
+        self._observe_reveals()
+        self._try_redeem(self._t0, self._delta)
+        self._try_refund(self._t0, self._delta)
+        if self._deploy_done_at is None and len(self._deploys) == len(
+            self.graph.edges
+        ) and all(self._edge_confirmed(e) for e in self.graph.edges):
+            self._deploy_done_at = self.sim.now
+            self.outcome.phase_times["contracts_deployed"] = self.sim.now
+        if self._all_settled() and (
+            len(self._deploys) == len(self.graph.edges)
+            or self.sim.now > self._last_timelock
+        ):
+            self._finish()
+            return
+        self._schedule_tick()
 
-        self._record_final_states()
-        self._collect_fees()
-        self.outcome.finished_at = sim.now
-        self.outcome.phase_times["settled"] = sim.now
-
+    def _finalize(self) -> None:
+        self.outcome.phase_times["settled"] = self.sim.now
         redeemed = sum(
             1 for r in self.outcome.contracts.values() if r.final_state == "RD"
         )
@@ -398,7 +372,6 @@ class HerlihyDriver:
             self.outcome.notes.append(
                 "HTLC timelocks produced a non-atomic settlement"
             )
-        return self.outcome
 
 
 def run_herlihy(

@@ -38,10 +38,14 @@ class NolanDriver(HerlihyDriver):
     protocol_name = "nolan"
 
     def __init__(
-        self, env: SwapEnvironment, graph: SwapGraph, config: HerlihyConfig | None = None
+        self,
+        env: SwapEnvironment,
+        graph: SwapGraph,
+        config: HerlihyConfig | None = None,
+        eager: bool = False,
     ) -> None:
         validate_two_party(graph)
-        super().__init__(env, graph, config)
+        super().__init__(env, graph, config, eager=eager)
         self.outcome.protocol = self.protocol_name
 
 

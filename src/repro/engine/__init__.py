@@ -1,0 +1,14 @@
+"""Event-driven execution layer: many concurrent AC2Ts, one simulation."""
+
+from .engine import PROTOCOLS, EngineResult, SwapEngine, SwapRequest
+from .metrics import EngineMetrics, compute_metrics, percentile
+
+__all__ = [
+    "PROTOCOLS",
+    "EngineMetrics",
+    "EngineResult",
+    "SwapEngine",
+    "SwapRequest",
+    "compute_metrics",
+    "percentile",
+]

@@ -1,0 +1,288 @@
+"""The SwapEngine: hundreds of concurrent AC2Ts over shared chains.
+
+The paper's evaluation measures protocols under *many concurrent*
+cross-chain transactions; the engine is the execution layer that makes
+that possible in this reproduction.  It multiplexes N in-flight
+:class:`~repro.core.driver.ProtocolDriver` state machines over one
+shared simulation (chains, mempools, miners), with:
+
+* **open-loop arrivals** — swaps are submitted at caller-chosen times
+  (typically a Poisson schedule from
+  :func:`repro.workloads.scenarios.poisson_arrivals`) and launched by
+  simulator callbacks, independent of how fast earlier swaps finish;
+* **per-swap isolation** — each swap gets its own driver and
+  :class:`~repro.core.protocol.SwapOutcome`; contention is mediated
+  entirely by the shared chains and mempools, exactly like real traffic;
+* **aggregate metrics** — commit rate, latency percentiles, swaps/sec
+  (:mod:`repro.engine.metrics`).
+
+Protocols can be mixed freely within one engine run; the single-swap
+``run_*`` helpers in :mod:`repro.core` are simply this engine with N=1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.ac3tw import AC3TWConfig, AC3TWDriver, TrustedWitness
+from ..core.ac3wn import AC3WNConfig, AC3WNDriver
+from ..core.driver import ProtocolDriver
+from ..core.graph import SwapGraph
+from ..core.herlihy import HerlihyConfig, HerlihyDriver
+from ..core.nolan import NolanDriver, validate_two_party
+from ..core.protocol import SwapEnvironment, SwapOutcome
+from ..errors import ProtocolError, ReproError, SchedulingError
+from .metrics import EngineMetrics, compute_metrics
+
+PROTOCOLS = ("nolan", "herlihy", "ac3tw", "ac3wn")
+
+
+@dataclass
+class SwapRequest:
+    """One submitted AC2T: its graph, protocol, and lifecycle record."""
+
+    swap_id: int
+    graph: SwapGraph
+    protocol: str
+    arrival_time: float
+    config: object | None = None
+    driver: ProtocolDriver | None = None
+    outcome: SwapOutcome | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome is not None
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced."""
+
+    outcomes: list[SwapOutcome]
+    metrics: EngineMetrics
+    by_protocol: dict[str, EngineMetrics]
+    requests: list[SwapRequest] = field(repr=False, default_factory=list)
+
+    def trace(self) -> list[tuple[int, str, str, float, float]]:
+        """A compact deterministic fingerprint of the run, for tests:
+        ``(swap_id, protocol, decision, started_at, finished_at)``."""
+        return [
+            (
+                request.swap_id,
+                request.protocol,
+                request.outcome.decision,
+                request.outcome.started_at,
+                request.outcome.finished_at,
+            )
+            for request in self.requests
+            if request.outcome is not None
+        ]
+
+
+class SwapEngine:
+    """Runs many AC2Ts concurrently over one shared simulation.
+
+    Args:
+        env: the shared world (typically built by
+            :func:`repro.workloads.scenarios.build_multi_scenario`).
+        default_protocol: protocol used when :meth:`submit` gets none.
+        witness_chain_id: coordinating chain for AC3WN swaps (default:
+            the environment's ``witness_chain_id``, else ``"witness"``).
+        trusted_witness: shared Trent instance for AC3TW swaps (default:
+            one Trent with full-node access to every chain — shared
+            across swaps, like the real single-witness deployment).
+        eager: if True, drivers also advance on on-block-mined hooks
+            instead of only on their poll ticks (lower observation
+            latency; identical safety).
+    """
+
+    def __init__(
+        self,
+        env: SwapEnvironment,
+        default_protocol: str = "ac3wn",
+        witness_chain_id: str | None = None,
+        trusted_witness: TrustedWitness | None = None,
+        eager: bool = False,
+    ) -> None:
+        if default_protocol not in PROTOCOLS:
+            raise ProtocolError(
+                f"unknown protocol {default_protocol!r}; expected one of {PROTOCOLS}"
+            )
+        self.env = env
+        self.default_protocol = default_protocol
+        self.witness_chain_id = witness_chain_id or getattr(
+            env, "witness_chain_id", "witness"
+        )
+        self._trusted_witness = trusted_witness
+        self.eager = eager
+        self.requests: list[SwapRequest] = []
+        self._completed = 0
+        self._in_flight = 0
+        self.max_in_flight = 0
+
+    # -- witness services --------------------------------------------------
+
+    @property
+    def trusted_witness(self) -> TrustedWitness:
+        """The shared Trent instance (created on first AC3TW swap)."""
+        if self._trusted_witness is None:
+            self._trusted_witness = TrustedWitness(self.env.chains)
+        return self._trusted_witness
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self,
+        graph: SwapGraph,
+        protocol: str | None = None,
+        at: float | None = None,
+        config: object | None = None,
+    ) -> SwapRequest:
+        """Queue one AC2T for execution at simulation time ``at``.
+
+        Open loop: the arrival fires regardless of how many earlier
+        swaps are still in flight.  Returns the request record, whose
+        ``outcome`` is populated once the swap reaches a terminal state.
+        """
+        protocol = protocol or self.default_protocol
+        if protocol not in PROTOCOLS:
+            raise ProtocolError(
+                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+            )
+        if protocol == "nolan":
+            # Fail at the submit call site, not inside an arrival event.
+            validate_two_party(graph)
+        sim = self.env.simulator
+        arrival = max(sim.now, sim.now if at is None else at)
+        request = SwapRequest(
+            swap_id=len(self.requests),
+            graph=graph,
+            protocol=protocol,
+            arrival_time=arrival,
+            config=config,
+        )
+        self.requests.append(request)
+        sim.schedule_at(
+            arrival,
+            lambda: self._launch(request),
+            label=f"swap-{request.swap_id} arrival ({protocol})",
+        )
+        return request
+
+    def submit_many(
+        self,
+        traffic: list[tuple[float, SwapGraph]],
+        protocol: str | None = None,
+        offset: float = 0.0,
+    ) -> list[SwapRequest]:
+        """Submit an ``(arrival_time, graph)`` schedule in one call.
+
+        Pass ``offset=env.simulator.now`` for schedules generated from
+        time 0 when the world has already warmed up — otherwise every
+        arrival before ``now`` is clamped to ``now`` and the head of the
+        schedule degenerates into one simultaneous batch.
+        """
+        return [
+            self.submit(graph, protocol=protocol, at=offset + at)
+            for at, graph in traffic
+        ]
+
+    # -- execution ---------------------------------------------------------
+
+    def _make_driver(self, request: SwapRequest) -> ProtocolDriver:
+        env, graph, config = self.env, request.graph, request.config
+        if request.protocol == "nolan":
+            return NolanDriver(env, graph, config or HerlihyConfig(), eager=self.eager)
+        if request.protocol == "herlihy":
+            return HerlihyDriver(env, graph, config or HerlihyConfig(), eager=self.eager)
+        if request.protocol == "ac3tw":
+            return AC3TWDriver(
+                env,
+                graph,
+                self.trusted_witness,
+                config or AC3TWConfig(),
+                eager=self.eager,
+            )
+        return AC3WNDriver(
+            env,
+            graph,
+            config or AC3WNConfig(witness_chain_id=self.witness_chain_id),
+            eager=self.eager,
+        )
+
+    def _launch(self, request: SwapRequest) -> None:
+        try:
+            driver = self._make_driver(request)
+        except ReproError as exc:
+            # A swap the protocol cannot even start (e.g. an
+            # unsequenceable Herlihy graph) must not take the other
+            # in-flight swaps down with it: record a per-swap failure.
+            outcome = SwapOutcome(protocol=request.protocol, graph=request.graph)
+            outcome.started_at = outcome.finished_at = self.env.simulator.now
+            outcome.decision = "undecided"
+            outcome.notes.append(f"driver construction failed: {exc}")
+            request.outcome = outcome
+            self._completed += 1  # never entered flight
+            return
+        request.driver = driver
+        self._in_flight += 1
+        self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        driver.on_complete.append(
+            lambda outcome, request=request: self._on_complete(request, outcome)
+        )
+        driver.start()
+
+    def _on_complete(self, request: SwapRequest, outcome: SwapOutcome) -> None:
+        request.outcome = outcome
+        self._in_flight -= 1
+        self._completed += 1
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def run(self, max_events: int = 50_000_000) -> EngineResult:
+        """Drive the simulation until every submitted swap terminates.
+
+        The engine never blocks inside a driver: it simply pumps the
+        shared event queue; drivers, miners, failure injectors, and
+        arrival callbacks all interleave on the simulator clock.
+        """
+        sim = self.env.simulator
+        processed = 0
+        while self._completed < len(self.requests):
+            if processed >= max_events:
+                raise SchedulingError(f"engine exceeded {max_events} events")
+            if not sim.step():
+                break
+            processed += 1
+        # A drained queue with unfinished swaps means a world without
+        # miners; finalize those drivers from whatever state exists.
+        for request in self.requests:
+            if request.driver is not None and not request.driver.finished:
+                request.driver._finish()
+        return self.result()
+
+    # -- results -----------------------------------------------------------
+
+    def result(self) -> EngineResult:
+        """Aggregate the completed swaps (callable mid-run as well)."""
+        done = [r for r in self.requests if r.outcome is not None]
+        outcomes = [r.outcome for r in done]
+        protocols = sorted({r.protocol for r in done})
+        overall_name = protocols[0] if len(protocols) == 1 else "mixed"
+        by_protocol = {
+            protocol: compute_metrics(
+                [r.outcome for r in done if r.protocol == protocol],
+                protocol=protocol,
+            )
+            for protocol in protocols
+        }
+        return EngineResult(
+            outcomes=outcomes,
+            metrics=compute_metrics(
+                outcomes, protocol=overall_name, max_in_flight=self.max_in_flight
+            ),
+            by_protocol=by_protocol,
+            requests=list(self.requests),
+        )

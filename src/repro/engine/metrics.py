@@ -1,0 +1,127 @@
+"""Aggregate metrics over a batch of concurrently executed AC2Ts.
+
+The paper's evaluation (Table 1, Figures 8-10) quantifies protocols by
+throughput and latency under load; :func:`compute_metrics` distills a
+set of :class:`~repro.core.protocol.SwapOutcome` records produced by the
+:class:`~repro.engine.engine.SwapEngine` into those aggregate numbers.
+Everything here is a pure function of the outcomes, so metrics are
+exactly as deterministic as the simulation that produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.protocol import SwapOutcome
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of a non-empty list."""
+    if not values:
+        raise ValueError("percentile of an empty list")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be within [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class EngineMetrics:
+    """Aggregate result of one engine run (or one protocol's slice of it).
+
+    Attributes:
+        protocol: protocol name, or "mixed" for a multi-protocol batch.
+        total: number of swaps that completed (reached a terminal state).
+        committed / aborted / mixed / undecided: decision counts.
+        atomicity_violations: swaps whose settled contracts mixed RD and
+            RF — zero for the witness-based protocols by construction.
+        commit_rate: committed / total (0.0 for an empty batch).
+        mean_latency / p50_latency / p99_latency: per-swap wall-clock in
+            simulation seconds, from driver start to terminal state.
+        swaps_per_second: total / makespan — the engine-level throughput
+            Table 1's min() rule bounds from above.
+        makespan: last finish minus first start over the whole batch.
+        first_started_at / last_finished_at: batch boundaries.
+        max_in_flight: peak number of concurrently active swaps.
+        total_fees: fees spent across every swap and chain.
+    """
+
+    protocol: str
+    total: int
+    committed: int
+    aborted: int
+    mixed: int
+    undecided: int
+    atomicity_violations: int
+    commit_rate: float
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+    swaps_per_second: float
+    makespan: float
+    first_started_at: float
+    last_finished_at: float
+    max_in_flight: int
+    total_fees: int
+
+    @property
+    def commits_per_second(self) -> float:
+        """Committed AC2Ts per simulated second over the makespan."""
+        return self.committed / self.makespan if self.makespan > 0 else 0.0
+
+
+def compute_metrics(
+    outcomes: list[SwapOutcome],
+    protocol: str = "mixed",
+    max_in_flight: int = 0,
+) -> EngineMetrics:
+    """Summarize completed outcomes into an :class:`EngineMetrics`."""
+    if not outcomes:
+        return EngineMetrics(
+            protocol=protocol,
+            total=0,
+            committed=0,
+            aborted=0,
+            mixed=0,
+            undecided=0,
+            atomicity_violations=0,
+            commit_rate=0.0,
+            mean_latency=0.0,
+            p50_latency=0.0,
+            p99_latency=0.0,
+            swaps_per_second=0.0,
+            makespan=0.0,
+            first_started_at=0.0,
+            last_finished_at=0.0,
+            max_in_flight=max_in_flight,
+            total_fees=0,
+        )
+    decisions = [outcome.decision for outcome in outcomes]
+    latencies = [outcome.latency for outcome in outcomes]
+    first_start = min(outcome.started_at for outcome in outcomes)
+    last_finish = max(outcome.finished_at for outcome in outcomes)
+    makespan = last_finish - first_start
+    total = len(outcomes)
+    committed = decisions.count("commit")
+    return EngineMetrics(
+        protocol=protocol,
+        total=total,
+        committed=committed,
+        aborted=decisions.count("abort"),
+        mixed=decisions.count("mixed"),
+        undecided=decisions.count("undecided"),
+        atomicity_violations=sum(1 for o in outcomes if not o.is_atomic),
+        commit_rate=committed / total,
+        mean_latency=sum(latencies) / total,
+        p50_latency=percentile(latencies, 50.0),
+        p99_latency=percentile(latencies, 99.0),
+        swaps_per_second=(total / makespan) if makespan > 0 else 0.0,
+        makespan=makespan,
+        first_started_at=first_start,
+        last_finished_at=last_finish,
+        max_in_flight=max_in_flight,
+        total_fees=sum(outcome.fees_paid for outcome in outcomes),
+    )

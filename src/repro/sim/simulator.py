@@ -104,22 +104,27 @@ class Simulator:
         """Run until ``predicate()`` holds or ``timeout`` is reached.
 
         Returns True iff the predicate became true.  The predicate is
-        checked after every event, so it may inspect any simulation state.
+        checked once per simulation *timestamp* — after all events at a
+        given time have fired — so it may inspect any simulation state
+        without paying a per-event re-evaluation cost on hot loops.
+        The queue's next-event time is peeked exactly once per event and
+        reused for both the deadline check and the new-timestamp check.
         """
         deadline = self.now + timeout
         if predicate():
             return True
         processed = 0
-        while processed < max_events:
-            next_time = self._queue.peek_time()
-            if next_time is None or next_time > deadline:
-                break
+        next_time = self._queue.peek_time()
+        while next_time is not None and next_time <= deadline:
+            if processed >= max_events:
+                raise SchedulingError(f"simulation exceeded {max_events} events")
             self.step()
             processed += 1
-            if predicate():
+            next_time = self._queue.peek_time()
+            # Only re-check once the batch of events at self.now is done:
+            # the next event (if any) sits at a strictly later timestamp.
+            if (next_time is None or next_time > self.now) and predicate():
                 return True
-        if processed >= max_events:
-            raise SchedulingError(f"simulation exceeded {max_events} events")
         if deadline > self.now:
             self.now = deadline
         return predicate()

@@ -16,13 +16,15 @@ from ..chain.mempool import Mempool
 from ..chain.miner import MinerNode
 from ..chain.params import ChainParams, fast_chain
 from ..core.evidence import FullReplicaValidator, LightClientValidator
-from ..core.graph import SwapGraph
+from ..core.graph import AssetEdge, SwapGraph
 from ..core.participant import ChainHandle, Participant
 from ..core.protocol import SwapEnvironment
 from ..errors import ProtocolError
 from ..sim.failures import FailureInjector, FailureSchedule
 from ..sim.network import LatencyModel, Network
+from ..sim.rng import RngStream
 from ..sim.simulator import Simulator
+from .graphs import DEFAULT_AMOUNT, participant_keys
 
 DEFAULT_FUNDING = 100_000
 
@@ -201,6 +203,201 @@ def _wire_validators(
                 if other_id != chain_id:
                     validator.track(other)
         chain.validators = validator
+
+
+# ---------------------------------------------------------------------------
+# Multi-swap traffic: the workloads the SwapEngine multiplexes
+# ---------------------------------------------------------------------------
+
+
+def poisson_arrivals(
+    num_swaps: int, rate: float, stream: RngStream, start: float = 0.0
+) -> list[float]:
+    """Open-loop Poisson arrival times: ``num_swaps`` events at ``rate``/s.
+
+    Inter-arrival gaps are exponential with mean ``1/rate``, drawn from a
+    named deterministic stream, so a traffic schedule is a pure function
+    of (seed, stream name, num_swaps, rate).
+    """
+    if num_swaps < 0:
+        raise ProtocolError("num_swaps must be non-negative")
+    arrivals: list[float] = []
+    now = start
+    for _ in range(num_swaps):
+        now += stream.expovariate(rate)
+        arrivals.append(now)
+    return arrivals
+
+
+def swap_traffic_graphs(
+    num_swaps: int,
+    chain_ids: list[str],
+    participants_per_swap: int = 2,
+    amount: int = DEFAULT_AMOUNT,
+    prefix: str = "swap",
+) -> list[SwapGraph]:
+    """Independent AC2T graphs for engine traffic, one per user group.
+
+    Every swap gets its own namespaced participants (``swap0007.a`` …),
+    mirroring distinct end-users, so concurrent swaps never contend for
+    each other's keys or UTXOs — contention happens where it should, on
+    the shared chains and mempools.  Edges form a directed ring over the
+    swap's participants; chains are assigned round-robin with a per-swap
+    rotation so load spreads across ``chain_ids``.
+    """
+    if participants_per_swap < 2:
+        raise ProtocolError("a swap needs at least two participants")
+    if not chain_ids:
+        raise ProtocolError("swap traffic needs at least one asset chain")
+    graphs: list[SwapGraph] = []
+    for index in range(num_swaps):
+        names = [
+            f"{prefix}{index:04d}.{chr(ord('a') + j)}"
+            for j in range(participants_per_swap)
+        ]
+        keys = participant_keys(names)
+        edges = [
+            AssetEdge(
+                source=names[j],
+                recipient=names[(j + 1) % len(names)],
+                chain_id=chain_ids[(index + j) % len(chain_ids)],
+                amount=amount,
+            )
+            for j in range(len(names))
+        ]
+        graphs.append(SwapGraph.build(keys, edges, timestamp=index))
+    return graphs
+
+
+def poisson_swap_traffic(
+    num_swaps: int,
+    rate: float,
+    seed: int = 0,
+    chain_ids: list[str] | None = None,
+    participants_per_swap: int = 2,
+    amount: int = DEFAULT_AMOUNT,
+    start: float = 0.0,
+    prefix: str = "swap",
+) -> list[tuple[float, SwapGraph]]:
+    """An ``(arrival_time, graph)`` schedule ready for ``submit_many``.
+
+    The arrival stream is derived from its own named RNG stream so the
+    schedule never perturbs (and is never perturbed by) the simulation's
+    other randomness.
+    """
+    chain_ids = chain_ids or ["chain-a", "chain-b"]
+    stream = RngStream(seed, "workload/poisson-arrivals")
+    arrivals = poisson_arrivals(num_swaps, rate, stream, start=start)
+    graphs = swap_traffic_graphs(
+        num_swaps,
+        chain_ids,
+        participants_per_swap=participants_per_swap,
+        amount=amount,
+        prefix=prefix,
+    )
+    return list(zip(arrivals, graphs))
+
+
+def build_multi_scenario(
+    graphs: list[SwapGraph],
+    witness_chain_id: str = "witness",
+    chain_params: dict[str, ChainParams] | None = None,
+    seed: int = 0,
+    funding: int = DEFAULT_FUNDING,
+    funding_chunks: int = 4,
+    validator_mode: str = "anchor",
+    block_interval: float = 1.0,
+    confirmation_depth: int = 2,
+    latency: LatencyModel | None = None,
+) -> ScenarioEnvironment:
+    """Build one shared world serving *many* AC2T graphs at once.
+
+    Unlike :func:`build_scenario` (one graph, every participant funded on
+    every chain), this funds each swap's participants only on the chains
+    their swap touches plus the witness chain — with hundreds of swaps,
+    per-swap funding keeps the genesis blocks (and coin selection) small.
+    """
+    if validator_mode not in VALIDATOR_MODES:
+        raise ProtocolError(
+            f"validator_mode must be one of {VALIDATOR_MODES}, got {validator_mode!r}"
+        )
+    if not graphs:
+        raise ProtocolError("a multi-swap scenario needs at least one graph")
+    simulator = Simulator(seed=seed)
+    network = Network(simulator, latency=latency or LatencyModel())
+
+    ordered_chains: list[str] = []
+    seen: set[str] = set()
+    for graph in graphs:
+        for chain_id in sorted(graph.chains_used()):
+            if chain_id not in seen:
+                seen.add(chain_id)
+                ordered_chains.append(chain_id)
+    if witness_chain_id not in seen:
+        ordered_chains.append(witness_chain_id)
+
+    # Which chains each participant needs funds and access on.
+    chains_of: dict[str, list[str]] = {}
+    for graph in graphs:
+        graph_chains = sorted(graph.chains_used() | {witness_chain_id})
+        for name in graph.participant_names():
+            if name in chains_of:
+                raise ProtocolError(
+                    f"participant {name!r} appears in more than one graph; "
+                    f"namespace traffic participants per swap"
+                )
+            chains_of[name] = graph_chains
+
+    actors = {
+        name: Participant(simulator, name, network=network)
+        for name in sorted(chains_of)
+    }
+
+    chains: dict[str, Blockchain] = {}
+    mempools: dict[str, Mempool] = {}
+    miners: dict[str, MinerNode] = {}
+    chunk = max(funding // max(funding_chunks, 1), 1)
+    for chain_id in ordered_chains:
+        params = (chain_params or {}).get(chain_id) or fast_chain(
+            chain_id,
+            block_interval=block_interval,
+            confirmation_depth=confirmation_depth,
+        )
+        allocations = []
+        for name in sorted(chains_of):
+            if chain_id not in chains_of[name]:
+                continue
+            remaining = funding
+            while remaining > 0:
+                value = min(chunk, remaining)
+                allocations.append((actors[name].address, value))
+                remaining -= value
+        chain = Blockchain(params, allocations)
+        mempool = Mempool(chain)
+        miner = MinerNode(simulator, chain, mempool, network=network)
+        chains[chain_id] = chain
+        mempools[chain_id] = mempool
+        miners[chain_id] = miner
+        handle = ChainHandle(chain=chain, mempool=mempool)
+        for name, actor in actors.items():
+            if chain_id in chains_of[name]:
+                actor.join_chain(handle)
+
+    _wire_validators(chains, witness_chain_id, validator_mode)
+
+    env = ScenarioEnvironment(
+        simulator=simulator,
+        chains=chains,
+        mempools=mempools,
+        participants=actors,
+        network=network,
+        miners=miners,
+        injector=FailureInjector(simulator, network),
+        witness_chain_id=witness_chain_id,
+        validator_mode=validator_mode,
+    )
+    env.start_mining()
+    return env
 
 
 def fund_edges(env: ScenarioEnvironment, graph: SwapGraph) -> None:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.chain.chain import Blockchain
+from repro.chain.contracts import DEFAULT_REGISTRY
 from repro.chain.mempool import Mempool
 from repro.chain.miner import MinerNode
 from repro.chain.params import fast_chain
@@ -53,3 +54,18 @@ def mempool(chain):
 @pytest.fixture
 def miner(simulator, chain, mempool):
     return MinerNode(simulator, chain, mempool)
+
+
+@pytest.fixture
+def scoped_registry():
+    """Scope contract-class registrations to one test.
+
+    Classes registered in the default registry during the test (e.g. ad
+    hoc ``@register_contract`` test contracts) are unregistered again on
+    teardown, so repeated runs and cross-module imports stay idempotent.
+    """
+    before = set(DEFAULT_REGISTRY.registered_names())
+    yield DEFAULT_REGISTRY
+    for name in DEFAULT_REGISTRY.registered_names():
+        if name not in before:
+            DEFAULT_REGISTRY.unregister(name)

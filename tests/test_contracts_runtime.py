@@ -3,6 +3,7 @@
 import pytest
 
 from repro.chain.contracts import (
+    DEFAULT_REGISTRY,
     ContractRegistry,
     SmartContract,
     register_contract,
@@ -13,12 +14,18 @@ from repro.chain.transaction import TxInput, TxOutput
 from repro.errors import ContractError, FeeError, UnknownContractError, ValidationError
 from tests.conftest import ALICE, BOB, MINER
 
+# This module is importable both as ``test_contracts_runtime`` (pytest
+# collection) and as ``tests.test_contracts_runtime`` (helper imports from
+# other test files), so the module body can execute twice.  Unregistering
+# first keeps the class registration idempotent across the two copies.
+DEFAULT_REGISTRY.unregister("DemoVault")
+
 
 @register_contract
 class Vault(SmartContract):
     """Test contract: lock value, release on demand, guarded ops."""
 
-    CLASS_NAME = "TestVault"
+    CLASS_NAME = "DemoVault"
 
     def constructor(self, ctx, beneficiary_raw: bytes):
         from repro.crypto.keys import Address
@@ -57,7 +64,7 @@ def deploy_vault(chain, value=1000, fee=10, sender=ALICE, beneficiary=BOB):
     inputs, change = funding_for(chain, sender, value + fee)
     msg = DeployMessage(
         sender=sender.public_key,
-        contract_class="TestVault",
+        contract_class="DemoVault",
         args=(beneficiary.address.raw,),
         value=value,
         fee=fee,
@@ -110,7 +117,7 @@ class TestDeployment:
         inputs, change = funding_for(chain, ALICE, 10)
         msg = DeployMessage(
             sender=ALICE.public_key,
-            contract_class="TestVault",
+            contract_class="DemoVault",
             args=(BOB.address.raw,),
             value=0,
             fee=10,
@@ -125,7 +132,7 @@ class TestDeployment:
     def test_underfunded_deploy_rejected(self, chain):
         msg = DeployMessage(
             sender=ALICE.public_key,
-            contract_class="TestVault",
+            contract_class="DemoVault",
             args=(BOB.address.raw,),
             value=100,
             fee=10,
@@ -213,10 +220,10 @@ class TestCalls:
         # …so the attached value is refunded to Bob, not kept.
         assert chain.contract(deploy.contract_id()).balance == 100
 
-    def test_events_recorded_in_receipt(self, chain):
+    def test_events_recorded_in_receipt(self, chain, scoped_registry):
         @register_contract
         class Emitter(SmartContract):
-            CLASS_NAME = "TestEmitter"
+            CLASS_NAME = "DemoEmitter"
 
             def ping(self, ctx):
                 ctx.emit("pinged", by=str(ctx.sender))
@@ -225,7 +232,7 @@ class TestCalls:
         deploy = sign_message(
             DeployMessage(
                 sender=ALICE.public_key,
-                contract_class="TestEmitter",
+                contract_class="DemoEmitter",
                 args=(),
                 fee=10,
                 inputs=inputs,
@@ -278,5 +285,5 @@ class TestRegistry:
     def test_describe_snapshot(self, chain):
         deploy = deploy_vault(chain, value=77)
         snapshot = chain.contract(deploy.contract_id()).describe()
-        assert snapshot["class"] == "TestVault"
+        assert snapshot["class"] == "DemoVault"
         assert snapshot["balance"] == 77

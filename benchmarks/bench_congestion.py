@@ -1,0 +1,122 @@
+"""Congestion smoke benchmark: fee markets price swaps out, atomically.
+
+Runs an oversubscribed 50-swap fee-market scenario (arrival rate x
+messages-per-swap far above the block-space budget) and checks the
+economy subsystem's invariants: low-fee-budget swaps get priced out
+while high-fee-budget swaps commit, every decision stays atomic, and the
+whole run is seed-reproducible.  A small arrival-rate sweep pins the
+qualitative curve: congestion costs commits.  Budgeted to finish in well
+under a minute so CI runs it on every pull request alongside
+``bench_engine_smoke``.
+"""
+
+from repro.economy import FeePolicy
+from repro.engine import SwapEngine
+from repro.workloads.scenarios import (
+    LOW_FEE_BUDGET,
+    build_multi_scenario,
+    congestion_swap_traffic,
+)
+
+from conftest import print_table
+
+SMOKE_SWAPS = 50
+SMOKE_RATE = 12.0
+SMOKE_SEED = 7
+SMOKE_POLICY = FeePolicy(block_weight_budget=16, capacity_weight=96)
+
+
+def _congestion_run(num_swaps=SMOKE_SWAPS, rate=SMOKE_RATE, seed=SMOKE_SEED):
+    traffic = congestion_swap_traffic(
+        num_swaps, rate=rate, seed=seed, chain_ids=["c0", "c1"]
+    )
+    env = build_multi_scenario(
+        [item.graph for item in traffic], seed=seed, fee_policy=SMOKE_POLICY
+    )
+    env.warm_up(2)
+    engine = SwapEngine(env)
+    engine.submit_many(traffic, offset=env.simulator.now)
+    return engine.run()
+
+
+def _by_class(result):
+    low = [o for o in result.outcomes if o.fee_cap == LOW_FEE_BUDGET.cap]
+    high = [o for o in result.outcomes if o.fee_cap != LOW_FEE_BUDGET.cap]
+    return low, high
+
+
+def _commit_rate(outcomes):
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if o.decision == "commit") / len(outcomes)
+
+
+def test_congestion_smoke_oversubscribed(benchmark, table_printer):
+    """Oversubscribed run: the poor are priced out, the rich commit."""
+    result = benchmark.pedantic(_congestion_run, rounds=1, iterations=1)
+    metrics = result.metrics
+    low, high = _by_class(result)
+    rows = [
+        [
+            label,
+            len(outcomes),
+            f"{_commit_rate(outcomes):.1%}",
+            sum(1 for o in outcomes if o.priced_out),
+            sum(o.evictions for o in outcomes),
+            sum(o.fee_bumps for o in outcomes),
+        ]
+        for label, outcomes in (("low", low), ("high", high))
+    ]
+    table_printer(
+        f"Congestion smoke: {SMOKE_SWAPS} swaps, commit {metrics.commit_rate:.1%}, "
+        f"priced out {metrics.priced_out_rate:.1%}, "
+        f"fee/commit {metrics.fee_per_commit:.1f}",
+        ["class", "swaps", "commit", "priced out", "evictions", "bumps"],
+        rows,
+    )
+    assert metrics.total == SMOKE_SWAPS
+    assert metrics.atomicity_violations == 0
+    # Congestion must actually bite: evictions happened and some swaps
+    # were priced out of block space entirely.
+    assert metrics.evictions > 0
+    assert metrics.priced_out > 0
+    # The fee market allocates block space by willingness to pay.
+    assert _commit_rate(high) > _commit_rate(low)
+    # Only budget-capped (low) swaps get priced out at these knobs.
+    assert all(o.fee_cap == LOW_FEE_BUDGET.cap for o in result.outcomes if o.priced_out)
+
+
+def test_congestion_smoke_seed_reproducible():
+    """Two identical congestion runs produce identical traces/metrics."""
+    first = _congestion_run()
+    second = _congestion_run()
+    assert first.trace() == second.trace()
+    assert first.metrics == second.metrics
+
+
+def test_congestion_rate_sweep(table_printer):
+    """Arrival rate vs commit rate: oversubscription prices swaps out."""
+    rows = []
+    commit_rates = []
+    for rate in (2.0, 6.0, 14.0):
+        result = _congestion_run(num_swaps=44, rate=rate, seed=11)
+        metrics = result.metrics
+        assert metrics.atomicity_violations == 0
+        commit_rates.append(metrics.commit_rate)
+        rows.append(
+            [
+                f"{rate:.0f}/s",
+                metrics.total,
+                f"{metrics.commit_rate:.1%}",
+                metrics.priced_out,
+                metrics.evictions,
+                f"{metrics.fee_per_commit:.1f}",
+            ]
+        )
+    table_printer(
+        "Congestion sweep: arrival rate vs commit rate (44 swaps each)",
+        ["rate", "swaps", "commit", "priced out", "evictions", "fee/commit"],
+        rows,
+    )
+    # The uncongested end of the sweep must out-commit the oversubscribed end.
+    assert commit_rates[0] > commit_rates[-1]

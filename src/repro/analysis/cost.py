@@ -1,4 +1,4 @@
-"""Section 6.2: monetary cost model.
+"""Section 6.2: monetary cost model — analytic and measured.
 
 Both protocols deploy one contract per edge (``N = |E|``) and settle each
 with one function call.  AC3WN additionally deploys the coordinator
@@ -11,6 +11,13 @@ an overhead of exactly ``1/N`` of the baseline fee.  The paper quotes a
 real-world figure of roughly $2–4 for an ``SCw``-like contract on
 Ethereum depending on the ETH/USD rate ($4 at $300/ETH, ~$2 at
 $140/ETH).
+
+Under a fee market (``repro.economy``) the flat fees ``fd``/``ffc`` are
+only the floor: congestion prices messages above it, and swaps that
+cannot pay are evicted rather than delayed.
+:func:`congestion_cost_report` compares the *measured* fee spend per
+committed swap against the Table 1 model and quantifies the congestion
+premium plus the priced-out casualties.
 """
 
 from __future__ import annotations
@@ -74,6 +81,84 @@ def scw_cost_usd(eth_usd_rate: float) -> float:
     if eth_usd_rate <= 0:
         raise ValueError("exchange rate must be positive")
     return SCW_ETH_COST * eth_usd_rate
+
+
+def model_swap_cost(protocol: str, num_contracts: int, fd: float, ffc: float) -> float:
+    """Table 1 model fee of one committed AC2T under ``protocol``.
+
+    The witness-network protocol pays for the extra ``SCw`` deploy+call;
+    every other protocol (Herlihy, Nolan's two-party special case, and
+    the trusted-witness variant, whose witness works off-chain) pays the
+    per-edge baseline.
+    """
+    if protocol == "ac3wn":
+        return ac3wn_cost(num_contracts, fd, ffc).total
+    return herlihy_cost(num_contracts, fd, ffc).total
+
+
+@dataclass(frozen=True)
+class CongestionCostRow:
+    """Measured-vs-model economics of one protocol's slice of a run."""
+
+    protocol: str
+    swaps: int
+    committed: int
+    priced_out: int
+    evictions: int
+    fee_bumps: int
+    fee_per_commit: float
+    model_fee_per_commit: float
+
+    @property
+    def priced_out_rate(self) -> float:
+        return self.priced_out / self.swaps if self.swaps else 0.0
+
+    @property
+    def congestion_premium(self) -> float:
+        """Measured fee spend over the Table 1 model (1.0 = at model)."""
+        if self.model_fee_per_commit <= 0:
+            return 0.0
+        return self.fee_per_commit / self.model_fee_per_commit
+
+
+def congestion_cost_report(
+    outcomes: list, fd: float, ffc: float
+) -> list[CongestionCostRow]:
+    """Per-protocol fee economics of a congested engine run.
+
+    ``outcomes`` are :class:`~repro.core.protocol.SwapOutcome` records;
+    ``fd``/``ffc`` are the flat deploy/call fees the Table 1 model
+    prices with (use the scenario chains' fee schedule).
+    """
+    rows: list[CongestionCostRow] = []
+    for protocol in sorted({o.protocol for o in outcomes}):
+        slice_ = [o for o in outcomes if o.protocol == protocol]
+        committed = [o for o in slice_ if o.decision == "commit"]
+        fee_per_commit = (
+            sum(o.fees_paid for o in committed) / len(committed) if committed else 0.0
+        )
+        model = (
+            sum(
+                model_swap_cost(protocol, o.graph.num_contracts, fd, ffc)
+                for o in committed
+            )
+            / len(committed)
+            if committed
+            else 0.0
+        )
+        rows.append(
+            CongestionCostRow(
+                protocol=protocol,
+                swaps=len(slice_),
+                committed=len(committed),
+                priced_out=sum(1 for o in slice_ if o.priced_out),
+                evictions=sum(o.evictions for o in slice_),
+                fee_bumps=sum(o.fee_bumps for o in slice_),
+                fee_per_commit=fee_per_commit,
+                model_fee_per_commit=model,
+            )
+        )
+    return rows
 
 
 def cost_table(

@@ -63,6 +63,10 @@ class Blockchain:
         self._work: dict[bytes, int] = {}
         self._states: dict[bytes, ChainState] = {}
         self._message_index: dict[bytes, list[MessageLocation]] = {}
+        #: height -> block hash along the current main chain, maintained
+        #: incrementally on connect/reorg so main-chain membership,
+        #: block_at_height, and message_depth are all O(1).
+        self._height_index: dict[int, bytes] = {}
         self._head_hash: bytes = b""
         self.orphans_rejected = 0
         self._block_listeners: list[Callable[[Block], None]] = []
@@ -219,8 +223,29 @@ class Blockchain:
         became_head = False
         if not self._head_hash or self._work[block_hash] > self._work[self._head_hash]:
             self._head_hash = block_hash
+            self._reindex_main_chain(block_hash)
             became_head = True
         return became_head
+
+    def _reindex_main_chain(self, new_head: bytes) -> None:
+        """Repoint the height index at the branch ending in ``new_head``.
+
+        Walks back from the new head only until the index already agrees
+        (the fork point), so extending the head is O(1) and a reorg costs
+        the depth of the fork — never a full-chain walk.
+        """
+        new_height = self._blocks[new_head].header.height
+        for height in range(new_height + 1, len(self._height_index)):
+            del self._height_index[height]
+        cursor = new_head
+        while True:
+            header = self._blocks[cursor].header
+            if self._height_index.get(header.height) == cursor:
+                break
+            self._height_index[header.height] = cursor
+            if header.height == 0:
+                break
+            cursor = header.prev_hash
 
     # -- state queries --------------------------------------------------------
 
@@ -248,27 +273,20 @@ class Blockchain:
 
     def main_chain(self) -> Iterator[Block]:
         """Blocks from genesis to head along the winning branch."""
-        path: list[Block] = []
-        cursor = self.head
-        while True:
-            path.append(cursor)
-            if cursor.header.height == 0:
-                break
-            cursor = self._blocks[cursor.header.prev_hash]
-        return iter(reversed(path))
+        return iter(
+            self._blocks[self._height_index[height]]
+            for height in range(self.height + 1)
+        )
 
     def block_at_height(self, height: int) -> Block:
-        """The main-chain block at ``height``."""
+        """The main-chain block at ``height`` (O(1) via the height index)."""
         if not 0 <= height <= self.height:
             raise UnknownBlockError(f"no main-chain block at height {height}")
-        cursor = self.head
-        while cursor.header.height > height:
-            cursor = self._blocks[cursor.header.prev_hash]
-        return cursor
+        return self._blocks[self._height_index[height]]
 
     def is_in_main_chain(self, block_hash: bytes) -> bool:
         block = self.block(block_hash)
-        return self.block_at_height(block.header.height).block_id() == block_hash
+        return self._height_index.get(block.header.height) == block_hash
 
     def depth_of(self, block_hash: bytes) -> int:
         """Confirmations of a block: 1 when it is the head, 0 off-chain.

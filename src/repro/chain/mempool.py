@@ -21,7 +21,10 @@ class Mempool:
     def __init__(self, chain: Blockchain) -> None:
         self.chain = chain
         self._pending: "OrderedDict[bytes, ChainMessage]" = OrderedDict()
+        #: Total rejected submissions, with a per-cause breakdown.
         self.rejected = 0
+        self.rejected_duplicate = 0
+        self.rejected_invalid = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -36,11 +39,22 @@ class Mempool:
         happens when a miner applies the message to a concrete state.
         """
         message_id = message.message_id()
+        # find_message is O(1) via the chain's main-chain height index,
+        # so the inclusion check costs the same as the pending check.
         if message_id in self._pending:
+            self.rejected += 1
+            self.rejected_duplicate += 1
             raise ValidationError("message already pending")
         if self.chain.find_message(message_id) is not None:
+            self.rejected += 1
+            self.rejected_duplicate += 1
             raise ValidationError("message already included in the chain")
-        self._light_validate(message)
+        try:
+            self._light_validate(message)
+        except ValidationError:
+            self.rejected += 1
+            self.rejected_invalid += 1
+            raise
         self._pending[message_id] = message
         return message_id
 
@@ -67,6 +81,16 @@ class Mempool:
             _, message = self._pending.popitem(last=False)
             batch.append(message)
         return batch
+
+    def take_block(
+        self, limit: int, weight_budget: int | None = None
+    ) -> list[ChainMessage]:
+        """Messages for one block: FIFO here; fee-greedy and block-space
+        limited in :class:`~repro.economy.mempool.PriorityMempool`.
+
+        ``weight_budget`` is ignored by the FIFO pool (messages have no
+        weight without a fee policy)."""
+        return self.take(limit)
 
     def requeue(self, messages: list[ChainMessage]) -> None:
         """Put messages back at the front (after a failed block build)."""

@@ -41,13 +41,19 @@ class MinerNode(Node):
         name: str | None = None,
         network: Network | None = None,
         address: Address | None = None,
+        weight_budget: int | None = None,
     ) -> None:
         super().__init__(simulator, name or f"miner/{chain.params.chain_id}", network)
         self.chain = chain
         self.mempool = mempool
         self.address = address or KeyPair.from_seed(self.name).address
+        #: Block-space budget in weight units per block.  None defers to
+        #: the mempool's fee policy (fee-market pools) or no limit (FIFO
+        #: pools, where only ``max_messages_per_block`` caps a block).
+        self.weight_budget = weight_budget
         self.blocks_mined = 0
         self.messages_dropped = 0
+        self.fees_earned = 0
         self._running = False
         self._rng = simulator.stream(f"miner/{chain.params.chain_id}")
         self.on_block: list[Callable[[Block], None]] = []
@@ -91,8 +97,11 @@ class MinerNode(Node):
         confirmation depth accumulate).
         """
         limit = self.chain.params.max_messages_per_block
-        batch = self.mempool.take(limit)
+        # Fee-market mempools hand back a fee-greedy template within the
+        # block-space budget; FIFO pools ignore the budget (see take_block).
+        batch = self.mempool.take_block(limit, self.weight_budget)
         valid = self._filter_valid(batch)
+        parent_hash = self.chain.head_hash
         block = self.chain.make_block(valid, self.address, self.simulator.now)
         try:
             self.chain.add_block(block)
@@ -101,6 +110,11 @@ class MinerNode(Node):
             self.messages_dropped += len(valid)
             return None
         self.blocks_mined += 1
+        # Fee revenue: the state's fee counter advanced by this block.
+        self.fees_earned += (
+            self.chain.state_at(block.block_id()).fees_collected
+            - self.chain.state_at(parent_hash).fees_collected
+        )
         for callback in self.on_block:
             callback(block)
         return block

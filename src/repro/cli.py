@@ -17,19 +17,24 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis.cost import congestion_cost_report
 from .analysis.latency import figure10_series
 from .analysis.security import PAPER_WITNESS_CANDIDATES
 from .analysis.throughput import TABLE1_ROWS, ac2t_throughput, engine_throughput_report
 from .core.ac3wn import run_ac3wn
 from .core.herlihy import run_herlihy
 from .core.nolan import run_nolan
+from .economy import FeePolicy
 from .engine import PROTOCOLS, SwapEngine
 from .sim.failures import FailureSchedule
 from .workloads.graphs import ring_with_diameter, two_party_swap
 from .workloads.scenarios import (
+    LOW_FEE_BUDGET,
     build_multi_scenario,
     build_scenario,
+    congestion_swap_traffic,
     poisson_swap_traffic,
+    schedule_fee_shock,
 )
 
 
@@ -176,6 +181,132 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0 if result.metrics.atomicity_violations == 0 else 1
 
 
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    """Oversubscribed fee-market run: congestion prices swaps out."""
+    if args.swaps < 1 or args.chains < 1 or args.rate <= 0:
+        print("repro congestion: --swaps/--chains/--rate must be positive", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.low_share <= 1.0 or not 0.0 <= args.crash_rate <= 1.0:
+        print("repro congestion: --low-share/--crash-rate must be in [0,1]", file=sys.stderr)
+        return 2
+    if args.block_budget < 1 or args.capacity < 1:
+        print(
+            "repro congestion: --block-budget/--capacity must be at least 1",
+            file=sys.stderr,
+        )
+        return 2
+    chain_ids = [f"chain-{i}" for i in range(args.chains)]
+    traffic = congestion_swap_traffic(
+        args.swaps,
+        rate=args.rate,
+        seed=args.seed,
+        chain_ids=chain_ids,
+        low_fee_share=args.low_share,
+        crash_rate=args.crash_rate,
+    )
+    policy = FeePolicy(
+        block_weight_budget=args.block_budget, capacity_weight=args.capacity
+    )
+    extra = ["whale"] if args.fee_shock > 0 else None
+    env = build_multi_scenario(
+        [item.graph for item in traffic],
+        seed=args.seed,
+        validator_mode=args.validator_mode,
+        fee_policy=policy,
+        extra_participants=extra,
+    )
+    env.warm_up(2)
+    if args.fee_shock > 0:
+        # Shock the chain the chosen protocol actually competes on: the
+        # witness chain is only contended when AC3WN swaps coordinate
+        # there; the HTLC-style protocols live on the asset chains.
+        shock_chain = args.shock_chain or (
+            env.witness_chain_id
+            if args.protocol in ("ac3wn", "mixed")
+            else chain_ids[0]
+        )
+        schedule_fee_shock(
+            env,
+            shock_chain,
+            at=env.simulator.now + args.shock_at,
+            count=args.fee_shock,
+            fee_rate=args.shock_fee_rate,
+        )
+    engine = SwapEngine(
+        env,
+        default_protocol="ac3wn" if args.protocol == "mixed" else args.protocol,
+        eager=args.eager,
+    )
+    offset = env.simulator.now
+    for index, item in enumerate(traffic):
+        protocol = (
+            PROTOCOLS[index % len(PROTOCOLS)] if args.protocol == "mixed" else None
+        )
+        engine.submit(
+            item.graph,
+            protocol=protocol,
+            at=offset + item.at,
+            fee_budget=item.fee_budget,
+            crash=item.crash,
+        )
+    result = engine.run()
+    metrics = result.metrics
+
+    # Fee-class breakdown: who did congestion price out?
+    print(f"{'class':>6} | {'swaps':>5} | {'commit':>6} | {'priced out':>10} | {'fee/commit':>10}")
+    for label, wanted in (("low", True), ("high", False)):
+        slice_ = [
+            o
+            for o in result.outcomes
+            if (o.fee_cap is not None and o.fee_cap <= LOW_FEE_BUDGET.cap) == wanted
+        ]
+        if not slice_:
+            continue
+        committed = [o for o in slice_ if o.decision == "commit"]
+        fee_per = (
+            sum(o.fees_paid for o in committed) / len(committed) if committed else 0.0
+        )
+        print(
+            f"{label:>6} | {len(slice_):>5} | "
+            f"{len(committed) / len(slice_):>6.1%} | "
+            f"{sum(1 for o in slice_ if o.priced_out):>10} | {fee_per:>10.1f}"
+        )
+
+    fees = env.chains[chain_ids[0]].params.fees
+    print(
+        f"\n{'protocol':>8} | {'swaps':>5} | {'commit':>6} | {'priced':>6} | "
+        f"{'evict':>5} | {'bumps':>5} | {'fee/commit':>10} | {'model':>7} | premium"
+    )
+    for row in congestion_cost_report(result.outcomes, fd=fees.deploy, ffc=fees.call):
+        print(
+            f"{row.protocol:>8} | {row.swaps:>5} | "
+            f"{row.committed / row.swaps if row.swaps else 0.0:>6.1%} | "
+            f"{row.priced_out:>6} | {row.evictions:>5} | {row.fee_bumps:>5} | "
+            f"{row.fee_per_commit:>10.1f} | {row.model_fee_per_commit:>7.1f} | "
+            f"{row.congestion_premium:.2f}x"
+        )
+
+    print(f"\n{'chain':>10} | {'mined':>5} | {'evicted':>7} | {'replaced':>8} | {'rej fee':>7} | {'miner fees':>10}")
+    for chain_id in sorted(env.mempools):
+        pool = env.mempools[chain_id]
+        miner = env.miners[chain_id]
+        print(
+            f"{chain_id:>10} | {miner.blocks_mined:>5} | "
+            f"{getattr(pool, 'evicted', 0):>7} | {getattr(pool, 'replaced', 0):>8} | "
+            f"{getattr(pool, 'rejected_fee', 0):>7} | {miner.fees_earned:>10}"
+        )
+
+    print(
+        f"\n{metrics.total} swaps over {metrics.makespan:.1f} simulated seconds; "
+        f"commit rate {metrics.commit_rate:.1%}, priced out "
+        f"{metrics.priced_out} ({metrics.priced_out_rate:.1%}), "
+        f"{metrics.evictions} evictions, {metrics.fee_bumps} fee bumps, "
+        f"{metrics.injected_crashes} injected crashes; "
+        f"{metrics.atomicity_violations} atomicity violations"
+    )
+    return 0 if metrics.atomicity_violations == 0 else 1
+
+
 def _cmd_table1(args: argparse.Namespace) -> int:
     """Table 1 plus the paper's throughput example."""
     for name, _, tps in TABLE1_ROWS:
@@ -246,6 +377,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="anchor",
     )
     engine.set_defaults(func=_cmd_engine)
+
+    congestion = sub.add_parser(
+        "congestion",
+        help="oversubscribed fee-market run: congestion prices swaps out",
+    )
+    congestion.add_argument(
+        "--protocol",
+        choices=list(PROTOCOLS) + ["mixed"],
+        default="ac3wn",
+        help="protocol for every swap, or 'mixed' to round-robin all four",
+    )
+    congestion.add_argument("--swaps", type=int, default=60)
+    congestion.add_argument("--rate", type=float, default=12.0, help="arrivals per second")
+    congestion.add_argument("--chains", type=int, default=2, help="number of asset chains")
+    congestion.add_argument("--seed", type=int, default=0)
+    congestion.add_argument(
+        "--block-budget", type=int, default=16, help="block space per block (weight units)"
+    )
+    congestion.add_argument(
+        "--capacity", type=int, default=96, help="mempool capacity (weight units)"
+    )
+    congestion.add_argument(
+        "--low-share", type=float, default=0.5, help="fraction of price-insensitive swaps"
+    )
+    congestion.add_argument(
+        "--crash-rate", type=float, default=0.0, help="fraction of swaps crashed mid-protocol"
+    )
+    congestion.add_argument(
+        "--fee-shock", type=int, default=0, help="burst size of whale spam (0 = off)"
+    )
+    congestion.add_argument(
+        "--shock-at", type=float, default=5.0, help="burst time, seconds after warm-up"
+    )
+    congestion.add_argument(
+        "--shock-chain",
+        default=None,
+        help="chain to flood (default: the protocol's contended chain)",
+    )
+    congestion.add_argument(
+        "--shock-fee-rate", type=int, default=8, help="fee rate the whale pays"
+    )
+    congestion.add_argument("--eager", action="store_true")
+    congestion.add_argument(
+        "--validator-mode",
+        choices=["anchor", "full-replica", "light-client"],
+        default="anchor",
+    )
+    congestion.set_defaults(func=_cmd_congestion)
     return parser
 
 

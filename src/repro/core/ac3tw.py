@@ -29,7 +29,7 @@ from ..crypto.commitment import (
 from ..crypto.ecdsa import EcdsaSignature
 from ..crypto.keys import KeyPair, PublicKey
 from ..crypto.signatures import Multisignature
-from ..errors import InsufficientFundsError, WitnessError
+from ..errors import FeeTooLowError, InsufficientFundsError, WitnessError
 from .contract_template import AtomicSwapContract
 from .driver import ProtocolDriver
 from .graph import SwapGraph
@@ -235,10 +235,15 @@ class AC3TWDriver(ProtocolDriver):
         witness: TrustedWitness,
         config: AC3TWConfig | None = None,
         eager: bool = False,
+        fee_budget=None,
     ) -> None:
         self.config = config or AC3TWConfig()
         super().__init__(
-            env, graph, poll_interval=self.config.poll_interval, eager=eager
+            env,
+            graph,
+            poll_interval=self.config.poll_interval,
+            eager=eager,
+            fee_budget=fee_budget,
         )
         self.witness = witness
         self._ms_id: bytes = b""
@@ -258,6 +263,8 @@ class AC3TWDriver(ProtocolDriver):
             participant = self.env.participant(edge.source)
             if participant.crashed:
                 continue
+            if not self._fee_ok(edge.chain_id, "deploy"):
+                continue  # priced out of publishing
             try:
                 deploy = participant.deploy_contract(
                     edge.chain_id,
@@ -268,15 +275,24 @@ class AC3TWDriver(ProtocolDriver):
                         self.witness.public_key.to_bytes(),
                     ),
                     value=edge.amount,
+                    fee=self._fee_for(edge.chain_id, "deploy"),
                 )
             except InsufficientFundsError:
                 continue  # change is in flight; retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._deploys[key] = deploy
             record = self.outcome.contracts[key]
             record.contract_id = deploy.contract_id()
             record.deploy_message_id = deploy.message_id()
             record.deployed_at = self.sim.now
-            self._track(edge.chain_id, deploy)
+            self._track(
+                edge.chain_id,
+                deploy,
+                sender=edge.source,
+                on_replace=lambda new, key=key: self._replace_deploy(key, new),
+            )
 
     # -- settlement ----------------------------------------------------------
 
@@ -289,17 +305,28 @@ class AC3TWDriver(ProtocolDriver):
             actor = self.env.participant(actor_name)
             if actor.crashed:
                 continue
+            if not self._fee_ok(edge.chain_id, "call"):
+                continue
             try:
                 call = actor.call_contract(
                     edge.chain_id,
                     self._deploys[key].contract_id(),
                     function,
                     args=(signature,),
+                    fee=self._fee_for(edge.chain_id, "call"),
                 )
             except InsufficientFundsError:
                 continue  # retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._settle_calls[key] = call
-            self._track(edge.chain_id, call)
+            self._track(
+                edge.chain_id,
+                call,
+                sender=actor_name,
+                on_replace=lambda new, key=key: self._replace_settle_call(key, new),
+            )
 
     def _settle_step(self) -> None:
         self._try_settle(self._signature, self._settle_function)

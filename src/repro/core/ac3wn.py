@@ -34,7 +34,7 @@ from ..chain.contracts import (
 from ..chain.messages import CallMessage, DeployMessage
 from ..crypto.keys import PublicKey
 from ..crypto.signatures import Multisignature
-from ..errors import InsufficientFundsError, EvidenceError, ProtocolError
+from ..errors import FeeTooLowError, InsufficientFundsError, EvidenceError, ProtocolError
 from .contract_template import AtomicSwapContract
 from .driver import ProtocolDriver
 from .evidence import (
@@ -328,6 +328,7 @@ class AC3WNDriver(ProtocolDriver):
         graph: SwapGraph,
         config: AC3WNConfig,
         eager: bool = False,
+        fee_budget=None,
     ) -> None:
         if config.witness_chain_id not in env.chains:
             raise ProtocolError(f"unknown witness chain {config.witness_chain_id!r}")
@@ -338,6 +339,7 @@ class AC3WNDriver(ProtocolDriver):
             poll_interval=config.poll_interval,
             extra_chain_ids=(config.witness_chain_id,),
             eager=eager,
+            fee_budget=fee_budget,
         )
         self.witness_chain = env.chain(config.witness_chain_id)
         self._scw_deploy: DeployMessage | None = None
@@ -354,6 +356,7 @@ class AC3WNDriver(ProtocolDriver):
         self._decision_deadline = 0.0
         self._decided_state: str | None = None
         self._decision_retried = False
+        self._decision_intent: str | None = None
 
     # -- small helpers -----------------------------------------------------
 
@@ -397,15 +400,39 @@ class AC3WNDriver(ProtocolDriver):
             for chain_id in self.graph.chains_used()
         }
         keys = tuple(key.to_bytes() for _, key in self.graph.participants)
-        deploy = registrar.deploy_contract(
-            self.config.witness_chain_id,
-            WITNESS_CONTRACT_CLASS,
-            args=(keys, ms, self.graph.digest(), specs, tuple(sorted(self._anchors.items()))),
-        )
+        if not self._fee_ok(self.config.witness_chain_id, "deploy"):
+            self.outcome.notes.append("fee budget cannot cover SCw registration")
+            return False
+        try:
+            deploy = registrar.deploy_contract(
+                self.config.witness_chain_id,
+                WITNESS_CONTRACT_CLASS,
+                args=(keys, ms, self.graph.digest(), specs, tuple(sorted(self._anchors.items()))),
+                fee=self._fee_for(self.config.witness_chain_id, "deploy"),
+            )
+        except FeeTooLowError:
+            # The congested witness chain refused the registration at
+            # our price: this swap never starts (priced out at the door).
+            self.outcome.priced_out = True
+            self.outcome.notes.append("SCw registration outbid on the witness chain")
+            return False
         self._scw_deploy = deploy
         self._scw_id = deploy.contract_id()
-        self._track(self.config.witness_chain_id, deploy)
+        self._track(
+            self.config.witness_chain_id,
+            deploy,
+            sender=registrar_name,
+            on_replace=self._replace_scw,
+        )
         return True
+
+    def _replace_scw(self, new: DeployMessage) -> None:
+        """Repoint the swap at a fee-bumped SCw registration.
+
+        Only reachable while SCw is unconfirmed (phase "scw-wait"), i.e.
+        before any asset contract captured the old SCw id."""
+        self._scw_deploy = new
+        self._scw_id = new.contract_id()
 
     # -- phase 2: parallel asset-contract deployment ------------------------------
 
@@ -420,6 +447,8 @@ class AC3WNDriver(ProtocolDriver):
             participant = self.env.participant(edge.source)
             if participant.crashed:
                 continue
+            if not self._fee_ok(edge.chain_id, "deploy"):
+                continue  # priced out of publishing
             try:
                 deploy = participant.deploy_contract(
                     edge.chain_id,
@@ -432,19 +461,29 @@ class AC3WNDriver(ProtocolDriver):
                         self._witness_anchor,
                     ),
                     value=edge.amount,
+                    fee=self._fee_for(edge.chain_id, "deploy"),
                 )
             except InsufficientFundsError:
                 continue  # change is in flight; retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._deploys[key] = deploy
             record = self.outcome.contracts[key]
             record.contract_id = deploy.contract_id()
             record.deploy_message_id = deploy.message_id()
             record.deployed_at = self.sim.now
-            self._track(edge.chain_id, deploy)
+            self._track(
+                edge.chain_id,
+                deploy,
+                sender=edge.source,
+                on_replace=lambda new, key=key: self._replace_deploy(key, new),
+            )
 
     # -- phase 3: decision -----------------------------------------------------
 
     def _submit_redeem_authorization(self) -> bool:
+        self._decision_intent = "redeem"
         submitter_name = self._first_alive()
         if submitter_name is None:
             return False
@@ -457,29 +496,57 @@ class AC3WNDriver(ProtocolDriver):
             )
             for edge in self.graph.edges
         )
-        call = submitter.call_contract(
-            self.config.witness_chain_id,
-            self._scw_id,
-            "authorize_redeem",
-            args=(evidences,),
-        )
+        if not self._fee_ok(self.config.witness_chain_id, "call"):
+            return False
+        try:
+            call = submitter.call_contract(
+                self.config.witness_chain_id,
+                self._scw_id,
+                "authorize_redeem",
+                args=(evidences,),
+                fee=self._fee_for(self.config.witness_chain_id, "call"),
+            )
+        except FeeTooLowError:
+            self._raise_rate_floor(self.config.witness_chain_id)
+            return False  # decision-wait retries at the higher rate
         self._decision_call = call
-        self._track(self.config.witness_chain_id, call)
+        self._track(
+            self.config.witness_chain_id,
+            call,
+            sender=submitter_name,
+            on_replace=self._replace_decision_call,
+        )
         return True
 
+    def _replace_decision_call(self, new: CallMessage) -> None:
+        self._decision_call = new
+
     def _submit_refund_authorization(self) -> bool:
+        self._decision_intent = "refund"
         submitter_name = self._first_alive()
         if submitter_name is None:
             return False
         submitter = self.env.participant(submitter_name)
-        call = submitter.call_contract(
-            self.config.witness_chain_id,
-            self._scw_id,
-            "authorize_refund",
-            args=(),
-        )
+        if not self._fee_ok(self.config.witness_chain_id, "call"):
+            return False
+        try:
+            call = submitter.call_contract(
+                self.config.witness_chain_id,
+                self._scw_id,
+                "authorize_refund",
+                args=(),
+                fee=self._fee_for(self.config.witness_chain_id, "call"),
+            )
+        except FeeTooLowError:
+            self._raise_rate_floor(self.config.witness_chain_id)
+            return False  # decision-wait retries at the higher rate
         self._decision_call = call
-        self._track(self.config.witness_chain_id, call)
+        self._track(
+            self.config.witness_chain_id,
+            call,
+            sender=submitter_name,
+            on_replace=self._replace_decision_call,
+        )
         return True
 
     def _decision_confirmed(self) -> bool:
@@ -513,17 +580,28 @@ class AC3WNDriver(ProtocolDriver):
                 anchor=self._witness_anchor,
             )
             deploy = self._deploys[key]
+            if not self._fee_ok(edge.chain_id, "call"):
+                continue
             try:
                 call = actor.call_contract(
                     edge.chain_id,
                     deploy.contract_id(),
                     function,
                     args=(evidence,),
+                    fee=self._fee_for(edge.chain_id, "call"),
                 )
             except InsufficientFundsError:
                 continue  # retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._settle_calls[key] = call
-            self._track(edge.chain_id, call)
+            self._track(
+                edge.chain_id,
+                call,
+                sender=actor_name,
+                on_replace=lambda new, key=key: self._replace_settle_call(key, new),
+            )
 
     def _settle_step(self) -> None:
         self._try_settle(self._decided_state)
@@ -607,16 +685,26 @@ class AC3WNDriver(ProtocolDriver):
         self._schedule_tick(self._deploy_deadline)
 
     def _advance_decision_wait(self) -> None:
+        if self._decision_call is None and self._decision_intent is not None:
+            # An earlier authorization attempt was outbid at submission;
+            # keep chasing the market until the deadline passes.
+            if self._decision_intent == "redeem":
+                self._submit_redeem_authorization()
+            else:
+                self._submit_refund_authorization()
         if self._decision_confirmed():
             receipt = self.witness_chain.receipt(self._decision_call.message_id())
             if receipt.status != "ok" and not self._decision_retried:
                 # The authorize_redeem was rejected (e.g. stale evidence);
-                # fall back to the abort path.
+                # fall back to the abort path.  The stale reverted call
+                # must not be mistaken for a decision.
                 self._decision_retried = True
+                self._decision_call = None
                 self.outcome.notes.append(f"authorization reverted: {receipt.error}")
-                if not self._submit_refund_authorization():
-                    # No alive participant can flip SCw; the stale reverted
-                    # call must not be mistaken for a decision.
+                if not self._submit_refund_authorization() and self._first_alive() is None:
+                    # No alive participant can ever flip SCw; anything
+                    # else (a momentary fee-market rejection) is retried
+                    # by the resubmit machinery above until the deadline.
                     self.outcome.decision = "undecided"
                     self._finish()
                     return

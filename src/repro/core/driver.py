@@ -35,15 +35,30 @@ Subclasses implement three hooks:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from ..chain.block import Block
 from ..chain.chain import Blockchain
-from ..chain.messages import CallMessage, DeployMessage
+from ..chain.messages import CallMessage, DeployMessage, sign_message
 from ..crypto.keys import Address
+from ..economy import DEFAULT_POLICY, FeeBudget, FeePolicy, bump_fee
+from ..errors import FeeError, FeeTooLowError, ValidationError
 from ..sim.events import Event
 from .graph import AssetEdge, SwapGraph
 from .protocol import ContractRecord, SwapEnvironment, SwapOutcome, edge_key
+
+
+@dataclass
+class TrackedSubmission:
+    """One fee-budgeted message a driver is watching for eviction."""
+
+    chain_id: str
+    message: DeployMessage | CallMessage
+    sender: str
+    on_replace: Callable[[DeployMessage | CallMessage], None] | None
+    fee_rate: int
+    bumps: int = 0
 
 
 class ProtocolDriver:
@@ -58,10 +73,21 @@ class ProtocolDriver:
         poll_interval: float | None = None,
         extra_chain_ids: tuple[str, ...] = (),
         eager: bool = False,
+        fee_budget: FeeBudget | None = None,
     ) -> None:
         self.env = env
         self.graph = graph
+        self.fee_budget = fee_budget
         self.outcome = SwapOutcome(protocol=self.protocol_name, graph=graph)
+        if fee_budget is not None:
+            self.outcome.fee_cap = fee_budget.cap
+        #: Fees of live/mined budgeted submissions, charged against the cap.
+        self._fee_committed = 0
+        self._tracked: dict[bytes, TrackedSubmission] = {}
+        self._publish_priced_out = False
+        #: Per-chain fee-rate floor raised whenever a submission is
+        #: refused outright (pool full / below the auction waterline).
+        self._rate_floor: dict[str, int] = {}
         for edge in graph.edges:
             self.outcome.contracts[edge_key(edge)] = ContractRecord(edge=edge)
 
@@ -122,8 +148,201 @@ class ProtocolDriver:
     def _max_delta(self) -> float:
         return max(self._chain_delta(c) for c in self._involved_chain_ids)
 
-    def _track(self, chain_id: str, message) -> None:
+    def _track(
+        self,
+        chain_id: str,
+        message,
+        sender: str | None = None,
+        on_replace: Callable[[DeployMessage | CallMessage], None] | None = None,
+    ) -> None:
+        """Record a submitted message (for fee collection), and — when a
+        fee budget governs this swap — watch it for mempool eviction so
+        the bump-or-abort rebroadcast policy can react."""
         self._submitted.append((chain_id, message.message_id()))
+        if self.fee_budget is None or sender is None:
+            return
+        if not isinstance(message, (DeployMessage, CallMessage)):
+            return
+        self._fee_committed += message.fee
+        self._tracked[message.message_id()] = TrackedSubmission(
+            chain_id=chain_id,
+            message=message,
+            sender=sender,
+            on_replace=on_replace,
+            fee_rate=self._base_fee_rate(chain_id),
+        )
+
+    # -- fee-market integration ---------------------------------------------
+    #
+    # With a FeeBudget attached, every message the driver submits carries
+    # a market fee (estimator- or budget-priced); evicted messages are
+    # rebroadcast with a replace-by-fee bump until the budget's cap or
+    # bump limit is hit, at which point the swap is *priced out* and the
+    # protocol's ordinary abort machinery (deadlines, timelocks, refund
+    # authorizations) takes over.
+
+    def _chain_policy(self, chain_id: str) -> FeePolicy:
+        return getattr(self.env.mempools[chain_id], "policy", None) or DEFAULT_POLICY
+
+    def _base_fee_rate(self, chain_id: str) -> int:
+        budget = self.fee_budget
+        if budget is not None and budget.fee_rate is not None:
+            rate = budget.fee_rate
+        else:
+            estimator = getattr(self.env, "fee_estimators", {}).get(chain_id)
+            if estimator is not None:
+                rate = estimator.estimate()
+            else:
+                rate = max(self._chain_policy(chain_id).min_relay_fee_rate, 1)
+        return max(rate, self._rate_floor.get(chain_id, 0))
+
+    def _raise_rate_floor(self, chain_id: str) -> None:
+        """A submission lost the mempool auction outright: chase the
+        market by bumping this chain's fee-rate floor before the retry
+        (the next tick re-attempts whatever is still missing)."""
+        if self.fee_budget is None:
+            return
+        self._rate_floor[chain_id] = self.fee_budget.bumped_rate(
+            self._base_fee_rate(chain_id)
+        )
+
+    def _min_kind_fee(self, chain_id: str, kind: str) -> int:
+        fees = self.env.chain(chain_id).params.fees
+        if kind == "deploy":
+            return fees.deploy
+        if kind == "call":
+            return fees.call
+        return fees.transfer
+
+    def _planned_fee(self, chain_id: str, kind: str, rate: int | None = None) -> int:
+        rate = self._base_fee_rate(chain_id) if rate is None else rate
+        weight = self._chain_policy(chain_id).weight_of_kind(kind)
+        return max(self._min_kind_fee(chain_id, kind), rate * weight)
+
+    def _fee_for(self, chain_id: str, kind: str) -> int | None:
+        """The fee to attach to a submission (None = chain default)."""
+        if self.fee_budget is None:
+            return None
+        return self._planned_fee(chain_id, kind)
+
+    def _fee_ok(self, chain_id: str, kind: str) -> bool:
+        """Whether the budget can afford one more ``kind`` submission."""
+        if self.fee_budget is None:
+            return True
+        if kind == "deploy" and self._publish_priced_out:
+            return False
+        fee = self._planned_fee(chain_id, kind)
+        if self._fee_committed + fee > self.fee_budget.cap:
+            if not self.outcome.priced_out:
+                self.outcome.priced_out = True
+                self.outcome.notes.append(
+                    f"fee budget exhausted before a {kind} on {chain_id} "
+                    f"({self._fee_committed}+{fee} > cap {self.fee_budget.cap})"
+                )
+            if kind == "deploy":
+                self._publish_priced_out = True
+            return False
+        return True
+
+    def _maintain_submissions(self) -> None:
+        """Detect evicted submissions and apply bump-or-abort to each."""
+        for message_id in list(self._tracked):
+            sub = self._tracked.get(message_id)
+            if sub is None:
+                continue
+            if self.env.chain(sub.chain_id).find_message(message_id) is not None:
+                del self._tracked[message_id]  # mined; fee is final
+                continue
+            if message_id in self.env.mempools[sub.chain_id]:
+                continue  # still pending
+            del self._tracked[message_id]
+            self.outcome.evictions += 1
+            self._bump_or_abandon(sub)
+
+    def _bump_or_abandon(self, sub: TrackedSubmission) -> None:
+        budget = self.fee_budget
+        participant = self.env.participant(sub.sender)
+        new_rate = budget.bumped_rate(sub.fee_rate)
+        new_fee = max(
+            self._planned_fee(sub.chain_id, sub.message.kind, rate=new_rate),
+            sub.message.fee + 1,
+        )
+        if participant.crashed:
+            # A crashed sender cannot re-sign; not a fee-market casualty.
+            self._abandon(sub, priced_out=False, reason="sender crashed")
+            return
+        if (
+            sub.bumps >= budget.max_bumps
+            or self._fee_committed - sub.message.fee + new_fee > budget.cap
+        ):
+            self._abandon(sub)
+            return
+        try:
+            bumped = sign_message(bump_fee(sub.message, new_fee), participant.keypair)
+        except FeeError:
+            self._abandon(sub)  # change cannot fund the bump
+            return
+        self._fee_committed += new_fee - sub.message.fee
+        new_sub = TrackedSubmission(
+            chain_id=sub.chain_id,
+            message=bumped,
+            sender=sub.sender,
+            on_replace=sub.on_replace,
+            fee_rate=new_rate,
+            bumps=sub.bumps + 1,
+        )
+        try:
+            self.env.mempools[sub.chain_id].submit(bumped)
+        except FeeTooLowError:
+            # Still outbid at the new rate: escalate again (bounded by
+            # max_bumps).  The message never re-entered the pool, so
+            # neither the bump nor a fresh eviction is counted.
+            self._bump_or_abandon(new_sub)
+            return
+        except ValidationError:
+            self._fee_committed -= new_fee - sub.message.fee
+            self._abandon(sub, priced_out=False, reason="replacement rejected")
+            return
+        self.outcome.fee_bumps += 1
+        self._tracked[bumped.message_id()] = new_sub
+        self._submitted.append((sub.chain_id, bumped.message_id()))
+        if sub.on_replace is not None:
+            sub.on_replace(bumped)
+
+    def _abandon(
+        self, sub: TrackedSubmission, priced_out: bool = True, reason: str = ""
+    ) -> None:
+        """The "abort" arm: give up on the message, unlock its funding.
+
+        ``priced_out`` distinguishes fee-market casualties (bump limit or
+        budget cap reached — the congestion signal the metrics report)
+        from abandonments with other causes (crashed sender, replacement
+        rejected as invalid)."""
+        self._fee_committed -= sub.message.fee
+        self.env.participant(sub.sender).release_spends(
+            sub.chain_id, [inp.outpoint for inp in sub.message.inputs]
+        )
+        if priced_out:
+            self.outcome.priced_out = True
+        if sub.message.kind == "deploy":
+            self._publish_priced_out = True
+        label = "priced out" if priced_out else f"abandoned ({reason})"
+        self.outcome.notes.append(
+            f"{label}: {sub.message.kind} on {sub.chain_id} evicted "
+            f"after {sub.bumps} bump(s)"
+        )
+
+    # -- replace bookkeeping shared by the protocols -------------------------
+
+    def _replace_deploy(self, key: str, new: DeployMessage) -> None:
+        """Repoint a contract record at a fee-bumped deployment."""
+        self._deploys[key] = new
+        record = self.outcome.contracts[key]
+        record.contract_id = new.contract_id()
+        record.deploy_message_id = new.message_id()
+
+    def _replace_settle_call(self, key: str, new: CallMessage) -> None:
+        self._settle_calls[key] = new
 
     def _edge_confirmed(self, edge: AssetEdge) -> bool:
         key = edge_key(edge)
@@ -228,6 +447,8 @@ class ProtocolDriver:
     def _on_block(self, block: Block) -> None:
         """On-block-mined hook: re-examine the world as soon as it grows."""
         if not self.finished:
+            self._maintain_submissions()
+        if not self.finished:
             self._advance()
 
     def _schedule_tick(self, deadline: float | None = None) -> None:
@@ -252,6 +473,8 @@ class ProtocolDriver:
 
     def _tick(self) -> None:
         self._pending_tick = None
+        if not self.finished:
+            self._maintain_submissions()
         if not self.finished:
             self._advance()
 

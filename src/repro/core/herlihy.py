@@ -37,7 +37,7 @@ from dataclasses import dataclass
 from ..chain.block import encode_time
 from ..chain.messages import CallMessage
 from ..crypto.hashing import hashlock
-from ..errors import InsufficientFundsError, GraphError
+from ..errors import FeeTooLowError, InsufficientFundsError, GraphError
 from .driver import ProtocolDriver
 from .graph import AssetEdge, SwapGraph
 from .htlc import HTLCContract  # noqa: F401  (registers the contract class)
@@ -119,10 +119,15 @@ class HerlihyDriver(ProtocolDriver):
         graph: SwapGraph,
         config: HerlihyConfig | None = None,
         eager: bool = False,
+        fee_budget=None,
     ) -> None:
         self.config = config or HerlihyConfig()
         super().__init__(
-            env, graph, poll_interval=self.config.poll_interval, eager=eager
+            env,
+            graph,
+            poll_interval=self.config.poll_interval,
+            eager=eager,
+            fee_budget=fee_budget,
         )
         self.leader = self.config.leader or graph.participant_names()[0]
         self.waves = compute_publish_waves(graph, self.leader)
@@ -187,6 +192,8 @@ class HerlihyDriver(ProtocolDriver):
             timelock = self.timelock_for(edge, t0, delta)
             if self.sim.now >= timelock:
                 continue  # too late to publish meaningfully
+            if not self._fee_ok(edge.chain_id, "deploy"):
+                continue  # priced out of publishing
             try:
                 deploy = participant.deploy_contract(
                     edge.chain_id,
@@ -197,15 +204,24 @@ class HerlihyDriver(ProtocolDriver):
                         encode_time(timelock),
                     ),
                     value=edge.amount,
+                    fee=self._fee_for(edge.chain_id, "deploy"),
                 )
             except InsufficientFundsError:
                 continue  # change is in flight; retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._deploys[key] = deploy
             record = self.outcome.contracts[key]
             record.contract_id = deploy.contract_id()
             record.deploy_message_id = deploy.message_id()
             record.deployed_at = self.sim.now
-            self._track(edge.chain_id, deploy)
+            self._track(
+                edge.chain_id,
+                deploy,
+                sender=edge.source,
+                on_replace=lambda new, key=key: self._replace_deploy(key, new),
+            )
 
     # -- redeem phase -------------------------------------------------------------
 
@@ -251,17 +267,30 @@ class HerlihyDriver(ProtocolDriver):
             # Publishing a redeem that lands after the timelock is futile.
             if self.sim.now + chain.params.block_interval >= timelock:
                 continue
+            if not self._fee_ok(edge.chain_id, "call"):
+                continue
             try:
                 call = recipient.call_contract(
                     edge.chain_id,
                     self._deploys[key].contract_id(),
                     "redeem",
                     args=(self.secret,),
+                    fee=self._fee_for(edge.chain_id, "call"),
                 )
             except InsufficientFundsError:
                 continue  # retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._redeem_calls[key] = call
-            self._track(edge.chain_id, call)
+            self._track(
+                edge.chain_id,
+                call,
+                sender=edge.recipient,
+                on_replace=lambda new, key=key: self._redeem_calls.__setitem__(
+                    key, new
+                ),
+            )
 
     def _observe_reveals(self) -> None:
         """The secret becomes public the moment any redemption lands."""
@@ -290,17 +319,30 @@ class HerlihyDriver(ProtocolDriver):
             sender = self.env.participant(edge.source)
             if sender.crashed:
                 continue
+            if not self._fee_ok(edge.chain_id, "call"):
+                continue
             try:
                 call = sender.call_contract(
                     edge.chain_id,
                     self._deploys[key].contract_id(),
                     "refund",
                     args=(b"",),
+                    fee=self._fee_for(edge.chain_id, "call"),
                 )
             except InsufficientFundsError:
                 continue  # retry next tick
+            except FeeTooLowError:
+                self._raise_rate_floor(edge.chain_id)
+                continue  # outbid at submission; retry at a higher rate
             self._refund_calls[key] = call
-            self._track(edge.chain_id, call)
+            self._track(
+                edge.chain_id,
+                call,
+                sender=edge.source,
+                on_replace=lambda new, key=key: self._refund_calls.__setitem__(
+                    key, new
+                ),
+            )
 
     # -- bookkeeping ------------------------------------------------------------------
 

@@ -43,9 +43,10 @@ class NolanDriver(HerlihyDriver):
         graph: SwapGraph,
         config: HerlihyConfig | None = None,
         eager: bool = False,
+        fee_budget=None,
     ) -> None:
         validate_two_party(graph)
-        super().__init__(env, graph, config, eager=eager)
+        super().__init__(env, graph, config, eager=eager, fee_budget=fee_budget)
         self.outcome.protocol = self.protocol_name
 
 

@@ -16,7 +16,7 @@ from ..chain.mempool import Mempool
 from ..chain.messages import CallMessage, DeployMessage, TransferMessage, sign_message
 from ..chain.transaction import Transaction, TxInput, TxOutput, sign_transaction
 from ..crypto.keys import Address, KeyPair
-from ..errors import InsufficientFundsError, ProtocolError
+from ..errors import InsufficientFundsError, ProtocolError, ValidationError
 from ..sim.network import Network
 from ..sim.node import Node
 from ..sim.simulator import Simulator
@@ -116,6 +116,29 @@ class Participant(Node):
             change = (TxOutput(self.address, total - amount),)
         return tuple(selected), change
 
+    def release_spends(self, chain_id: str, outpoints) -> None:
+        """Unlock outpoints held for a message that will never be mined.
+
+        Called by protocol drivers when one of our messages is evicted
+        from a fee-market mempool and abandoned (priced out) — without
+        this, the funding would stay locked against coin selection
+        forever.
+        """
+        self._pending_spends.setdefault(chain_id, set()).difference_update(outpoints)
+
+    def _submit(self, chain_id: str, mempool: Mempool, message) -> None:
+        """Submit to the mempool, unlocking the funding on rejection.
+
+        A fee-market mempool may refuse a freshly built message (fee too
+        low, pool full); its inputs must not stay locked in that case or
+        the wallet would leak spendable coins."""
+        try:
+            mempool.submit(message)
+        except ValidationError:
+            inputs = message.tx.inputs if isinstance(message, TransferMessage) else message.inputs
+            self.release_spends(chain_id, [inp.outpoint for inp in inputs])
+            raise
+
     # -- message construction + submission -----------------------------------------
 
     def deploy_contract(
@@ -148,7 +171,7 @@ class Participant(Node):
             nonce=self.next_nonce(),
         )
         message = sign_message(message, self.keypair)
-        handle.mempool.submit(message)
+        self._submit(chain_id, handle.mempool, message)
         self.submitted.append((chain_id, message.message_id()))
         return message
 
@@ -179,7 +202,7 @@ class Participant(Node):
             nonce=self.next_nonce(),
         )
         message = sign_message(message, self.keypair)
-        handle.mempool.submit(message)
+        self._submit(chain_id, handle.mempool, message)
         self.submitted.append((chain_id, message.message_id()))
         return message
 
@@ -202,6 +225,6 @@ class Participant(Node):
         )
         tx = sign_transaction(unsigned, self.keypair)
         message = TransferMessage(tx)
-        handle.mempool.submit(message)
+        self._submit(chain_id, handle.mempool, message)
         self.submitted.append((chain_id, message.message_id()))
         return message

@@ -81,6 +81,14 @@ class SwapOutcome:
         started_at / finished_at: simulation timestamps.
         phase_times: named protocol milestones (driver-specific).
         fees_paid: total fees spent across all chains by this AC2T.
+        fee_cap: the swap's fee-budget cap, when one governed it.
+        priced_out: the swap abandoned at least one message because its
+            fee budget could not keep it in a congested mempool.
+        evictions: times one of the swap's messages was evicted from a
+            mempool (each triggers the bump-or-abort rebroadcast policy).
+        fee_bumps: successful replace-by-fee rebroadcasts.
+        injected_crash: participant crashed by the workload's failure
+            injection (None when no crash was scheduled for this swap).
         notes: free-form driver annotations (crash observations etc.).
     """
 
@@ -92,6 +100,11 @@ class SwapOutcome:
     finished_at: float = 0.0
     phase_times: dict[str, float] = field(default_factory=dict)
     fees_paid: int = 0
+    fee_cap: int | None = None
+    priced_out: bool = False
+    evictions: int = 0
+    fee_bumps: int = 0
+    injected_crash: str | None = None
     notes: list[str] = field(default_factory=list)
 
     # -- atomicity ------------------------------------------------------------

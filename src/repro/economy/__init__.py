@@ -1,0 +1,24 @@
+"""The fee-market economy: priority mempools, fee estimation, swap budgets.
+
+This package turns block space from an infinite resource into the
+economic bottleneck the paper's cost analysis (Section 5 / Table 1)
+assumes.  Chains get a :class:`FeePolicy` (weights, block-space budget,
+mempool capacity, relay and replace-by-fee rules) enforced by a
+:class:`PriorityMempool`; end-users read the market through a
+:class:`FeeEstimator` and spend against a per-swap :class:`FeeBudget`
+with bump-or-abort rebroadcast when congestion evicts their messages.
+"""
+
+from .estimator import FeeEstimator
+from .mempool import MempoolEntry, PriorityMempool
+from .policy import DEFAULT_POLICY, FeeBudget, FeePolicy, bump_fee
+
+__all__ = [
+    "DEFAULT_POLICY",
+    "FeeBudget",
+    "FeeEstimator",
+    "FeePolicy",
+    "MempoolEntry",
+    "PriorityMempool",
+    "bump_fee",
+]

@@ -1,0 +1,317 @@
+"""A fee-priority mempool: block space as a priced, finite resource.
+
+:class:`PriorityMempool` extends the FIFO :class:`~repro.chain.mempool.Mempool`
+with the economics real permissionless chains run on:
+
+* **fee-rate ordering** — miners take the highest fee rate first;
+* **capacity + eviction** — the pool holds at most
+  ``policy.capacity_weight`` weight units; when full, the cheapest
+  pending messages are evicted to admit a better-paying one (and a
+  message cheaper than everything pending is rejected outright);
+* **min-relay floor** — messages below ``policy.min_relay_fee_rate``
+  never enter;
+* **replace-by-fee** — a message spending the same funding outpoints as
+  a pending one displaces it iff it improves the fee rate by
+  ``policy.rbf_bump`` and pays strictly more absolute fee.
+
+Under ``FeePolicy.unlimited_fifo()`` every economic rule is disabled and
+the pool reproduces the plain FIFO mempool exactly — the compatibility
+baseline the engine's determinism tests pin.
+
+Everything is deterministic: ties in fee rate are broken by submission
+sequence (first-seen wins), so a seeded simulation replays bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain.chain import Blockchain
+from ..chain.mempool import Mempool
+from ..chain.messages import CallMessage, ChainMessage, DeployMessage, TransferMessage
+from ..chain.transaction import OutPoint
+from ..errors import FeeTooLowError, ValidationError
+from .policy import FeePolicy
+
+
+@dataclass
+class MempoolEntry:
+    """Bookkeeping for one pending message."""
+
+    message: ChainMessage
+    fee: int
+    weight: int
+    seq: int
+    spends: tuple[OutPoint, ...]
+
+    @property
+    def fee_rate(self) -> float:
+        return self.fee / self.weight
+
+
+class PriorityMempool(Mempool):
+    """Fee-market mempool for one chain (see module docstring)."""
+
+    def __init__(self, chain: Blockchain, policy: FeePolicy | None = None) -> None:
+        super().__init__(chain)
+        self.policy = policy or FeePolicy()
+        self._meta: dict[bytes, MempoolEntry] = {}
+        self._spends: dict[OutPoint, bytes] = {}
+        self._weight = 0
+        self._seq = 0
+        self.evicted = 0
+        self.replaced = 0
+        self.rejected_fee = 0
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def pending_weight(self) -> int:
+        """Total weight currently pending."""
+        return self._weight
+
+    def entry(self, message_id: bytes) -> MempoolEntry | None:
+        return self._meta.get(message_id)
+
+    def min_pending_fee_rate(self) -> float | None:
+        """The cheapest pending fee rate (the eviction waterline)."""
+        if not self._meta or self.policy.fifo:
+            return None
+        return min(entry.fee_rate for entry in self._meta.values())
+
+    # -- fee extraction ------------------------------------------------------
+
+    def _fee_of(self, message: ChainMessage) -> int:
+        if isinstance(message, (DeployMessage, CallMessage)):
+            return message.fee
+        if isinstance(message, TransferMessage):
+            # Transfer fee = inputs − outputs, read off the head state.
+            # Inputs spent by still-pending messages are invisible there;
+            # fall back to the chain's flat transfer fee for those.
+            utxos = self.chain.state_at().utxos
+            total_in = 0
+            for inp in message.tx.inputs:
+                if inp.outpoint not in utxos:
+                    return self.chain.params.fees.transfer
+                total_in += utxos.get(inp.outpoint).value
+            total_out = sum(out.value for out in message.tx.outputs)
+            return max(total_in - total_out, 0)
+        return 0
+
+    def _spends_of(self, message: ChainMessage) -> tuple[OutPoint, ...]:
+        if isinstance(message, (DeployMessage, CallMessage)):
+            return tuple(inp.outpoint for inp in message.inputs)
+        if isinstance(message, TransferMessage):
+            return tuple(inp.outpoint for inp in message.tx.inputs)
+        return ()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, message: ChainMessage) -> bytes:
+        """Admit ``message`` under the fee-market rules; returns its id.
+
+        Beyond the base checks, enforces (unless ``policy.fifo``):
+        min-relay fee rate, replace-by-fee on conflicting spends, and
+        capacity eviction.  Economic rejections raise
+        :class:`~repro.errors.FeeTooLowError` and count in
+        ``rejected_fee`` (and the base ``rejected`` total).
+        """
+        if self.policy.fifo:
+            return super().submit(message)
+
+        entry = MempoolEntry(
+            message=message,
+            fee=self._fee_of(message),
+            weight=self.policy.weight_of(message),
+            seq=self._seq,
+            spends=self._spends_of(message),
+        )
+
+        # Base validity first (duplicates, inclusion, light validation).
+        # Run the checks without inserting so the economic rules below
+        # decide admission; base bookkeeping counts rejections.
+        message_id = self._base_checks(message)
+
+        if entry.fee_rate < self.policy.min_relay_fee_rate:
+            self._reject_fee(
+                f"fee rate {entry.fee_rate:.3f} below min relay "
+                f"{self.policy.min_relay_fee_rate}"
+            )
+
+        conflicts = sorted(
+            {self._spends[op] for op in entry.spends if op in self._spends}
+        )
+        if conflicts:
+            self._check_rbf(entry, conflicts)
+
+        self._enforce_capacity(entry, exempt=set(conflicts))
+
+        for mid in conflicts:
+            self._remove(mid)
+            self.replaced += 1
+
+        self._seq += 1
+        self._pending[message_id] = message
+        self._meta[message_id] = entry
+        self._weight += entry.weight
+        for op in entry.spends:
+            self._spends[op] = message_id
+        return message_id
+
+    def _base_checks(self, message: ChainMessage) -> bytes:
+        message_id = message.message_id()
+        if message_id in self._pending:
+            self.rejected += 1
+            self.rejected_duplicate += 1
+            raise ValidationError("message already pending")
+        if self.chain.find_message(message_id) is not None:
+            self.rejected += 1
+            self.rejected_duplicate += 1
+            raise ValidationError("message already included in the chain")
+        try:
+            self._light_validate(message)
+        except ValidationError:
+            self.rejected += 1
+            self.rejected_invalid += 1
+            raise
+        return message_id
+
+    def _reject_fee(self, reason: str) -> None:
+        self.rejected += 1
+        self.rejected_fee += 1
+        raise FeeTooLowError(reason)
+
+    def _check_rbf(self, entry: MempoolEntry, conflicts: list[bytes]) -> None:
+        best_rate = max(self._meta[mid].fee_rate for mid in conflicts)
+        best_fee = max(self._meta[mid].fee for mid in conflicts)
+        if entry.fee_rate < best_rate * self.policy.rbf_bump or entry.fee <= best_fee:
+            self._reject_fee(
+                f"replacement fee rate {entry.fee_rate:.3f} does not improve "
+                f"{best_rate:.3f} by the required x{self.policy.rbf_bump}"
+            )
+
+    def _enforce_capacity(self, entry: MempoolEntry, exempt: set[bytes]) -> None:
+        cap = self.policy.capacity_weight
+        if cap is None:
+            return
+        # Weight after the conflicting entries (about to be replaced) go.
+        projected = self._weight - sum(self._meta[mid].weight for mid in exempt)
+        if projected + entry.weight <= cap:
+            return
+        # Evict cheapest-first (newest evicted first on rate ties) until
+        # the newcomer fits — unless the newcomer is itself the cheapest.
+        victims = sorted(
+            (e for mid, e in self._meta.items() if mid not in exempt),
+            key=lambda e: (e.fee_rate, -e.seq),
+        )
+        planned: list[bytes] = []
+        for victim in victims:
+            if projected + entry.weight <= cap:
+                break
+            if victim.fee_rate >= entry.fee_rate:
+                self._reject_fee(
+                    f"mempool full and fee rate {entry.fee_rate:.3f} does not "
+                    f"beat the cheapest pending ({victim.fee_rate:.3f})"
+                )
+            planned.append(victim.message.message_id())
+            projected -= victim.weight
+        if projected + entry.weight > cap:
+            self._reject_fee("message heavier than the whole mempool capacity")
+        for mid in planned:
+            self._remove(mid)
+            self.evicted += 1
+
+    # -- removal -------------------------------------------------------------
+
+    def _remove(self, message_id: bytes) -> None:
+        entry = self._meta.pop(message_id, None)
+        self._pending.pop(message_id, None)
+        if entry is None:
+            return
+        self._weight -= entry.weight
+        for op in entry.spends:
+            if self._spends.get(op) == message_id:
+                del self._spends[op]
+
+    # -- block building ------------------------------------------------------
+
+    def _priority_order(self) -> list[bytes]:
+        """Pending ids, best first: fee rate desc, then submission order."""
+        return sorted(
+            self._meta,
+            key=lambda mid: (-self._meta[mid].fee_rate, self._meta[mid].seq),
+        )
+
+    def take(self, limit: int) -> list[ChainMessage]:
+        """Remove and return up to ``limit`` messages, best fee rate first."""
+        if self.policy.fifo:
+            return super().take(limit)
+        batch: list[ChainMessage] = []
+        for mid in self._priority_order()[:limit]:
+            batch.append(self._meta[mid].message)
+            self._remove(mid)
+        return batch
+
+    def take_block(
+        self, limit: int, weight_budget: int | None = None
+    ) -> list[ChainMessage]:
+        """Fee-greedy block template within the block-space budget.
+
+        Scans pending messages in priority order, including each one
+        that still fits the remaining weight budget (greedy knapsack).
+        Skipped messages stay pending for later blocks.
+        """
+        if self.policy.fifo:
+            return super().take(limit)
+        budget = (
+            weight_budget
+            if weight_budget is not None
+            else self.policy.block_weight_budget
+        )
+        if budget is None:
+            return self.take(limit)
+        batch: list[ChainMessage] = []
+        used = 0
+        for mid in self._priority_order():
+            if len(batch) >= limit:
+                break
+            entry = self._meta[mid]
+            if used + entry.weight > budget:
+                continue
+            used += entry.weight
+            batch.append(entry.message)
+        for message in batch:
+            self._remove(message.message_id())
+        return batch
+
+    def requeue(self, messages: list[ChainMessage]) -> None:
+        """Put messages back after a failed block build (rare path)."""
+        if self.policy.fifo:
+            super().requeue(messages)
+            return
+        for message in messages:
+            message_id = message.message_id()
+            if message_id in self._meta:
+                continue
+            entry = MempoolEntry(
+                message=message,
+                fee=self._fee_of(message),
+                weight=self.policy.weight_of(message),
+                seq=self._seq,
+                spends=self._spends_of(message),
+            )
+            self._seq += 1
+            self._pending[message_id] = message
+            self._meta[message_id] = entry
+            self._weight += entry.weight
+            for op in entry.spends:
+                self._spends[op] = message_id
+
+    def drop_included(self) -> int:
+        """Drop pending messages that already made it into the chain."""
+        included = [
+            mid for mid in self._pending if self.chain.find_message(mid) is not None
+        ]
+        for mid in included:
+            self._remove(mid)
+        return len(included)

@@ -31,7 +31,9 @@ from ..core.graph import SwapGraph
 from ..core.herlihy import HerlihyConfig, HerlihyDriver
 from ..core.nolan import NolanDriver, validate_two_party
 from ..core.protocol import SwapEnvironment, SwapOutcome
+from ..economy import FeeBudget
 from ..errors import ProtocolError, ReproError, SchedulingError
+from ..workloads.scenarios import CrashPlan, TrafficItem
 from .metrics import EngineMetrics, compute_metrics
 
 PROTOCOLS = ("nolan", "herlihy", "ac3tw", "ac3wn")
@@ -46,6 +48,8 @@ class SwapRequest:
     protocol: str
     arrival_time: float
     config: object | None = None
+    fee_budget: FeeBudget | None = None
+    crash: CrashPlan | None = None
     driver: ProtocolDriver | None = None
     outcome: SwapOutcome | None = None
 
@@ -137,12 +141,19 @@ class SwapEngine:
         protocol: str | None = None,
         at: float | None = None,
         config: object | None = None,
+        fee_budget: FeeBudget | None = None,
+        crash: CrashPlan | None = None,
     ) -> SwapRequest:
         """Queue one AC2T for execution at simulation time ``at``.
 
         Open loop: the arrival fires regardless of how many earlier
         swaps are still in flight.  Returns the request record, whose
         ``outcome`` is populated once the swap reaches a terminal state.
+
+        ``fee_budget`` caps what the swap may spend on fees and arms the
+        driver's bump-or-abort rebroadcast policy.  ``crash`` schedules
+        a failure injection against one of the swap's participants,
+        ``crash.delay`` seconds after the arrival.
         """
         protocol = protocol or self.default_protocol
         if protocol not in PROTOCOLS:
@@ -160,6 +171,8 @@ class SwapEngine:
             protocol=protocol,
             arrival_time=arrival,
             config=config,
+            fee_budget=fee_budget,
+            crash=crash,
         )
         self.requests.append(request)
         sim.schedule_at(
@@ -167,34 +180,70 @@ class SwapEngine:
             lambda: self._launch(request),
             label=f"swap-{request.swap_id} arrival ({protocol})",
         )
+        if crash is not None:
+            victim = self.env.participant(crash.participant)  # fail fast
+            sim.schedule_at(
+                arrival + crash.delay,
+                victim.crash,
+                label=f"swap-{request.swap_id} crash {crash.participant}",
+            )
+            if crash.down_for is not None:
+                sim.schedule_at(
+                    arrival + crash.delay + crash.down_for,
+                    victim.recover,
+                    label=f"swap-{request.swap_id} recover {crash.participant}",
+                )
         return request
 
     def submit_many(
         self,
-        traffic: list[tuple[float, SwapGraph]],
+        traffic: list,
         protocol: str | None = None,
         offset: float = 0.0,
     ) -> list[SwapRequest]:
-        """Submit an ``(arrival_time, graph)`` schedule in one call.
+        """Submit a traffic schedule in one call.
+
+        Accepts :class:`~repro.workloads.scenarios.TrafficItem` entries
+        (whose fee budgets and crash plans are honoured) or plain
+        ``(arrival_time, graph)`` pairs.
 
         Pass ``offset=env.simulator.now`` for schedules generated from
         time 0 when the world has already warmed up — otherwise every
         arrival before ``now`` is clamped to ``now`` and the head of the
         schedule degenerates into one simultaneous batch.
         """
-        return [
-            self.submit(graph, protocol=protocol, at=offset + at)
-            for at, graph in traffic
-        ]
+        requests = []
+        for item in traffic:
+            if isinstance(item, TrafficItem):
+                requests.append(
+                    self.submit(
+                        item.graph,
+                        protocol=protocol,
+                        at=offset + item.at,
+                        fee_budget=item.fee_budget,
+                        crash=item.crash,
+                    )
+                )
+            else:
+                at, graph = item
+                requests.append(self.submit(graph, protocol=protocol, at=offset + at))
+        return requests
 
     # -- execution ---------------------------------------------------------
 
     def _make_driver(self, request: SwapRequest) -> ProtocolDriver:
         env, graph, config = self.env, request.graph, request.config
+        budget = request.fee_budget
         if request.protocol == "nolan":
-            return NolanDriver(env, graph, config or HerlihyConfig(), eager=self.eager)
+            return NolanDriver(
+                env, graph, config or HerlihyConfig(), eager=self.eager,
+                fee_budget=budget,
+            )
         if request.protocol == "herlihy":
-            return HerlihyDriver(env, graph, config or HerlihyConfig(), eager=self.eager)
+            return HerlihyDriver(
+                env, graph, config or HerlihyConfig(), eager=self.eager,
+                fee_budget=budget,
+            )
         if request.protocol == "ac3tw":
             return AC3TWDriver(
                 env,
@@ -202,12 +251,14 @@ class SwapEngine:
                 self.trusted_witness,
                 config or AC3TWConfig(),
                 eager=self.eager,
+                fee_budget=budget,
             )
         return AC3WNDriver(
             env,
             graph,
             config or AC3WNConfig(witness_chain_id=self.witness_chain_id),
             eager=self.eager,
+            fee_budget=budget,
         )
 
     def _launch(self, request: SwapRequest) -> None:
@@ -221,9 +272,13 @@ class SwapEngine:
             outcome.started_at = outcome.finished_at = self.env.simulator.now
             outcome.decision = "undecided"
             outcome.notes.append(f"driver construction failed: {exc}")
+            if request.crash is not None:
+                outcome.injected_crash = request.crash.participant
             request.outcome = outcome
             self._completed += 1  # never entered flight
             return
+        if request.crash is not None:
+            driver.outcome.injected_crash = request.crash.participant
         request.driver = driver
         self._in_flight += 1
         self.max_in_flight = max(self.max_in_flight, self._in_flight)

@@ -47,6 +47,14 @@ class EngineMetrics:
         first_started_at / last_finished_at: batch boundaries.
         max_in_flight: peak number of concurrently active swaps.
         total_fees: fees spent across every swap and chain.
+        priced_out: swaps that abandoned at least one message because
+            their fee budget lost the block-space auction.
+        evictions: mempool evictions suffered across all swaps.
+        fee_bumps: successful replace-by-fee rebroadcasts across swaps.
+        injected_crashes: swaps that had a participant crash injected by
+            the workload's ``crash_rate`` knob.
+        fee_per_commit: mean fee spend of the *committed* swaps — the
+            measured counterpart of the Section 6.2 cost model.
     """
 
     protocol: str
@@ -66,11 +74,21 @@ class EngineMetrics:
     last_finished_at: float
     max_in_flight: int
     total_fees: int
+    priced_out: int = 0
+    evictions: int = 0
+    fee_bumps: int = 0
+    injected_crashes: int = 0
+    fee_per_commit: float = 0.0
 
     @property
     def commits_per_second(self) -> float:
         """Committed AC2Ts per simulated second over the makespan."""
         return self.committed / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def priced_out_rate(self) -> float:
+        """Fraction of swaps congestion priced out of block space."""
+        return self.priced_out / self.total if self.total > 0 else 0.0
 
 
 def compute_metrics(
@@ -106,6 +124,7 @@ def compute_metrics(
     makespan = last_finish - first_start
     total = len(outcomes)
     committed = decisions.count("commit")
+    commit_fees = sum(o.fees_paid for o in outcomes if o.decision == "commit")
     return EngineMetrics(
         protocol=protocol,
         total=total,
@@ -124,4 +143,9 @@ def compute_metrics(
         last_finished_at=last_finish,
         max_in_flight=max_in_flight,
         total_fees=sum(outcome.fees_paid for outcome in outcomes),
+        priced_out=sum(1 for o in outcomes if o.priced_out),
+        evictions=sum(o.evictions for o in outcomes),
+        fee_bumps=sum(o.fee_bumps for o in outcomes),
+        injected_crashes=sum(1 for o in outcomes if o.injected_crash is not None),
+        fee_per_commit=(commit_fees / committed) if committed else 0.0,
     )

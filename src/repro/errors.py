@@ -89,6 +89,15 @@ class FeeError(ValidationError):
     """A message did not carry enough fee to be accepted by miners."""
 
 
+class FeeTooLowError(FeeError):
+    """A fee-market mempool refused a message for paying too little.
+
+    Raised when a message's fee rate falls below the min-relay floor,
+    cannot displace cheaper pending messages from a full mempool, or
+    fails the replace-by-fee bump requirement.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Simulation
 # ---------------------------------------------------------------------------

@@ -9,17 +9,18 @@ uniform and reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..chain.chain import Blockchain
 from ..chain.mempool import Mempool
 from ..chain.miner import MinerNode
 from ..chain.params import ChainParams, fast_chain
 from ..core.evidence import FullReplicaValidator, LightClientValidator
+from ..economy import FeeBudget, FeeEstimator, FeePolicy, PriorityMempool
 from ..core.graph import AssetEdge, SwapGraph
 from ..core.participant import ChainHandle, Participant
 from ..core.protocol import SwapEnvironment
-from ..errors import ProtocolError
+from ..errors import InsufficientFundsError, ProtocolError, ValidationError
 from ..sim.failures import FailureInjector, FailureSchedule
 from ..sim.network import LatencyModel, Network
 from ..sim.rng import RngStream
@@ -41,6 +42,9 @@ class ScenarioEnvironment(SwapEnvironment):
     injector: FailureInjector | None = None
     witness_chain_id: str = "witness"
     validator_mode: str = "anchor"
+    #: Fee-market configuration, set when the world runs PriorityMempools.
+    fee_policy: FeePolicy | None = None
+    fee_estimators: dict[str, FeeEstimator] = field(default_factory=dict)
 
     def start_mining(self) -> None:
         for miner in self.miners.values():
@@ -68,6 +72,25 @@ class ScenarioEnvironment(SwapEnvironment):
             )
 
 
+def _chain_stack(
+    simulator: Simulator,
+    network: Network,
+    params: ChainParams,
+    allocations: list,
+    fee_policy: FeePolicy | None,
+) -> tuple[Blockchain, Mempool, MinerNode, FeeEstimator | None]:
+    """One chain's machinery: chain + (priority) mempool + miner (+ estimator)."""
+    chain = Blockchain(params, allocations)
+    if fee_policy is not None:
+        mempool: Mempool = PriorityMempool(chain, fee_policy)
+        estimator: FeeEstimator | None = FeeEstimator(chain, fee_policy)
+    else:
+        mempool = Mempool(chain)
+        estimator = None
+    miner = MinerNode(simulator, chain, mempool, network=network)
+    return chain, mempool, miner, estimator
+
+
 def build_scenario(
     graph: SwapGraph | None = None,
     chain_ids: list[str] | None = None,
@@ -81,6 +104,7 @@ def build_scenario(
     block_interval: float = 1.0,
     confirmation_depth: int = 2,
     latency: LatencyModel | None = None,
+    fee_policy: FeePolicy | None = None,
 ) -> ScenarioEnvironment:
     """Build a complete simulation world.
 
@@ -102,6 +126,10 @@ def build_scenario(
             "full-replica", or "light-client" (Section 4.3).
         block_interval / confirmation_depth: defaults for fast chains.
         latency: network latency model (default: deterministic 50 ms).
+        fee_policy: when set, every chain runs a fee-market
+            :class:`~repro.economy.PriorityMempool` under this policy
+            (plus a :class:`~repro.economy.FeeEstimator`); when None,
+            mempools are plain FIFO, exactly as before the fee market.
 
     Returns:
         A ready :class:`ScenarioEnvironment` with mining already started.
@@ -133,6 +161,7 @@ def build_scenario(
     chains: dict[str, Blockchain] = {}
     mempools: dict[str, Mempool] = {}
     miners: dict[str, MinerNode] = {}
+    estimators: dict[str, FeeEstimator] = {}
     for chain_id in ordered_chains:
         params = (chain_params or {}).get(chain_id) or fast_chain(
             chain_id,
@@ -149,12 +178,14 @@ def build_scenario(
                 value = min(chunk, remaining)
                 allocations.append((actor.address, value))
                 remaining -= value
-        chain = Blockchain(params, allocations)
-        mempool = Mempool(chain)
-        miner = MinerNode(simulator, chain, mempool, network=network)
+        chain, mempool, miner, estimator = _chain_stack(
+            simulator, network, params, allocations, fee_policy
+        )
         chains[chain_id] = chain
         mempools[chain_id] = mempool
         miners[chain_id] = miner
+        if estimator is not None:
+            estimators[chain_id] = estimator
         handle = ChainHandle(chain=chain, mempool=mempool)
         for actor in actors.values():
             actor.join_chain(handle)
@@ -171,6 +202,8 @@ def build_scenario(
         injector=FailureInjector(simulator, network),
         witness_chain_id=witness_chain_id,
         validator_mode=validator_mode,
+        fee_policy=fee_policy,
+        fee_estimators=estimators,
     )
     env.start_mining()
     return env
@@ -208,6 +241,40 @@ def _wire_validators(
 # ---------------------------------------------------------------------------
 # Multi-swap traffic: the workloads the SwapEngine multiplexes
 # ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A per-swap failure injection: crash one participant mid-protocol.
+
+    Attributes:
+        participant: the (per-swap namespaced) participant to crash.
+        delay: seconds after the swap's arrival at which the crash hits.
+        down_for: recovery delay after the crash (None = never recovers).
+    """
+
+    participant: str
+    delay: float
+    down_for: float | None = None
+
+
+@dataclass(frozen=True)
+class TrafficItem:
+    """One scheduled swap: arrival time, graph, and optional economics.
+
+    Iterates as ``(at, graph)`` so existing two-element unpacking
+    (``for at, graph in traffic``) keeps working; the fee budget and
+    crash plan ride along for :meth:`repro.engine.SwapEngine.submit_many`.
+    """
+
+    at: float
+    graph: SwapGraph
+    fee_budget: FeeBudget | None = None
+    crash: CrashPlan | None = None
+
+    def __iter__(self):
+        yield self.at
+        yield self.graph
 
 
 def poisson_arrivals(
@@ -278,13 +345,27 @@ def poisson_swap_traffic(
     amount: int = DEFAULT_AMOUNT,
     start: float = 0.0,
     prefix: str = "swap",
-) -> list[tuple[float, SwapGraph]]:
-    """An ``(arrival_time, graph)`` schedule ready for ``submit_many``.
+    crash_rate: float = 0.0,
+    crash_window: tuple[float, float] = (1.0, 12.0),
+    crash_down_for: float | None = None,
+) -> list[TrafficItem]:
+    """A :class:`TrafficItem` schedule ready for ``submit_many``.
 
     The arrival stream is derived from its own named RNG stream so the
     schedule never perturbs (and is never perturbed by) the simulation's
-    other randomness.
+    other randomness.  Items iterate as ``(arrival_time, graph)`` pairs,
+    so callers that only care about timing unpack them as before.
+
+    ``crash_rate`` marks that fraction of swaps (from an independent
+    stream) to crash mid-protocol: a uniformly chosen participant of the
+    swap crashes ``uniform(*crash_window)`` seconds after the swap's
+    arrival and recovers after ``crash_down_for`` seconds (None = never).
+    The injection is surfaced per swap in
+    :attr:`~repro.core.protocol.SwapOutcome.injected_crash` and counted
+    by the engine's metrics.
     """
+    if not 0.0 <= crash_rate <= 1.0:
+        raise ProtocolError("crash_rate must be within [0, 1]")
     chain_ids = chain_ids or ["chain-a", "chain-b"]
     stream = RngStream(seed, "workload/poisson-arrivals")
     arrivals = poisson_arrivals(num_swaps, rate, stream, start=start)
@@ -295,7 +376,22 @@ def poisson_swap_traffic(
         amount=amount,
         prefix=prefix,
     )
-    return list(zip(arrivals, graphs))
+    crashes: list[CrashPlan | None] = [None] * num_swaps
+    if crash_rate > 0.0:
+        crash_stream = RngStream(seed, "workload/crash-injection")
+        for index, graph in enumerate(graphs):
+            if crash_stream.random() >= crash_rate:
+                continue
+            names = graph.participant_names()
+            crashes[index] = CrashPlan(
+                participant=names[crash_stream.randint(0, len(names) - 1)],
+                delay=crash_stream.uniform(*crash_window),
+                down_for=crash_down_for,
+            )
+    return [
+        TrafficItem(at=at, graph=graph, crash=crash)
+        for at, graph, crash in zip(arrivals, graphs, crashes)
+    ]
 
 
 def build_multi_scenario(
@@ -309,6 +405,9 @@ def build_multi_scenario(
     block_interval: float = 1.0,
     confirmation_depth: int = 2,
     latency: LatencyModel | None = None,
+    fee_policy: FeePolicy | None = None,
+    extra_participants: list[str] | None = None,
+    extra_funding_chunks: int = 64,
 ) -> ScenarioEnvironment:
     """Build one shared world serving *many* AC2T graphs at once.
 
@@ -316,6 +415,12 @@ def build_multi_scenario(
     every chain), this funds each swap's participants only on the chains
     their swap touches plus the witness chain — with hundreds of swaps,
     per-swap funding keeps the genesis blocks (and coin selection) small.
+
+    ``fee_policy`` switches every chain to a fee-market
+    :class:`~repro.economy.PriorityMempool` (see :func:`build_scenario`).
+    ``extra_participants`` are funded on *every* chain with
+    ``extra_funding_chunks`` UTXOs each — whales for fee-shock bursts
+    (:func:`schedule_fee_shock`) need many spendable coins at once.
     """
     if validator_mode not in VALIDATOR_MODES:
         raise ProtocolError(
@@ -347,6 +452,10 @@ def build_multi_scenario(
                     f"namespace traffic participants per swap"
                 )
             chains_of[name] = graph_chains
+    for name in extra_participants or []:
+        if name in chains_of:
+            raise ProtocolError(f"extra participant {name!r} collides with traffic")
+        chains_of[name] = list(ordered_chains)
 
     actors = {
         name: Participant(simulator, name, network=network)
@@ -356,7 +465,10 @@ def build_multi_scenario(
     chains: dict[str, Blockchain] = {}
     mempools: dict[str, Mempool] = {}
     miners: dict[str, MinerNode] = {}
+    estimators: dict[str, FeeEstimator] = {}
     chunk = max(funding // max(funding_chunks, 1), 1)
+    extra = set(extra_participants or [])
+    extra_chunk = max(funding // max(extra_funding_chunks, 1), 1)
     for chain_id in ordered_chains:
         params = (chain_params or {}).get(chain_id) or fast_chain(
             chain_id,
@@ -368,16 +480,19 @@ def build_multi_scenario(
             if chain_id not in chains_of[name]:
                 continue
             remaining = funding
+            piece = extra_chunk if name in extra else chunk
             while remaining > 0:
-                value = min(chunk, remaining)
+                value = min(piece, remaining)
                 allocations.append((actors[name].address, value))
                 remaining -= value
-        chain = Blockchain(params, allocations)
-        mempool = Mempool(chain)
-        miner = MinerNode(simulator, chain, mempool, network=network)
+        chain, mempool, miner, estimator = _chain_stack(
+            simulator, network, params, allocations, fee_policy
+        )
         chains[chain_id] = chain
         mempools[chain_id] = mempool
         miners[chain_id] = miner
+        if estimator is not None:
+            estimators[chain_id] = estimator
         handle = ChainHandle(chain=chain, mempool=mempool)
         for name, actor in actors.items():
             if chain_id in chains_of[name]:
@@ -395,9 +510,101 @@ def build_multi_scenario(
         injector=FailureInjector(simulator, network),
         witness_chain_id=witness_chain_id,
         validator_mode=validator_mode,
+        fee_policy=fee_policy,
+        fee_estimators=estimators,
     )
     env.start_mining()
     return env
+
+
+# ---------------------------------------------------------------------------
+# Congestion workloads: oversubscribed traffic under a fee market
+# ---------------------------------------------------------------------------
+
+#: A price-insensitive user: pays the floor rate, barely bumps, small cap.
+LOW_FEE_BUDGET = FeeBudget(cap=60, fee_rate=1, bump_factor=2.0, max_bumps=1)
+
+#: A price-following user: asks the estimator, bumps aggressively.
+HIGH_FEE_BUDGET = FeeBudget(cap=4000, fee_rate=None, bump_factor=2.0, max_bumps=4)
+
+
+def congestion_swap_traffic(
+    num_swaps: int,
+    rate: float,
+    seed: int = 0,
+    chain_ids: list[str] | None = None,
+    participants_per_swap: int = 2,
+    amount: int = DEFAULT_AMOUNT,
+    start: float = 0.0,
+    prefix: str = "swap",
+    low_fee_share: float = 0.5,
+    low_budget: FeeBudget | None = None,
+    high_budget: FeeBudget | None = None,
+    crash_rate: float = 0.0,
+    crash_window: tuple[float, float] = (1.0, 12.0),
+    crash_down_for: float | None = None,
+) -> list[TrafficItem]:
+    """Poisson traffic with heterogeneous per-swap fee budgets.
+
+    Each swap independently draws a budget class from its own RNG
+    stream: with probability ``low_fee_share`` the price-insensitive
+    :data:`LOW_FEE_BUDGET` (or ``low_budget``), otherwise the
+    price-following :data:`HIGH_FEE_BUDGET` (or ``high_budget``).  Under
+    an oversubscribed arrival rate the low class is what congestion
+    prices out — the acceptance scenario of the fee-market subsystem.
+    """
+    if not 0.0 <= low_fee_share <= 1.0:
+        raise ProtocolError("low_fee_share must be within [0, 1]")
+    low = low_budget or LOW_FEE_BUDGET
+    high = high_budget or HIGH_FEE_BUDGET
+    items = poisson_swap_traffic(
+        num_swaps,
+        rate,
+        seed=seed,
+        chain_ids=chain_ids,
+        participants_per_swap=participants_per_swap,
+        amount=amount,
+        start=start,
+        prefix=prefix,
+        crash_rate=crash_rate,
+        crash_window=crash_window,
+        crash_down_for=crash_down_for,
+    )
+    stream = RngStream(seed, "workload/fee-budgets")
+    return [
+        replace(item, fee_budget=low if stream.random() < low_fee_share else high)
+        for item in items
+    ]
+
+
+def schedule_fee_shock(
+    env: ScenarioEnvironment,
+    chain_id: str,
+    at: float,
+    count: int = 32,
+    fee_rate: int = 8,
+    whale: str = "whale",
+) -> None:
+    """Schedule a fee-shock burst: ``count`` high-fee transfers at ``at``.
+
+    The ``whale`` participant (fund it via ``build_multi_scenario``'s
+    ``extra_participants``) floods ``chain_id`` with self-transfers
+    paying ``fee_rate`` per weight unit, displacing cheaper pending
+    messages — the demand spike that stress-tests bump-or-abort.
+    """
+    actor = env.participant(whale)
+    policy = getattr(env.mempools[chain_id], "policy", None)
+    weight = policy.transfer_weight if policy is not None else 1
+    fee = max(env.chain(chain_id).params.fees.transfer, fee_rate * weight)
+
+    def burst() -> None:
+        for _ in range(count):
+            try:
+                actor.transfer(chain_id, actor.address, amount=1, fee=fee)
+            except (InsufficientFundsError, ValidationError):
+                break  # out of spendable coins or out-priced: stop early
+
+    env.simulator.schedule_at(at, burst, label=f"fee shock on {chain_id}")
 
 
 def fund_edges(env: ScenarioEnvironment, graph: SwapGraph) -> None:

@@ -1,42 +1,37 @@
 """Congestion smoke benchmark: fee markets price swaps out, atomically.
 
-Runs an oversubscribed 50-swap fee-market scenario (arrival rate x
-messages-per-swap far above the block-space budget) and checks the
+Runs the ``congestion`` preset (parameterized down to 50 swaps for the
+smoke run) — an oversubscribed fee-market scenario whose arrival rate x
+messages-per-swap far exceeds the block-space budget — and checks the
 economy subsystem's invariants: low-fee-budget swaps get priced out
 while high-fee-budget swaps commit, every decision stays atomic, and the
 whole run is seed-reproducible.  A small arrival-rate sweep pins the
-qualitative curve: congestion costs commits.  Budgeted to finish in well
-under a minute so CI runs it on every pull request alongside
-``bench_engine_smoke``.
+qualitative curve: congestion costs commits.  The workload lives in the
+preset catalog, so this file measures exactly what ``repro run --preset
+congestion`` runs in CI.  Budgeted to finish in well under a minute.
 """
 
-from repro.economy import FeePolicy
-from repro.engine import SwapEngine
-from repro.workloads.scenarios import (
-    LOW_FEE_BUDGET,
-    build_multi_scenario,
-    congestion_swap_traffic,
-)
+from repro.experiment import apply_overrides, preset_spec, run_experiment
+from repro.workloads.scenarios import LOW_FEE_BUDGET
 
 from conftest import print_table
 
 SMOKE_SWAPS = 50
 SMOKE_RATE = 12.0
 SMOKE_SEED = 7
-SMOKE_POLICY = FeePolicy(block_weight_budget=16, capacity_weight=96)
 
 
 def _congestion_run(num_swaps=SMOKE_SWAPS, rate=SMOKE_RATE, seed=SMOKE_SEED):
-    traffic = congestion_swap_traffic(
-        num_swaps, rate=rate, seed=seed, chain_ids=["c0", "c1"]
+    spec = apply_overrides(
+        preset_spec("congestion"),
+        {
+            "traffic.num_swaps": num_swaps,
+            "traffic.rate": rate,
+            "seed": seed,
+            "chains.ids": ["c0", "c1"],
+        },
     )
-    env = build_multi_scenario(
-        [item.graph for item in traffic], seed=seed, fee_policy=SMOKE_POLICY
-    )
-    env.warm_up(2)
-    engine = SwapEngine(env)
-    engine.submit_many(traffic, offset=env.simulator.now)
-    return engine.run()
+    return run_experiment(spec)
 
 
 def _by_class(result):

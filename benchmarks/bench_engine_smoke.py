@@ -1,36 +1,25 @@
 """Engine smoke benchmark: the per-PR throughput-regression tripwire.
 
-Runs 50 concurrent AC2Ts (all four protocols round-robin) through the
-SwapEngine in one shared simulation and checks the invariants that must
-never regress: every swap terminates, the witness-based protocols show
-zero atomicity violations, real concurrency is sustained, and the run is
-seed-reproducible.  Budgeted to finish in well under 30 seconds so CI
-can run it on every pull request.
+Runs the ``engine-smoke`` preset — 50 concurrent AC2Ts (all four
+protocols round-robin) through the SwapEngine in one shared simulation —
+and checks the invariants that must never regress: every swap
+terminates, the witness-based protocols show zero atomicity violations,
+real concurrency is sustained, and the run is seed-reproducible.  The
+workload itself lives in the preset catalog
+(:mod:`repro.experiment.presets`), so this file measures exactly what
+``repro run --preset engine-smoke`` runs in CI.  Budgeted to finish in
+well under 30 seconds so CI can run it on every pull request.
 """
 
-from repro.engine import PROTOCOLS, SwapEngine
-from repro.workloads.scenarios import build_multi_scenario, poisson_swap_traffic
+from repro.experiment import preset_spec, run_experiment
 
 from conftest import print_table
 
 SMOKE_SWAPS = 50
-SMOKE_RATE = 10.0
-SMOKE_SEED = 90
 
 
 def _smoke_run():
-    traffic = poisson_swap_traffic(
-        SMOKE_SWAPS, rate=SMOKE_RATE, seed=SMOKE_SEED, chain_ids=["c0", "c1", "c2"]
-    )
-    env = build_multi_scenario([graph for _, graph in traffic], seed=SMOKE_SEED)
-    env.warm_up(2)
-    engine = SwapEngine(env)
-    offset = env.simulator.now
-    for index, (at, graph) in enumerate(traffic):
-        engine.submit(
-            graph, protocol=PROTOCOLS[index % len(PROTOCOLS)], at=offset + at
-        )
-    return engine.run()
+    return run_experiment(preset_spec("engine-smoke"))
 
 
 def test_engine_smoke_50_concurrent(benchmark, table_printer):
@@ -77,3 +66,14 @@ def test_engine_smoke_seed_reproducible():
     second = _smoke_run()
     assert first.trace() == second.trace()
     assert first.metrics == second.metrics
+
+
+def test_engine_smoke_spec_round_trip_identical():
+    """The preset serialized to JSON and re-loaded runs identically —
+    the spec really is the whole experiment."""
+    from repro.experiment import ExperimentSpec
+
+    spec = preset_spec("engine-smoke")
+    reloaded = ExperimentSpec.from_json(spec.to_json())
+    assert reloaded == spec
+    assert run_experiment(reloaded).metrics == _smoke_run().metrics

@@ -9,9 +9,7 @@ protocols on the simulator for each diameter, reported in Δ units.
 import pytest
 
 from repro.analysis.latency import ac3wn_latency, figure10_series, herlihy_latency
-from repro.engine import SwapEngine
-from repro.workloads.graphs import ring_with_diameter
-from repro.workloads.scenarios import build_scenario
+from repro.experiment import apply_overrides, preset_spec, run_experiment
 
 from conftest import print_table
 
@@ -20,15 +18,23 @@ ANALYTIC_MAX_DIAMETER = 14
 
 
 def _measured_latency(protocol: str, diameter: int, seed: int) -> float:
-    """Run one swap end-to-end through the engine; return latency in Δs."""
-    chain_ids = [f"c{i}" for i in range(diameter)]
-    graph = ring_with_diameter(diameter, chain_ids=chain_ids, timestamp=seed)
-    env = build_scenario(graph=graph, seed=seed)
-    env.warm_up(2)
+    """Run one swap end-to-end via the ``figure10`` preset; latency in Δs.
+
+    A ring AC2T of ``diameter`` participants over ``diameter`` chains —
+    the preset's single measured point, swept by overriding the chain
+    set and participants-per-swap together.
+    """
+    spec = apply_overrides(
+        preset_spec("figure10"),
+        {
+            "protocol": protocol,
+            "seed": seed,
+            "chains.ids": [f"c{i}" for i in range(diameter)],
+            "traffic.participants_per_swap": diameter,
+        },
+    )
     delta = 2.0  # confirmation_depth(2) × block_interval(1s)
-    engine = SwapEngine(env, default_protocol=protocol)
-    engine.submit(graph)
-    result = engine.run()
+    result = run_experiment(spec)
     (outcome,) = result.outcomes
     assert outcome.decision == "commit", outcome.summary()
     return outcome.latency / delta

@@ -16,7 +16,6 @@ from repro.analysis.throughput import (
     TABLE1_ROWS,
     ac2t_throughput,
     best_witness,
-    engine_throughput_report,
     paper_example,
 )
 from repro.chain.chain import Blockchain
@@ -24,9 +23,8 @@ from repro.chain.mempool import Mempool
 from repro.chain.miner import MinerNode
 from repro.chain.params import fast_chain
 from repro.crypto.keys import KeyPair
-from repro.engine import SwapEngine
+from repro.experiment import apply_overrides, preset_spec, run_experiment
 from repro.sim.simulator import Simulator
-from repro.workloads.scenarios import build_multi_scenario, poisson_swap_traffic
 
 from conftest import print_table
 
@@ -127,27 +125,22 @@ def test_measured_chain_throughput(benchmark, label, capacity, interval, expecte
 def test_engine_swaps_per_second(benchmark, protocol, table_printer):
     """Swap-level throughput measured by the engine, per protocol.
 
-    40 two-party AC2Ts arrive open-loop at 8 swaps/s over three shared
-    asset chains plus the witness; the engine reports the observed
-    swaps/sec — the concurrent-traffic number Table 1's min() rule upper
-    bounds, replacing the old sequential single-swap measurement.
+    The ``table1`` preset: 40 two-party AC2Ts arrive open-loop at
+    8 swaps/s over three shared asset chains plus the witness; the
+    engine reports the observed swaps/sec — the concurrent-traffic
+    number Table 1's min() rule upper bounds, replacing the old
+    sequential single-swap measurement.
     """
 
     def run():
-        traffic = poisson_swap_traffic(
-            40, rate=8.0, seed=60, chain_ids=["c0", "c1", "c2"]
-        )
-        env = build_multi_scenario([graph for _, graph in traffic], seed=60)
-        env.warm_up(2)
-        engine = SwapEngine(env, default_protocol=protocol)
-        engine.submit_many(traffic, offset=env.simulator.now)
-        return engine.run()
+        spec = apply_overrides(preset_spec("table1"), {"protocol": protocol})
+        return run_experiment(spec)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
         [row.protocol, f"{row.swaps_per_second:.2f}", f"{row.commit_rate:.0%}",
          f"{row.p50_latency:.1f}s", f"{row.p99_latency:.1f}s", row.max_in_flight]
-        for row in engine_throughput_report(result)
+        for row in result.throughput
     ]
     table_printer(
         f"Engine throughput ({protocol}): 40 concurrent AC2Ts at 8 swaps/s",

@@ -15,7 +15,7 @@ Run:  python examples/crash_failure_comparison.py
 from repro import build_scenario, run_ac3wn, run_nolan, two_party_swap
 from repro.sim.failures import FailureSchedule
 
-CRASH_AT = 6.5  # just before Alice's reveal lands on-chain
+CRASH_AT = 5.5  # just before Alice's reveal lands on-chain (eager cadence)
 RECOVER_AT = 500.0  # far past every timelock
 
 

@@ -19,7 +19,7 @@ Quickstart::
     assert outcome.decision == "commit" and outcome.is_atomic
 """
 
-from . import analysis, chain, core, crypto, sim, workloads
+from . import analysis, chain, core, crypto, experiment, sim, workloads
 from .core import (
     AC3TWDriver,
     AC3WNConfig,
@@ -35,6 +35,13 @@ from .core import (
     run_ac3wn,
     run_herlihy,
     run_nolan,
+)
+from .experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    apply_overrides,
+    preset_spec,
+    run_experiment,
 )
 from .workloads import (
     ScenarioEnvironment,
@@ -53,6 +60,8 @@ __all__ = [
     "AC3WNConfig",
     "AC3WNDriver",
     "AssetEdge",
+    "ExperimentResult",
+    "ExperimentSpec",
     "HerlihyDriver",
     "NolanDriver",
     "ScenarioEnvironment",
@@ -61,16 +70,20 @@ __all__ = [
     "SwapOutcome",
     "TrustedWitness",
     "analysis",
+    "apply_overrides",
     "build_scenario",
     "chain",
     "core",
     "crypto",
     "directed_cycle",
+    "experiment",
     "figure7a_cyclic",
     "figure7b_disconnected",
+    "preset_spec",
     "ring_with_diameter",
     "run_ac3tw",
     "run_ac3wn",
+    "run_experiment",
     "run_herlihy",
     "run_nolan",
     "sim",

@@ -1,15 +1,28 @@
-"""Command-line interface: run the paper's experiments from a shell.
+"""Command-line interface: every experiment is a spec; ``run`` runs it.
 
 ::
 
+    python -m repro run --preset congestion --set traffic.num_swaps=60 --json out.json
+    python -m repro run --spec my_experiment.json --set engine.eager=false
+    python -m repro run --list-presets
     python -m repro swap --protocol ac3wn --diameter 3
-    python -m repro figure10 --max-diameter 8
+    python -m repro engine --swaps 50 --rate 10
+    python -m repro congestion --fee-shock 32
     python -m repro crash-sweep
-    python -m repro witness-depth --value-at-risk 1000000
+    python -m repro figure10 --max-diameter 8
     python -m repro table1
+    python -m repro witness-depth --value-at-risk 1000000
 
-Each subcommand builds a fresh simulated world, runs the experiment, and
-prints paper-style output.  Seeds default to 0 for reproducibility.
+``run`` is the single scenario entry point: it resolves a named preset
+or a JSON spec file into an :class:`~repro.experiment.ExperimentSpec`,
+applies ``--set`` dotted-path overrides, executes it through
+:func:`~repro.experiment.run_experiment`, prints paper-style tables, and
+can export the full :class:`~repro.experiment.ExperimentResult` artifact
+as JSON.  The legacy scenario subcommands (``swap``, ``engine``,
+``congestion``, ``crash-sweep``) are thin aliases that translate their
+flags into preset overrides and call the same pipeline; the analytic
+printouts (``figure10``, ``table1``, ``witness-depth``) need no
+simulation at all.  Seeds default to 0 for reproducibility.
 """
 
 from __future__ import annotations
@@ -17,46 +30,309 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .analysis.cost import congestion_cost_report
 from .analysis.latency import figure10_series
 from .analysis.security import PAPER_WITNESS_CANDIDATES
-from .analysis.throughput import TABLE1_ROWS, ac2t_throughput, engine_throughput_report
-from .core.ac3wn import run_ac3wn
-from .core.herlihy import run_herlihy
-from .core.nolan import run_nolan
-from .economy import FeePolicy
-from .engine import PROTOCOLS, SwapEngine
-from .sim.failures import FailureSchedule
-from .workloads.graphs import ring_with_diameter, two_party_swap
-from .workloads.scenarios import (
-    LOW_FEE_BUDGET,
-    build_multi_scenario,
-    build_scenario,
-    congestion_swap_traffic,
-    poisson_swap_traffic,
-    schedule_fee_shock,
+from .analysis.throughput import TABLE1_ROWS, ac2t_throughput
+from .errors import SpecError
+from .experiment import (
+    ExperimentResult,
+    ExperimentSpec,
+    apply_overrides,
+    parse_set_args,
+    preset_description,
+    preset_names,
+    preset_spec,
+    run_experiment,
 )
+from .workloads.scenarios import LOW_FEE_BUDGET
+
+# ---------------------------------------------------------------------------
+# Result printing
+# ---------------------------------------------------------------------------
+
+
+def _print_throughput(result: ExperimentResult) -> None:
+    print(
+        f"{'protocol':>8} | {'swaps':>5} | {'commit':>6} | {'viol':>4} | "
+        f"{'swaps/s':>8} | {'p50':>7} | {'p99':>7} | {'peak':>4}"
+    )
+    for row in result.throughput:
+        peak = str(row.max_in_flight) if row.max_in_flight else "-"
+        print(
+            f"{row.protocol:>8} | {row.total:>5} | {row.commit_rate:>6.1%} | "
+            f"{row.atomicity_violations:>4} | {row.swaps_per_second:>8.2f} | "
+            f"{row.p50_latency:>6.1f}s | {row.p99_latency:>6.1f}s | "
+            f"{peak:>4}"
+        )
+
+
+def _print_fee_market(result: ExperimentResult) -> None:
+    spec, env = result.spec, result.env
+
+    # Fee-class breakdown: who did congestion price out?
+    low_cap = (
+        spec.traffic.low_budget.cap
+        if spec.traffic.low_budget is not None
+        else LOW_FEE_BUDGET.cap
+    )
+    print(
+        f"{'class':>6} | {'swaps':>5} | {'commit':>6} | {'priced out':>10} | "
+        f"{'fee/commit':>10}"
+    )
+    for label, wanted in (("low", True), ("high", False)):
+        slice_ = [
+            o
+            for o in result.outcomes
+            if (o.fee_cap is not None and o.fee_cap <= low_cap) == wanted
+        ]
+        if not slice_:
+            continue
+        committed = [o for o in slice_ if o.decision == "commit"]
+        fee_per = (
+            sum(o.fees_paid for o in committed) / len(committed) if committed else 0.0
+        )
+        print(
+            f"{label:>6} | {len(slice_):>5} | "
+            f"{len(committed) / len(slice_):>6.1%} | "
+            f"{sum(1 for o in slice_ if o.priced_out):>10} | {fee_per:>10.1f}"
+        )
+
+    print(
+        f"\n{'protocol':>8} | {'swaps':>5} | {'commit':>6} | {'priced':>6} | "
+        f"{'evict':>5} | {'bumps':>5} | {'fee/commit':>10} | {'model':>7} | premium"
+    )
+    for row in result.congestion_cost or ():
+        print(
+            f"{row.protocol:>8} | {row.swaps:>5} | "
+            f"{row.committed / row.swaps if row.swaps else 0.0:>6.1%} | "
+            f"{row.priced_out:>6} | {row.evictions:>5} | {row.fee_bumps:>5} | "
+            f"{row.fee_per_commit:>10.1f} | {row.model_fee_per_commit:>7.1f} | "
+            f"{row.congestion_premium:.2f}x"
+        )
+
+    print(
+        f"\n{'chain':>10} | {'mined':>5} | {'evicted':>7} | {'replaced':>8} | "
+        f"{'rej fee':>7} | {'miner fees':>10}"
+    )
+    for chain_id in sorted(env.mempools):
+        pool = env.mempools[chain_id]
+        miner = env.miners[chain_id]
+        print(
+            f"{chain_id:>10} | {miner.blocks_mined:>5} | "
+            f"{getattr(pool, 'evicted', 0):>7} | {getattr(pool, 'replaced', 0):>8} | "
+            f"{getattr(pool, 'rejected_fee', 0):>7} | {miner.fees_earned:>10}"
+        )
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Paper-style tables for one experiment run."""
+    metrics = result.metrics
+    print(f"experiment {result.spec.name!r} (seed {result.spec.seed})")
+    _print_throughput(result)
+    if result.spec.fee_market.enabled:
+        print()
+        _print_fee_market(result)
+    crashes = (
+        f", {metrics.injected_crashes} injected crashes"
+        if metrics.injected_crashes
+        else ""
+    )
+    fee_market = (
+        f"priced out {metrics.priced_out} ({metrics.priced_out_rate:.1%}), "
+        f"{metrics.evictions} evictions, {metrics.fee_bumps} fee bumps, "
+        if result.spec.fee_market.enabled
+        else ""
+    )
+    print(
+        f"\n{metrics.total} swaps over {metrics.makespan:.1f} simulated seconds "
+        f"(peak {metrics.max_in_flight} in flight); commit rate "
+        f"{metrics.commit_rate:.1%}, {fee_market}"
+        f"{metrics.atomicity_violations} atomicity violations{crashes}"
+    )
+
+
+def _finish_run(result: ExperimentResult, json_path: str | None) -> int:
+    if json_path:
+        try:
+            result.save(json_path)
+        except OSError as exc:
+            print(f"repro run: cannot write {json_path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"\nwrote {json_path}")
+    return 0 if result.metrics.atomicity_violations == 0 else 1
+
+
+# ---------------------------------------------------------------------------
+# repro run: the universal entry point
+# ---------------------------------------------------------------------------
+
+
+def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
+    if args.spec and args.preset:
+        raise SpecError("pass either --preset or --spec, not both")
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = ExperimentSpec.from_json(handle.read())
+    elif args.preset:
+        spec = preset_spec(args.preset)
+    else:
+        raise SpecError(
+            f"pass --preset or --spec; presets: {', '.join(preset_names())}"
+        )
+    overrides = parse_set_args(args.set or [])
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list_presets:
+        for name in preset_names():
+            print(f"{name:>18}  {preset_description(name)}")
+        return 0
+    try:
+        spec = _load_spec(args)
+        result = run_experiment(spec)
+    except (SpecError, OSError) as exc:
+        print(f"repro run: {exc}", file=sys.stderr)
+        return 2
+    print_result(result)
+    return _finish_run(result, args.json)
+
+
+# ---------------------------------------------------------------------------
+# Legacy scenario subcommands: thin preset aliases
+# ---------------------------------------------------------------------------
+
+
+def _run_alias(
+    command: str,
+    preset: str,
+    overrides: dict,
+    json_path: str | None = None,
+    printer=print_result,
+) -> int:
+    try:
+        spec = apply_overrides(preset_spec(preset), overrides)
+        result = run_experiment(spec)
+    except SpecError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
+        return 2
+    printer(result)
+    return _finish_run(result, json_path)
 
 
 def _cmd_swap(args: argparse.Namespace) -> int:
     """Run one AC2T end to end and print the outcome."""
-    if args.diameter == 2:
-        graph = two_party_swap(chain_a="chain-0", chain_b="chain-1", timestamp=args.seed)
-    else:
-        chain_ids = [f"chain-{i}" for i in range(args.diameter)]
-        graph = ring_with_diameter(args.diameter, chain_ids=chain_ids, timestamp=args.seed)
-    env = build_scenario(graph=graph, seed=args.seed, validator_mode=args.validator_mode)
-    env.warm_up(2)
-    if args.protocol == "ac3wn":
-        outcome = run_ac3wn(env, graph, witness_chain_id="witness")
-    elif args.protocol == "herlihy":
-        outcome = run_herlihy(env, graph)
-    else:
-        outcome = run_nolan(env, graph)
-    print(outcome.summary())
-    for name, ts in sorted(outcome.phase_times.items(), key=lambda kv: kv[1]):
-        print(f"  {name:20s} t={ts:8.2f}")
-    return 0 if outcome.is_atomic else 1
+    if args.diameter < 2:
+        print("repro swap: --diameter must be at least 2", file=sys.stderr)
+        return 2
+    overrides: dict = {"protocol": args.protocol, "seed": args.seed}
+    overrides["chains.validator_mode"] = args.validator_mode
+    if args.diameter != 2:
+        overrides["chains.ids"] = [f"chain-{i}" for i in range(args.diameter)]
+        overrides["traffic.participants_per_swap"] = args.diameter
+
+    def print_outcome(result: ExperimentResult) -> None:
+        (outcome,) = result.outcomes
+        print(outcome.summary())
+        for name, ts in sorted(outcome.phase_times.items(), key=lambda kv: kv[1]):
+            print(f"  {name:20s} t={ts:8.2f}")
+
+    return _run_alias("swap", "swap", overrides, printer=print_outcome)
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    """Run N concurrent AC2Ts through the SwapEngine; print metrics."""
+    if args.chains < 1:
+        print("repro engine: --chains must be at least 1", file=sys.stderr)
+        return 2
+    overrides: dict = {
+        "protocol": args.protocol,
+        "seed": args.seed,
+        "chains.ids": [f"chain-{i}" for i in range(args.chains)],
+        "chains.validator_mode": args.validator_mode,
+        "traffic.num_swaps": args.swaps,
+        "traffic.rate": args.rate,
+        "traffic.participants_per_swap": args.participants,
+    }
+    if args.eager is not None:
+        overrides["engine.eager"] = args.eager
+    return _run_alias("engine", "engine-smoke", overrides, json_path=args.json)
+
+
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    """Oversubscribed fee-market run: congestion prices swaps out."""
+    if args.chains < 1:
+        print("repro congestion: --chains must be at least 1", file=sys.stderr)
+        return 2
+    overrides: dict = {
+        "protocol": args.protocol,
+        "seed": args.seed,
+        "chains.ids": [f"chain-{i}" for i in range(args.chains)],
+        "chains.validator_mode": args.validator_mode,
+        "traffic.num_swaps": args.swaps,
+        "traffic.rate": args.rate,
+        "traffic.low_fee_share": args.low_share,
+        "traffic.crash.rate": args.crash_rate,
+        "fee_market.block_weight_budget": args.block_budget,
+        "fee_market.capacity_weight": args.capacity,
+    }
+    if args.eager is not None:
+        overrides["engine.eager"] = args.eager
+    if args.fee_shock > 0:
+        overrides["fee_shocks"] = [
+            {
+                "at": args.shock_at,
+                "count": args.fee_shock,
+                "fee_rate": args.shock_fee_rate,
+                "chain_id": args.shock_chain,
+            }
+        ]
+    return _run_alias("congestion", "congestion", overrides, json_path=args.json)
+
+
+def _cmd_crash_sweep(args: argparse.Namespace) -> int:
+    """Sweep Bob's crash onset under Nolan and AC3WN (Section 1).
+
+    Each cell is one single-swap experiment spec: the ``swap`` preset
+    with a deterministic crash plan against the swap's ``b`` role.
+    """
+    print(f"{'crash at':>9} | {'Nolan (HTLC)':>24} | {'AC3WN':>22}")
+    violations = 0
+    for i, start in enumerate(args.onsets):
+        results = []
+        for protocol in ("nolan", "ac3wn"):
+            try:
+                spec = apply_overrides(
+                    preset_spec("swap"),
+                    {
+                        "protocol": protocol,
+                        "seed": args.seed + i,
+                        "traffic.crash.participant": "b",
+                        "traffic.crash.delay": start,
+                        "traffic.crash.down_for": 500.0,
+                    },
+                )
+                (outcome,) = run_experiment(spec).outcomes
+            except SpecError as exc:
+                print(f"repro crash-sweep: {exc}", file=sys.stderr)
+                return 2
+            results.append(outcome)
+            if protocol == "nolan" and not outcome.is_atomic:
+                violations += 1
+        nolan, ac3wn = results
+        print(
+            f"{start:>8.1f}s | {nolan.decision:>12}/atomic={str(nolan.is_atomic):<5} "
+            f"| {ac3wn.decision:>10}/atomic={str(ac3wn.is_atomic):<5}"
+        )
+    print(f"\nHTLC atomicity violations: {violations}; AC3WN: 0")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Analytic printouts (no simulation)
+# ---------------------------------------------------------------------------
 
 
 def _cmd_figure10(args: argparse.Namespace) -> int:
@@ -67,35 +343,6 @@ def _cmd_figure10(args: argparse.Namespace) -> int:
             f"{point.diameter:>8} | {point.herlihy_deltas:>12.0f} | "
             f"{point.ac3wn_deltas:>10.0f} | {point.speedup:.1f}x"
         )
-    return 0
-
-
-def _cmd_crash_sweep(args: argparse.Namespace) -> int:
-    """Sweep Bob's crash onset under Nolan and AC3WN (Section 1)."""
-    print(f"{'crash at':>9} | {'Nolan (HTLC)':>24} | {'AC3WN':>22}")
-    violations = 0
-    for i, start in enumerate((0.0, 4.5, 6.5, 8.5, 12.0)):
-        results = []
-        for protocol in ("nolan", "ac3wn"):
-            graph = two_party_swap(chain_a="a", chain_b="b", timestamp=args.seed + i)
-            env = build_scenario(graph=graph, seed=args.seed + i)
-            env.apply_failures(FailureSchedule().crash("bob", start=start, end=start + 500))
-            env.warm_up(2)
-            if protocol == "nolan":
-                outcome = run_nolan(env, graph)
-            else:
-                outcome = run_ac3wn(
-                    env, graph, witness_chain_id="witness", settle_timeout=600.0
-                )
-            results.append(outcome)
-            if protocol == "nolan" and not outcome.is_atomic:
-                violations += 1
-        nolan, ac3wn = results
-        print(
-            f"{start:>8.1f}s | {nolan.decision:>12}/atomic={str(nolan.is_atomic):<5} "
-            f"| {ac3wn.decision:>10}/atomic={str(ac3wn.is_atomic):<5}"
-        )
-    print(f"\nHTLC atomicity violations: {violations}; AC3WN: 0")
     return 0
 
 
@@ -110,203 +357,6 @@ def _cmd_witness_depth(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_engine(args: argparse.Namespace) -> int:
-    """Run N concurrent AC2Ts through the SwapEngine; print metrics."""
-    for name, value, minimum in (
-        ("--swaps", args.swaps, 1),
-        ("--chains", args.chains, 1),
-        ("--participants", args.participants, 2),
-    ):
-        if value < minimum:
-            print(f"repro engine: {name} must be at least {minimum}", file=sys.stderr)
-            return 2
-    if args.rate <= 0:
-        print("repro engine: --rate must be positive", file=sys.stderr)
-        return 2
-    if args.protocol in ("nolan", "mixed") and args.participants != 2:
-        print(
-            "repro engine: Nolan's protocol is strictly two-party; "
-            f"--protocol {args.protocol} requires --participants 2",
-            file=sys.stderr,
-        )
-        return 2
-    chain_ids = [f"chain-{i}" for i in range(args.chains)]
-    traffic = poisson_swap_traffic(
-        args.swaps,
-        rate=args.rate,
-        seed=args.seed,
-        chain_ids=chain_ids,
-        participants_per_swap=args.participants,
-    )
-    env = build_multi_scenario(
-        [graph for _, graph in traffic],
-        seed=args.seed,
-        validator_mode=args.validator_mode,
-    )
-    env.warm_up(2)
-    engine = SwapEngine(
-        env,
-        default_protocol="ac3wn" if args.protocol == "mixed" else args.protocol,
-        eager=args.eager,
-    )
-    # Arrivals were generated from t=0; shift them past the warm-up so
-    # the schedule stays genuinely open-loop (no clamped head batch).
-    offset = env.simulator.now
-    if args.protocol == "mixed":
-        for index, (at, graph) in enumerate(traffic):
-            engine.submit(
-                graph, protocol=PROTOCOLS[index % len(PROTOCOLS)], at=offset + at
-            )
-    else:
-        engine.submit_many(traffic, offset=offset)
-    result = engine.run()
-
-    print(
-        f"{'protocol':>8} | {'swaps':>5} | {'commit':>6} | {'viol':>4} | "
-        f"{'swaps/s':>8} | {'p50':>7} | {'p99':>7} | {'peak':>4}"
-    )
-    for row in engine_throughput_report(result):
-        peak = str(row.max_in_flight) if row.max_in_flight else "-"
-        print(
-            f"{row.protocol:>8} | {row.total:>5} | {row.commit_rate:>6.1%} | "
-            f"{row.atomicity_violations:>4} | {row.swaps_per_second:>8.2f} | "
-            f"{row.p50_latency:>6.1f}s | {row.p99_latency:>6.1f}s | "
-            f"{peak:>4}"
-        )
-    print(
-        f"\n{result.metrics.total} swaps over {result.metrics.makespan:.1f} "
-        f"simulated seconds (peak {result.metrics.max_in_flight} in flight); "
-        f"{result.metrics.atomicity_violations} atomicity violations"
-    )
-    return 0 if result.metrics.atomicity_violations == 0 else 1
-
-
-def _cmd_congestion(args: argparse.Namespace) -> int:
-    """Oversubscribed fee-market run: congestion prices swaps out."""
-    if args.swaps < 1 or args.chains < 1 or args.rate <= 0:
-        print("repro congestion: --swaps/--chains/--rate must be positive", file=sys.stderr)
-        return 2
-    if not 0.0 <= args.low_share <= 1.0 or not 0.0 <= args.crash_rate <= 1.0:
-        print("repro congestion: --low-share/--crash-rate must be in [0,1]", file=sys.stderr)
-        return 2
-    if args.block_budget < 1 or args.capacity < 1:
-        print(
-            "repro congestion: --block-budget/--capacity must be at least 1",
-            file=sys.stderr,
-        )
-        return 2
-    chain_ids = [f"chain-{i}" for i in range(args.chains)]
-    traffic = congestion_swap_traffic(
-        args.swaps,
-        rate=args.rate,
-        seed=args.seed,
-        chain_ids=chain_ids,
-        low_fee_share=args.low_share,
-        crash_rate=args.crash_rate,
-    )
-    policy = FeePolicy(
-        block_weight_budget=args.block_budget, capacity_weight=args.capacity
-    )
-    extra = ["whale"] if args.fee_shock > 0 else None
-    env = build_multi_scenario(
-        [item.graph for item in traffic],
-        seed=args.seed,
-        validator_mode=args.validator_mode,
-        fee_policy=policy,
-        extra_participants=extra,
-    )
-    env.warm_up(2)
-    if args.fee_shock > 0:
-        # Shock the chain the chosen protocol actually competes on: the
-        # witness chain is only contended when AC3WN swaps coordinate
-        # there; the HTLC-style protocols live on the asset chains.
-        shock_chain = args.shock_chain or (
-            env.witness_chain_id
-            if args.protocol in ("ac3wn", "mixed")
-            else chain_ids[0]
-        )
-        schedule_fee_shock(
-            env,
-            shock_chain,
-            at=env.simulator.now + args.shock_at,
-            count=args.fee_shock,
-            fee_rate=args.shock_fee_rate,
-        )
-    engine = SwapEngine(
-        env,
-        default_protocol="ac3wn" if args.protocol == "mixed" else args.protocol,
-        eager=args.eager,
-    )
-    offset = env.simulator.now
-    for index, item in enumerate(traffic):
-        protocol = (
-            PROTOCOLS[index % len(PROTOCOLS)] if args.protocol == "mixed" else None
-        )
-        engine.submit(
-            item.graph,
-            protocol=protocol,
-            at=offset + item.at,
-            fee_budget=item.fee_budget,
-            crash=item.crash,
-        )
-    result = engine.run()
-    metrics = result.metrics
-
-    # Fee-class breakdown: who did congestion price out?
-    print(f"{'class':>6} | {'swaps':>5} | {'commit':>6} | {'priced out':>10} | {'fee/commit':>10}")
-    for label, wanted in (("low", True), ("high", False)):
-        slice_ = [
-            o
-            for o in result.outcomes
-            if (o.fee_cap is not None and o.fee_cap <= LOW_FEE_BUDGET.cap) == wanted
-        ]
-        if not slice_:
-            continue
-        committed = [o for o in slice_ if o.decision == "commit"]
-        fee_per = (
-            sum(o.fees_paid for o in committed) / len(committed) if committed else 0.0
-        )
-        print(
-            f"{label:>6} | {len(slice_):>5} | "
-            f"{len(committed) / len(slice_):>6.1%} | "
-            f"{sum(1 for o in slice_ if o.priced_out):>10} | {fee_per:>10.1f}"
-        )
-
-    fees = env.chains[chain_ids[0]].params.fees
-    print(
-        f"\n{'protocol':>8} | {'swaps':>5} | {'commit':>6} | {'priced':>6} | "
-        f"{'evict':>5} | {'bumps':>5} | {'fee/commit':>10} | {'model':>7} | premium"
-    )
-    for row in congestion_cost_report(result.outcomes, fd=fees.deploy, ffc=fees.call):
-        print(
-            f"{row.protocol:>8} | {row.swaps:>5} | "
-            f"{row.committed / row.swaps if row.swaps else 0.0:>6.1%} | "
-            f"{row.priced_out:>6} | {row.evictions:>5} | {row.fee_bumps:>5} | "
-            f"{row.fee_per_commit:>10.1f} | {row.model_fee_per_commit:>7.1f} | "
-            f"{row.congestion_premium:.2f}x"
-        )
-
-    print(f"\n{'chain':>10} | {'mined':>5} | {'evicted':>7} | {'replaced':>8} | {'rej fee':>7} | {'miner fees':>10}")
-    for chain_id in sorted(env.mempools):
-        pool = env.mempools[chain_id]
-        miner = env.miners[chain_id]
-        print(
-            f"{chain_id:>10} | {miner.blocks_mined:>5} | "
-            f"{getattr(pool, 'evicted', 0):>7} | {getattr(pool, 'replaced', 0):>8} | "
-            f"{getattr(pool, 'rejected_fee', 0):>7} | {miner.fees_earned:>10}"
-        )
-
-    print(
-        f"\n{metrics.total} swaps over {metrics.makespan:.1f} simulated seconds; "
-        f"commit rate {metrics.commit_rate:.1%}, priced out "
-        f"{metrics.priced_out} ({metrics.priced_out_rate:.1%}), "
-        f"{metrics.evictions} evictions, {metrics.fee_bumps} fee bumps, "
-        f"{metrics.injected_crashes} injected crashes; "
-        f"{metrics.atomicity_violations} atomicity violations"
-    )
-    return 0 if metrics.atomicity_violations == 0 else 1
-
-
 def _cmd_table1(args: argparse.Namespace) -> int:
     """Table 1 plus the paper's throughput example."""
     for name, _, tps in TABLE1_ROWS:
@@ -319,6 +369,22 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+PROTOCOL_CHOICES = ["nolan", "herlihy", "ac3tw", "ac3wn", "mixed"]
+
+
+def _add_common_scenario_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--validator-mode",
+        choices=["anchor", "full-replica", "light-client"],
+        default="anchor",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -326,38 +392,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    swap = sub.add_parser("swap", help="run one AC2T end to end")
+    run = sub.add_parser(
+        "run", help="run any experiment from a preset or a JSON spec"
+    )
+    run.add_argument("--preset", default=None, help="named preset (see --list-presets)")
+    run.add_argument("--spec", default=None, help="path to an ExperimentSpec JSON file")
+    run.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="dotted-path spec override, e.g. --set traffic.rate=12.0 (repeatable)",
+    )
+    run.add_argument(
+        "--json", default=None, help="write the full ExperimentResult JSON here"
+    )
+    run.add_argument(
+        "--list-presets", action="store_true", help="list the preset catalog and exit"
+    )
+    run.set_defaults(func=_cmd_run)
+
+    swap = sub.add_parser("swap", help="run one AC2T end to end (preset alias)")
     swap.add_argument("--protocol", choices=["ac3wn", "herlihy", "nolan"], default="ac3wn")
     swap.add_argument("--diameter", type=int, default=2)
-    swap.add_argument("--seed", type=int, default=0)
-    swap.add_argument(
-        "--validator-mode",
-        choices=["anchor", "full-replica", "light-client"],
-        default="anchor",
-    )
+    _add_common_scenario_flags(swap)
     swap.set_defaults(func=_cmd_swap)
 
-    fig10 = sub.add_parser("figure10", help="print Figure 10's latency curves")
-    fig10.add_argument("--max-diameter", type=int, default=14)
-    fig10.set_defaults(func=_cmd_figure10)
-
-    sweep = sub.add_parser("crash-sweep", help="Section 1 crash comparison")
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.set_defaults(func=_cmd_crash_sweep)
-
-    depth = sub.add_parser("witness-depth", help="Section 6.3 depth rule")
-    depth.add_argument("--value-at-risk", type=float, default=1_000_000.0)
-    depth.set_defaults(func=_cmd_witness_depth)
-
-    table1 = sub.add_parser("table1", help="Table 1 + Section 6.4 example")
-    table1.set_defaults(func=_cmd_table1)
-
     engine = sub.add_parser(
-        "engine", help="run N concurrent AC2Ts through the SwapEngine"
+        "engine", help="run N concurrent AC2Ts through the SwapEngine (preset alias)"
     )
     engine.add_argument(
         "--protocol",
-        choices=list(PROTOCOLS) + ["mixed"],
+        choices=PROTOCOL_CHOICES,
         default="ac3wn",
         help="protocol for every swap, or 'mixed' to round-robin all four",
     )
@@ -365,33 +430,29 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--rate", type=float, default=5.0, help="arrivals per second")
     engine.add_argument("--chains", type=int, default=3, help="number of asset chains")
     engine.add_argument("--participants", type=int, default=2, help="per swap")
-    engine.add_argument("--seed", type=int, default=0)
     engine.add_argument(
         "--eager",
-        action="store_true",
-        help="advance drivers on block hooks, not just poll ticks",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="advance drivers on block hooks (default: on; --no-eager for A/B)",
     )
-    engine.add_argument(
-        "--validator-mode",
-        choices=["anchor", "full-replica", "light-client"],
-        default="anchor",
-    )
+    engine.add_argument("--json", default=None, help="write the result JSON here")
+    _add_common_scenario_flags(engine)
     engine.set_defaults(func=_cmd_engine)
 
     congestion = sub.add_parser(
         "congestion",
-        help="oversubscribed fee-market run: congestion prices swaps out",
+        help="oversubscribed fee-market run (preset alias)",
     )
     congestion.add_argument(
         "--protocol",
-        choices=list(PROTOCOLS) + ["mixed"],
+        choices=PROTOCOL_CHOICES,
         default="ac3wn",
         help="protocol for every swap, or 'mixed' to round-robin all four",
     )
     congestion.add_argument("--swaps", type=int, default=60)
     congestion.add_argument("--rate", type=float, default=12.0, help="arrivals per second")
     congestion.add_argument("--chains", type=int, default=2, help="number of asset chains")
-    congestion.add_argument("--seed", type=int, default=0)
     congestion.add_argument(
         "--block-budget", type=int, default=16, help="block space per block (weight units)"
     )
@@ -418,13 +479,42 @@ def build_parser() -> argparse.ArgumentParser:
     congestion.add_argument(
         "--shock-fee-rate", type=int, default=8, help="fee rate the whale pays"
     )
-    congestion.add_argument("--eager", action="store_true")
     congestion.add_argument(
-        "--validator-mode",
-        choices=["anchor", "full-replica", "light-client"],
-        default="anchor",
+        "--eager",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="advance drivers on block hooks (preset default: off — re-baselined)",
     )
+    congestion.add_argument("--json", default=None, help="write the result JSON here")
+    _add_common_scenario_flags(congestion)
     congestion.set_defaults(func=_cmd_congestion)
+
+    sweep = sub.add_parser(
+        "crash-sweep", help="Section 1 crash comparison (spec-driven sweep)"
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--onsets",
+        type=float,
+        nargs="+",
+        # Under the eager cadence the HTLC vulnerability window sits
+        # ~2-3.5s after the swap's arrival: onsets 2.0/3.0 produce the
+        # paper's mixed settlements, the rest abort or commit cleanly.
+        default=[0.0, 2.0, 3.0, 4.5, 12.0],
+        help="crash onsets (seconds after the swap's arrival)",
+    )
+    sweep.set_defaults(func=_cmd_crash_sweep)
+
+    fig10 = sub.add_parser("figure10", help="print Figure 10's latency curves")
+    fig10.add_argument("--max-diameter", type=int, default=14)
+    fig10.set_defaults(func=_cmd_figure10)
+
+    depth = sub.add_parser("witness-depth", help="Section 6.3 depth rule")
+    depth.add_argument("--value-at-risk", type=float, default=1_000_000.0)
+    depth.set_defaults(func=_cmd_witness_depth)
+
+    table1 = sub.add_parser("table1", help="Table 1 + Section 6.4 example")
+    table1.set_defaults(func=_cmd_table1)
     return parser
 
 

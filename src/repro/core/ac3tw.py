@@ -234,7 +234,7 @@ class AC3TWDriver(ProtocolDriver):
         graph: SwapGraph,
         witness: TrustedWitness,
         config: AC3TWConfig | None = None,
-        eager: bool = False,
+        eager: bool = True,
         fee_budget=None,
     ) -> None:
         self.config = config or AC3TWConfig()

@@ -327,7 +327,7 @@ class AC3WNDriver(ProtocolDriver):
         env: SwapEnvironment,
         graph: SwapGraph,
         config: AC3WNConfig,
-        eager: bool = False,
+        eager: bool = True,
         fee_budget=None,
     ) -> None:
         if config.witness_chain_id not in env.chains:

@@ -9,17 +9,18 @@ an event-driven state machine:
 * the driver never advances the simulator itself — it *schedules* its
   next activation as a simulator callback (a poll tick, clamped to the
   current phase's deadline) and returns;
-* optionally (``eager=True``) it also subscribes to the involved chains'
+* by default (``eager=True``) it also subscribes to the involved chains'
   on-block-mined hooks (:meth:`repro.chain.chain.Blockchain.add_block_listener`)
   so confirmations are observed the instant the enabling block connects;
+  ``eager=False`` reverts to pure poll ticks for A/B cadence runs;
 * when the protocol reaches a terminal state the driver finalizes its
   :class:`~repro.core.protocol.SwapOutcome` and fires ``on_complete``
   callbacks — which is what lets :class:`repro.engine.SwapEngine`
   multiplex hundreds of concurrent AC2Ts over one simulation.
 
 The poll cadence of the non-eager mode reproduces the historical blocking
-loops tick for tick, so single-swap runs (``driver.run()`` — an engine of
-one) behave exactly as before the refactor.
+loops tick for tick, so ``eager=False`` single-swap runs (``driver.run()``
+— an engine of one) behave exactly as before the refactor.
 
 Subclasses implement three hooks:
 
@@ -72,7 +73,7 @@ class ProtocolDriver:
         graph: SwapGraph,
         poll_interval: float | None = None,
         extra_chain_ids: tuple[str, ...] = (),
-        eager: bool = False,
+        eager: bool = True,
         fee_budget: FeeBudget | None = None,
     ) -> None:
         self.env = env

@@ -118,7 +118,7 @@ class HerlihyDriver(ProtocolDriver):
         env: SwapEnvironment,
         graph: SwapGraph,
         config: HerlihyConfig | None = None,
-        eager: bool = False,
+        eager: bool = True,
         fee_budget=None,
     ) -> None:
         self.config = config or HerlihyConfig()

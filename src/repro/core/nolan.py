@@ -42,7 +42,7 @@ class NolanDriver(HerlihyDriver):
         env: SwapEnvironment,
         graph: SwapGraph,
         config: HerlihyConfig | None = None,
-        eager: bool = False,
+        eager: bool = True,
         fee_budget=None,
     ) -> None:
         validate_two_party(graph)

@@ -1,14 +1,27 @@
 """Event-driven execution layer: many concurrent AC2Ts, one simulation."""
 
-from .engine import PROTOCOLS, EngineResult, SwapEngine, SwapRequest
+from .engine import (
+    PROTOCOLS,
+    EngineResult,
+    ProtocolEntry,
+    SwapEngine,
+    SwapRequest,
+    register_protocol,
+    registered_protocols,
+    unregister_protocol,
+)
 from .metrics import EngineMetrics, compute_metrics, percentile
 
 __all__ = [
     "PROTOCOLS",
     "EngineMetrics",
     "EngineResult",
+    "ProtocolEntry",
     "SwapEngine",
     "SwapRequest",
     "compute_metrics",
     "percentile",
+    "register_protocol",
+    "registered_protocols",
+    "unregister_protocol",
 ]

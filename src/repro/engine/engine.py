@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Callable
+
 from ..core.ac3tw import AC3TWConfig, AC3TWDriver, TrustedWitness
 from ..core.ac3wn import AC3WNConfig, AC3WNDriver
 from ..core.driver import ProtocolDriver
@@ -36,7 +38,63 @@ from ..errors import ProtocolError, ReproError, SchedulingError
 from ..workloads.scenarios import CrashPlan, TrafficItem
 from .metrics import EngineMetrics, compute_metrics
 
+#: The four built-in protocols, in the canonical round-robin order used
+#: by "mixed" workloads.  The *registry* below may hold more: plug-in
+#: protocols registered via :func:`register_protocol` are first-class
+#: citizens of the engine without appearing in this tuple.
 PROTOCOLS = ("nolan", "herlihy", "ac3tw", "ac3wn")
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One registered protocol: how to build its driver for a request.
+
+    ``factory(engine, request)`` returns a started-ready
+    :class:`~repro.core.driver.ProtocolDriver`; ``validate(graph)``
+    (optional) raises at submit time for graphs the protocol cannot
+    execute, so failures surface at the call site instead of inside an
+    arrival event.
+    """
+
+    name: str
+    factory: Callable[["SwapEngine", "SwapRequest"], ProtocolDriver]
+    validate: Callable[[SwapGraph], None] | None = None
+
+
+_PROTOCOL_REGISTRY: dict[str, ProtocolEntry] = {}
+
+
+def register_protocol(
+    name: str,
+    factory: Callable[["SwapEngine", "SwapRequest"], ProtocolDriver],
+    validate: Callable[[SwapGraph], None] | None = None,
+    replace: bool = False,
+) -> None:
+    """Register a protocol so engines (and specs) can run it by name.
+
+    New protocols plug in without editing this module: the factory
+    receives the engine (for ``env``, ``eager``, witness services) and
+    the :class:`SwapRequest` (graph, config, fee budget).
+    """
+    if name in _PROTOCOL_REGISTRY and not replace:
+        raise ProtocolError(f"protocol {name!r} is already registered")
+    _PROTOCOL_REGISTRY[name] = ProtocolEntry(
+        name=name, factory=factory, validate=validate
+    )
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a plug-in protocol (built-ins may be re-registered over)."""
+    _PROTOCOL_REGISTRY.pop(name, None)
+
+
+def registered_protocols() -> tuple[str, ...]:
+    """Every runnable protocol name, registration order."""
+    return tuple(_PROTOCOL_REGISTRY)
+
+
+def _known_protocols() -> str:
+    return ", ".join(sorted(_PROTOCOL_REGISTRY))
 
 
 @dataclass
@@ -95,9 +153,10 @@ class SwapEngine:
         trusted_witness: shared Trent instance for AC3TW swaps (default:
             one Trent with full-node access to every chain — shared
             across swaps, like the real single-witness deployment).
-        eager: if True, drivers also advance on on-block-mined hooks
-            instead of only on their poll ticks (lower observation
-            latency; identical safety).
+        eager: if True (the default), drivers also advance on
+            on-block-mined hooks instead of only on their poll ticks
+            (lower observation latency; identical safety).  Pass False
+            for A/B runs against the pure poll-tick cadence.
     """
 
     def __init__(
@@ -106,11 +165,12 @@ class SwapEngine:
         default_protocol: str = "ac3wn",
         witness_chain_id: str | None = None,
         trusted_witness: TrustedWitness | None = None,
-        eager: bool = False,
+        eager: bool = True,
     ) -> None:
-        if default_protocol not in PROTOCOLS:
+        if default_protocol not in _PROTOCOL_REGISTRY:
             raise ProtocolError(
-                f"unknown protocol {default_protocol!r}; expected one of {PROTOCOLS}"
+                f"unknown protocol {default_protocol!r}; "
+                f"expected one of: {_known_protocols()}"
             )
         self.env = env
         self.default_protocol = default_protocol
@@ -156,13 +216,15 @@ class SwapEngine:
         ``crash.delay`` seconds after the arrival.
         """
         protocol = protocol or self.default_protocol
-        if protocol not in PROTOCOLS:
+        entry = _PROTOCOL_REGISTRY.get(protocol)
+        if entry is None:
             raise ProtocolError(
-                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+                f"unknown protocol {protocol!r}; "
+                f"expected one of: {_known_protocols()}"
             )
-        if protocol == "nolan":
+        if entry.validate is not None:
             # Fail at the submit call site, not inside an arrival event.
-            validate_two_party(graph)
+            entry.validate(graph)
         sim = self.env.simulator
         arrival = max(sim.now, sim.now if at is None else at)
         request = SwapRequest(
@@ -232,34 +294,7 @@ class SwapEngine:
     # -- execution ---------------------------------------------------------
 
     def _make_driver(self, request: SwapRequest) -> ProtocolDriver:
-        env, graph, config = self.env, request.graph, request.config
-        budget = request.fee_budget
-        if request.protocol == "nolan":
-            return NolanDriver(
-                env, graph, config or HerlihyConfig(), eager=self.eager,
-                fee_budget=budget,
-            )
-        if request.protocol == "herlihy":
-            return HerlihyDriver(
-                env, graph, config or HerlihyConfig(), eager=self.eager,
-                fee_budget=budget,
-            )
-        if request.protocol == "ac3tw":
-            return AC3TWDriver(
-                env,
-                graph,
-                self.trusted_witness,
-                config or AC3TWConfig(),
-                eager=self.eager,
-                fee_budget=budget,
-            )
-        return AC3WNDriver(
-            env,
-            graph,
-            config or AC3WNConfig(witness_chain_id=self.witness_chain_id),
-            eager=self.eager,
-            fee_budget=budget,
-        )
+        return _PROTOCOL_REGISTRY[request.protocol].factory(self, request)
 
     def _launch(self, request: SwapRequest) -> None:
         try:
@@ -341,3 +376,55 @@ class SwapEngine:
             by_protocol=by_protocol,
             requests=list(self.requests),
         )
+
+
+# ---------------------------------------------------------------------------
+# Built-in protocol registrations
+# ---------------------------------------------------------------------------
+
+
+def _nolan_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
+    return NolanDriver(
+        engine.env,
+        request.graph,
+        request.config or HerlihyConfig(),
+        eager=engine.eager,
+        fee_budget=request.fee_budget,
+    )
+
+
+def _herlihy_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
+    return HerlihyDriver(
+        engine.env,
+        request.graph,
+        request.config or HerlihyConfig(),
+        eager=engine.eager,
+        fee_budget=request.fee_budget,
+    )
+
+
+def _ac3tw_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
+    return AC3TWDriver(
+        engine.env,
+        request.graph,
+        engine.trusted_witness,
+        request.config or AC3TWConfig(),
+        eager=engine.eager,
+        fee_budget=request.fee_budget,
+    )
+
+
+def _ac3wn_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
+    return AC3WNDriver(
+        engine.env,
+        request.graph,
+        request.config or AC3WNConfig(witness_chain_id=engine.witness_chain_id),
+        eager=engine.eager,
+        fee_budget=request.fee_budget,
+    )
+
+
+register_protocol("nolan", _nolan_factory, validate=validate_two_party)
+register_protocol("herlihy", _herlihy_factory)
+register_protocol("ac3tw", _ac3tw_factory)
+register_protocol("ac3wn", _ac3wn_factory)

@@ -128,6 +128,15 @@ class GraphError(ProtocolError):
     """An AC2T graph is structurally invalid for the requested protocol."""
 
 
+class SpecError(ProtocolError):
+    """An :class:`~repro.experiment.ExperimentSpec` is invalid.
+
+    Raised for unknown keys or malformed values during deserialization,
+    unknown preset/registry names, bad dotted-path overrides, and
+    semantic validation failures (negative counts, rates outside their
+    domain, unregistered protocols or traffic generators)."""
+
+
 class EvidenceError(ProtocolError):
     """Cross-chain evidence failed validation (Section 4.3)."""
 

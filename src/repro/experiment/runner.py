@@ -1,0 +1,211 @@
+"""The single entry point: ``run_experiment(spec) -> ExperimentResult``.
+
+Builds the world the spec describes (chains, mempools, miners, latency,
+fee market), generates the traffic stream through the generator
+registry, schedules fee shocks, runs the :class:`~repro.engine.SwapEngine`,
+and distills everything into one unified, JSON-exportable artifact: the
+spec echo, aggregate :class:`~repro.engine.EngineMetrics` (overall and
+per protocol), per-swap outcomes, and the analysis reports (measured
+throughput, and fee economics when a fee market is on).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from ..analysis.cost import CongestionCostRow, congestion_cost_report
+from ..analysis.throughput import engine_throughput_report
+from ..core.protocol import SwapOutcome
+from ..engine import PROTOCOLS, EngineResult, SwapEngine
+from ..engine.metrics import EngineMetrics
+from ..workloads.scenarios import (
+    ScenarioEnvironment,
+    build_multi_scenario,
+    schedule_fee_shock,
+)
+from .registry import traffic_generator
+from .spec import ExperimentSpec
+
+
+def _outcome_to_dict(outcome: SwapOutcome, swap_id: int, arrival: float) -> dict:
+    return {
+        "swap_id": swap_id,
+        "protocol": outcome.protocol,
+        "decision": outcome.decision,
+        "atomic": outcome.is_atomic,
+        "arrival_time": arrival,
+        "started_at": outcome.started_at,
+        "finished_at": outcome.finished_at,
+        "latency": outcome.latency,
+        "fees_paid": outcome.fees_paid,
+        "fee_cap": outcome.fee_cap,
+        "priced_out": outcome.priced_out,
+        "evictions": outcome.evictions,
+        "fee_bumps": outcome.fee_bumps,
+        "injected_crash": outcome.injected_crash,
+        "final_states": outcome.final_states(),
+        "notes": list(outcome.notes),
+    }
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced, as one serializable artifact.
+
+    Attributes:
+        spec: the exact spec that ran (echoed into every export, so an
+            artifact is always reproducible from itself).
+        metrics: aggregate engine metrics over the whole run.
+        by_protocol: per-protocol metric slices.
+        outcomes: per-swap terminal records, request order.
+        throughput: the measured throughput report rows (overall first).
+        congestion_cost: fee-economics rows, when a fee market was on.
+        engine_result: the raw engine artifact (requests included).
+        env: the simulated world, for post-hoc inspection (not exported).
+    """
+
+    spec: ExperimentSpec
+    metrics: EngineMetrics
+    by_protocol: dict[str, EngineMetrics]
+    outcomes: list[SwapOutcome]
+    throughput: list[EngineMetrics]
+    congestion_cost: list[CongestionCostRow] | None
+    engine_result: EngineResult = field(repr=False)
+    env: ScenarioEnvironment = field(repr=False)
+
+    def trace(self) -> list[tuple[int, str, str, float, float]]:
+        """The engine's deterministic run fingerprint (for tests)."""
+        return self.engine_result.trace()
+
+    def to_dict(self) -> dict:
+        requests = self.engine_result.requests
+        return {
+            "spec": self.spec.to_dict(),
+            "metrics": asdict(self.metrics),
+            "by_protocol": {
+                name: asdict(metrics) for name, metrics in self.by_protocol.items()
+            },
+            "outcomes": [
+                _outcome_to_dict(r.outcome, r.swap_id, r.arrival_time)
+                for r in requests
+                if r.outcome is not None
+            ],
+            "reports": {
+                "throughput": [asdict(row) for row in self.throughput],
+                "congestion_cost": (
+                    None
+                    if self.congestion_cost is None
+                    else [
+                        {
+                            **asdict(row),
+                            "congestion_premium": row.congestion_premium,
+                            "priced_out_rate": row.priced_out_rate,
+                        }
+                        for row in self.congestion_cost
+                    ]
+                ),
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+def build_environment(spec: ExperimentSpec, traffic: list) -> ScenarioEnvironment:
+    """The world the spec describes, warmed up and mining."""
+    whales = tuple(
+        dict.fromkeys(
+            list(spec.chains.extra_participants)
+            + [shock.whale for shock in spec.fee_shocks]
+        )
+    )
+    env = build_multi_scenario(
+        [item.graph for item in traffic],
+        witness_chain_id=spec.chains.witness,
+        chain_params=spec.chains.build_params() or None,
+        seed=spec.seed,
+        funding=spec.chains.funding,
+        funding_chunks=spec.chains.funding_chunks,
+        validator_mode=spec.chains.validator_mode,
+        block_interval=spec.chains.block_interval,
+        confirmation_depth=spec.chains.confirmation_depth,
+        latency=spec.latency.build(),
+        fee_policy=spec.fee_market.build(),
+        extra_participants=list(whales) or None,
+        extra_funding_chunks=spec.chains.extra_funding_chunks,
+    )
+    env.warm_up(spec.engine.warm_up_blocks)
+    return env
+
+
+def _shock_chain(spec: ExperimentSpec, shock) -> str:
+    """The chain a fee shock floods when the spec leaves it implicit:
+    the contended one — the witness chain for witness-coordinated runs,
+    else the first asset chain."""
+    if shock.chain_id is not None:
+        return shock.chain_id
+    if spec.protocol in ("ac3wn", "mixed"):
+        return spec.chains.witness
+    return spec.chains.asset_ids()[0]
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Validate and execute one spec end to end; never mutates ``spec``."""
+    spec.validate()
+    traffic = traffic_generator(spec.traffic.generator)(spec)
+    env = build_environment(spec, traffic)
+
+    for shock in spec.fee_shocks:
+        schedule_fee_shock(
+            env,
+            _shock_chain(spec, shock),
+            at=env.simulator.now + shock.at,
+            count=shock.count,
+            fee_rate=shock.fee_rate,
+            whale=shock.whale,
+        )
+
+    engine = SwapEngine(
+        env,
+        default_protocol="ac3wn" if spec.protocol == "mixed" else spec.protocol,
+        witness_chain_id=spec.chains.witness,
+        eager=spec.engine.eager,
+    )
+    # Arrivals are generated from t=0; shift them past the warm-up so
+    # the schedule stays genuinely open-loop (no clamped head batch).
+    offset = env.simulator.now
+    if spec.protocol == "mixed":
+        for index, item in enumerate(traffic):
+            engine.submit(
+                item.graph,
+                protocol=PROTOCOLS[index % len(PROTOCOLS)],
+                at=offset + item.at,
+                fee_budget=item.fee_budget,
+                crash=item.crash,
+            )
+    else:
+        engine.submit_many(traffic, offset=offset)
+    raw = engine.run(max_events=spec.engine.max_events)
+
+    congestion_cost = None
+    if spec.fee_market.enabled:
+        fees = env.chains[spec.chains.asset_ids()[0]].params.fees
+        congestion_cost = congestion_cost_report(
+            raw.outcomes, fd=fees.deploy, ffc=fees.call
+        )
+    return ExperimentResult(
+        spec=spec,
+        metrics=raw.metrics,
+        by_protocol=raw.by_protocol,
+        outcomes=raw.outcomes,
+        throughput=engine_throughput_report(raw),
+        congestion_cost=congestion_cost,
+        engine_result=raw,
+        env=env,
+    )

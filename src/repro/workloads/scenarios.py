@@ -9,7 +9,7 @@ uniform and reproducible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from ..chain.chain import Blockchain
 from ..chain.mempool import Mempool
@@ -336,7 +336,7 @@ def swap_traffic_graphs(
     return graphs
 
 
-def poisson_swap_traffic(
+def swap_traffic(
     num_swaps: int,
     rate: float,
     seed: int = 0,
@@ -348,13 +348,15 @@ def poisson_swap_traffic(
     crash_rate: float = 0.0,
     crash_window: tuple[float, float] = (1.0, 12.0),
     crash_down_for: float | None = None,
+    budget_sampler=None,
 ) -> list[TrafficItem]:
-    """A :class:`TrafficItem` schedule ready for ``submit_many``.
+    """The traffic core: arrivals + graphs + crash plans (+ fee budgets).
 
-    The arrival stream is derived from its own named RNG stream so the
-    schedule never perturbs (and is never perturbed by) the simulation's
-    other randomness.  Items iterate as ``(arrival_time, graph)`` pairs,
-    so callers that only care about timing unpack them as before.
+    Every traffic generator in this module is a thin parameterization of
+    this one assembly.  Each concern draws from its own named RNG stream
+    (``workload/poisson-arrivals``, ``workload/crash-injection``,
+    ``workload/fee-budgets``) so a schedule is a pure function of its
+    arguments and never perturbs the simulation's other randomness.
 
     ``crash_rate`` marks that fraction of swaps (from an independent
     stream) to crash mid-protocol: a uniformly chosen participant of the
@@ -363,6 +365,11 @@ def poisson_swap_traffic(
     The injection is surfaced per swap in
     :attr:`~repro.core.protocol.SwapOutcome.injected_crash` and counted
     by the engine's metrics.
+
+    ``budget_sampler`` (optional) draws one
+    :class:`~repro.economy.FeeBudget` (or None) per swap from the
+    ``workload/fee-budgets`` stream — ``sampler(stream) -> FeeBudget | None``,
+    called once per swap in arrival order.
     """
     if not 0.0 <= crash_rate <= 1.0:
         raise ProtocolError("crash_rate must be within [0, 1]")
@@ -388,10 +395,50 @@ def poisson_swap_traffic(
                 delay=crash_stream.uniform(*crash_window),
                 down_for=crash_down_for,
             )
+    budgets: list[FeeBudget | None] = [None] * num_swaps
+    if budget_sampler is not None:
+        budget_stream = RngStream(seed, "workload/fee-budgets")
+        budgets = [budget_sampler(budget_stream) for _ in range(num_swaps)]
     return [
-        TrafficItem(at=at, graph=graph, crash=crash)
-        for at, graph, crash in zip(arrivals, graphs, crashes)
+        TrafficItem(at=at, graph=graph, crash=crash, fee_budget=budget)
+        for at, graph, crash, budget in zip(arrivals, graphs, crashes, budgets)
     ]
+
+
+def poisson_swap_traffic(
+    num_swaps: int,
+    rate: float,
+    seed: int = 0,
+    chain_ids: list[str] | None = None,
+    participants_per_swap: int = 2,
+    amount: int = DEFAULT_AMOUNT,
+    start: float = 0.0,
+    prefix: str = "swap",
+    crash_rate: float = 0.0,
+    crash_window: tuple[float, float] = (1.0, 12.0),
+    crash_down_for: float | None = None,
+    fee_budget: FeeBudget | None = None,
+) -> list[TrafficItem]:
+    """Homogeneous Poisson traffic: :func:`swap_traffic` with at most one
+    swap class (every swap carries ``fee_budget``, or none at all).
+
+    Items iterate as ``(arrival_time, graph)`` pairs, so callers that
+    only care about timing unpack them as before.
+    """
+    return swap_traffic(
+        num_swaps,
+        rate,
+        seed=seed,
+        chain_ids=chain_ids,
+        participants_per_swap=participants_per_swap,
+        amount=amount,
+        start=start,
+        prefix=prefix,
+        crash_rate=crash_rate,
+        crash_window=crash_window,
+        crash_down_for=crash_down_for,
+        budget_sampler=(None if fee_budget is None else (lambda stream: fee_budget)),
+    )
 
 
 def build_multi_scenario(
@@ -557,7 +604,7 @@ def congestion_swap_traffic(
         raise ProtocolError("low_fee_share must be within [0, 1]")
     low = low_budget or LOW_FEE_BUDGET
     high = high_budget or HIGH_FEE_BUDGET
-    items = poisson_swap_traffic(
+    return swap_traffic(
         num_swaps,
         rate,
         seed=seed,
@@ -569,12 +616,10 @@ def congestion_swap_traffic(
         crash_rate=crash_rate,
         crash_window=crash_window,
         crash_down_for=crash_down_for,
+        budget_sampler=(
+            lambda stream: low if stream.random() < low_fee_share else high
+        ),
     )
-    stream = RngStream(seed, "workload/fee-budgets")
-    return [
-        replace(item, fee_budget=low if stream.random() < low_fee_share else high)
-        for item in items
-    ]
 
 
 def schedule_fee_shock(

@@ -17,10 +17,15 @@ from repro.workloads.scenarios import build_scenario
 
 
 def committed_but_unsettled(seed):
-    """Run AC3WN with Bob down: commit decided, Bob's redeem pending."""
+    """Run AC3WN with Bob down: commit decided, Bob's redeem pending.
+
+    Under the eager (on-block-hook) cadence the decision lands at t≈7
+    and settlement at t≈8, so Bob crashes at 6.5 — after his deploy
+    confirmed, before the authorization he would redeem with.
+    """
     graph = two_party_swap(chain_a="a", chain_b="b", timestamp=seed)
     env = build_scenario(graph=graph, seed=seed)
-    env.apply_failures(FailureSchedule().crash("bob", start=8.0, end=None))
+    env.apply_failures(FailureSchedule().crash("bob", start=6.5, end=None))
     env.warm_up(2)
     driver = AC3WNDriver(env, graph, AC3WNConfig(witness_chain_id="witness"))
     outcome = driver.run()

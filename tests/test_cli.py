@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -18,6 +20,17 @@ class TestParser:
     def test_bad_protocol_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["swap", "--protocol", "magic"])
+
+    def test_run_set_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["run", "--preset", "swap", "--set", "seed=1", "--set", "traffic.rate=2"]
+        )
+        assert args.set == ["seed=1", "traffic.rate=2"]
+
+    def test_eager_flag_is_tri_state(self):
+        assert build_parser().parse_args(["engine"]).eager is None
+        assert build_parser().parse_args(["engine", "--eager"]).eager is True
+        assert build_parser().parse_args(["engine", "--no-eager"]).eager is False
 
 
 class TestCommands:
@@ -53,3 +66,120 @@ class TestCommands:
         assert main(["swap", "--protocol", "herlihy", "--diameter", "3", "--seed", "7"]) == 0
         out = capsys.readouterr().out
         assert "decision=commit" in out
+
+
+class TestRun:
+    def test_list_presets(self, capsys):
+        assert main(["run", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("engine-smoke", "congestion", "table1", "figure10", "swap"):
+            assert name in out
+
+    def test_run_requires_a_source(self, capsys):
+        assert main(["run"]) == 2
+        assert "pass --preset or --spec" in capsys.readouterr().err
+
+    def test_preset_and_spec_are_exclusive(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text("{}")
+        assert main(["run", "--preset", "swap", "--spec", str(path)]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_unknown_preset(self, capsys):
+        assert main(["run", "--preset", "warp"]) == 2
+        assert "unknown preset" in capsys.readouterr().err
+
+    def test_bad_set_value(self, capsys):
+        assert main(["run", "--preset", "swap", "--set", "traffic.swaps=1"]) == 2
+        assert "unknown field" in capsys.readouterr().err
+
+    def test_run_preset_with_overrides_and_json(self, tmp_path, capsys):
+        out_path = tmp_path / "result.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--preset",
+                    "swap",
+                    "--set",
+                    "seed=3",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "experiment 'swap' (seed 3)" in out
+        assert "0 atomicity violations" in out
+        data = json.loads(out_path.read_text())
+        assert data["spec"]["seed"] == 3
+        assert data["metrics"]["total"] == 1
+        assert data["metrics"]["atomicity_violations"] == 0
+
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.experiment import preset_spec
+
+        path = tmp_path / "spec.json"
+        path.write_text(preset_spec("swap").to_json())
+        assert main(["run", "--spec", str(path)]) == 0
+        assert "commit rate 100.0%" in capsys.readouterr().out
+
+    def test_run_spec_file_with_unknown_key(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text('{"swaps": 3}')
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_run_missing_spec_file(self, capsys):
+        assert main(["run", "--spec", "/nonexistent/spec.json"]) == 2
+        assert "repro run:" in capsys.readouterr().err
+
+
+class TestAliases:
+    def test_engine_alias_maps_flags_onto_the_spec(self, capsys):
+        assert (
+            main(
+                ["engine", "--swaps", "4", "--rate", "5", "--chains", "2",
+                 "--protocol", "mixed", "--seed", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 swaps over" in out
+        assert "0 atomicity violations" in out
+
+    def test_engine_alias_rejects_bad_counts(self, capsys):
+        assert main(["engine", "--swaps", "0"]) == 2
+        assert main(["engine", "--chains", "0"]) == 2
+
+    def test_engine_alias_rejects_mixed_multiparty(self, capsys):
+        assert main(["engine", "--protocol", "mixed", "--participants", "3"]) == 2
+        assert "two-party" in capsys.readouterr().err
+
+    def test_congestion_alias_rejects_bad_budget(self, capsys):
+        assert main(["congestion", "--block-budget", "0"]) == 2
+        assert "block_weight_budget" in capsys.readouterr().err
+
+    def test_unwritable_json_path_is_a_clean_error(self, capsys):
+        assert (
+            main(["run", "--preset", "swap", "--json", "/nonexistent/dir/out.json"])
+            == 2
+        )
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_congestion_alias(self, capsys):
+        assert main(["congestion", "--swaps", "10", "--rate", "10", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "class" in out  # fee-class breakdown table
+        assert "miner fees" in out
+
+    def test_crash_sweep_reproduces_the_paper_story(self, capsys):
+        assert main(["crash-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "HTLC atomicity violations: 2; AC3WN: 0" in out
+        assert "mixed/atomic=False" in out
+
+    def test_crash_sweep_rejects_bad_onset(self, capsys):
+        assert main(["crash-sweep", "--onsets", "-1"]) == 2
+        assert "repro crash-sweep:" in capsys.readouterr().err

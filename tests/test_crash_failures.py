@@ -26,9 +26,10 @@ class TestNolanUnderCrash:
         """The paper's exact scenario: Bob crashes after Alice redeems;
         SC1's timelock expires; Alice refunds SC1 — Bob ends up worse."""
         env, graph = fresh_env(timestamp=1, seed=41)
-        # Both contracts confirm by t≈6; Bob crashes just before Alice's
-        # reveal lands and recovers only after every timelock expired.
-        env.apply_failures(FailureSchedule().crash("bob", start=6.5, end=500.0))
+        # Under the eager (on-block-hook) cadence both contracts confirm
+        # by t≈4.5 and Alice's reveal lands at t≈6; Bob crashes inside
+        # that window and recovers only after every timelock expired.
+        env.apply_failures(FailureSchedule().crash("bob", start=5.5, end=500.0))
         outcome = run_nolan(env, graph)
         assert outcome.decision == "mixed"
         assert not outcome.is_atomic

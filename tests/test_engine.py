@@ -24,7 +24,7 @@ from repro.workloads.scenarios import (
 )
 
 
-def run_engine(protocol, num_swaps=12, rate=6.0, seed=17, eager=False):
+def run_engine(protocol, num_swaps=12, rate=6.0, seed=17, eager=True):
     traffic = poisson_swap_traffic(
         num_swaps, rate=rate, seed=seed, chain_ids=["x", "y"]
     )
@@ -159,14 +159,19 @@ class TestEngineDeterminism:
             r.arrival_time for r in second.requests
         ]
 
-    def test_eager_mode_deterministic_and_atomic(self):
-        """Block-hook advancing changes cadence, not safety or replay."""
-        _, first, _ = run_engine("ac3wn", seed=43, eager=True)
-        _, second, _ = run_engine("ac3wn", seed=43, eager=True)
+    def test_lazy_mode_deterministic_and_atomic(self):
+        """The poll-tick-only cadence (eager=False) stays reachable for
+        A/B runs: deterministic, atomic, and slower than eager."""
+        _, first, _ = run_engine("ac3wn", seed=43, eager=False)
+        _, second, _ = run_engine("ac3wn", seed=43, eager=False)
         assert first.trace() == second.trace()
         assert first.metrics == second.metrics
         assert first.metrics.atomicity_violations == 0
         assert first.metrics.committed == first.metrics.total
+        _, eager, _ = run_engine("ac3wn", seed=43, eager=True)
+        assert eager.metrics.committed == eager.metrics.total
+        # Block hooks observe confirmations no later than poll ticks do.
+        assert eager.metrics.mean_latency <= first.metrics.mean_latency
 
 
 class TestSingleSwapEquivalence:
@@ -218,8 +223,10 @@ class TestHundredsConcurrent:
         # The witness-based protocols must be violation-free by design.
         assert result.by_protocol["ac3tw"].atomicity_violations == 0
         assert result.by_protocol["ac3wn"].atomicity_violations == 0
-        # Genuine concurrency: the arrival rate dwarfs per-swap latency.
-        assert metrics.max_in_flight >= 100
+        # Genuine concurrency: the arrival rate dwarfs per-swap latency
+        # (eager drivers settle faster than the old poll cadence, so the
+        # concurrent peak sits lower than the pre-eager ≥100 baseline).
+        assert metrics.max_in_flight >= 80
         assert all(pm.total == num // 4 for pm in result.by_protocol.values())
         assert metrics.swaps_per_second > 5.0
 

@@ -10,6 +10,7 @@ import pytest
 
 from repro.analysis.latency import ac3wn_latency, figure10_series, herlihy_latency
 from repro.experiment import apply_overrides, preset_spec, run_experiment
+from repro.sweeps import SweepRunner, figure10_curves, sweep_spec
 
 from conftest import print_table
 
@@ -81,27 +82,43 @@ def test_figure10_measured_point(benchmark, diameter):
 
 
 def test_figure10_measured_series(table_printer):
-    """The full measured curve in one table (no benchmark timing)."""
+    """The full measured figure from the ``figure10`` sweep campaign.
+
+    A thin consumer: the sweep subsystem expands protocol × diameter,
+    runs every point, and :func:`repro.sweeps.figure10_curves` extracts
+    the per-protocol series — the same one command
+    (``repro sweep --preset figure10``) regenerates from the CLI.
+    """
+    result = SweepRunner(sweep_spec("figure10"), workers=1).run()
+    curves = figure10_curves(result)
     rows = []
     for diameter in MEASURED_DIAMETERS:
-        herlihy = _measured_latency("herlihy", diameter, seed=300 + diameter)
-        ac3wn = _measured_latency("ac3wn", diameter, seed=400 + diameter)
+        herlihy = next(s for s in curves["herlihy"] if s.diameter == diameter)
+        ac3wn = next(s for s in curves["ac3wn"] if s.diameter == diameter)
         rows.append(
             [
                 diameter,
-                f"{herlihy:.1f}",
+                f"{herlihy.latency_deltas:.1f}",
                 f"{herlihy_latency(diameter):.0f}",
-                f"{ac3wn:.1f}",
+                f"{ac3wn.latency_deltas:.1f}",
                 f"{ac3wn_latency(diameter):.0f}",
             ]
         )
     table_printer(
-        "Figure 10 (measured on simulator): latency in Δs",
+        "Figure 10 (measured via the figure10 sweep): latency in Δs",
         ["Diam(D)", "Herlihy meas.", "Herlihy paper", "AC3WN meas.", "AC3WN paper"],
         rows,
     )
-    herlihy_curve = [float(r[1]) for r in rows]
-    ac3wn_curve = [float(r[3]) for r in rows]
-    # Monotone growth vs flatness.
+    assert result.atomicity_violations == 0
+    # Every executed point committed, for all four protocols.
+    assert set(curves) == {"nolan", "herlihy", "ac3tw", "ac3wn"}
+    assert all(s.decision == "commit" for series in curves.values() for s in series)
+    # Nolan is strictly two-party: its diameter > 2 cells were skipped,
+    # visibly, not silently.
+    assert [s.diameter for s in curves["nolan"]] == [2]
+    assert len(result.skipped) == len(MEASURED_DIAMETERS) - 1
+    herlihy_curve = [s.latency_deltas for s in curves["herlihy"]]
+    ac3wn_curve = [s.latency_deltas for s in curves["ac3wn"]]
+    # Monotone growth vs flatness — the paper's headline contrast.
     assert herlihy_curve == sorted(herlihy_curve)
     assert max(ac3wn_curve) - min(ac3wn_curve) < 2.0

@@ -23,8 +23,8 @@ from repro.chain.mempool import Mempool
 from repro.chain.miner import MinerNode
 from repro.chain.params import fast_chain
 from repro.crypto.keys import KeyPair
-from repro.experiment import apply_overrides, preset_spec, run_experiment
 from repro.sim.simulator import Simulator
+from repro.sweeps import SweepRunner, sweep_spec, table1_series
 
 from conftest import print_table
 
@@ -121,37 +121,37 @@ def test_measured_chain_throughput(benchmark, label, capacity, interval, expecte
     assert measured == pytest.approx(expected_tps, rel=0.15)
 
 
-@pytest.mark.parametrize("protocol", ["nolan", "herlihy", "ac3tw", "ac3wn"])
-def test_engine_swaps_per_second(benchmark, protocol, table_printer):
+def test_engine_swaps_per_second(benchmark, table_printer):
     """Swap-level throughput measured by the engine, per protocol.
 
-    The ``table1`` preset: 40 two-party AC2Ts arrive open-loop at
-    8 swaps/s over three shared asset chains plus the witness; the
-    engine reports the observed swaps/sec — the concurrent-traffic
-    number Table 1's min() rule upper bounds, replacing the old
-    sequential single-swap measurement.
+    The ``table1`` *sweep*: one protocol axis over the stock 40-swap
+    open-loop workload (8 swaps/s, three shared asset chains plus the
+    witness) — the same four runs the old per-protocol parametrization
+    assembled by hand, now one declarative campaign whose joined table
+    is the figure.
     """
 
     def run():
-        spec = apply_overrides(preset_spec("table1"), {"protocol": protocol})
-        return run_experiment(spec)
+        return SweepRunner(sweep_spec("table1"), workers=1).run()
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
-    rows = [
-        [row.protocol, f"{row.swaps_per_second:.2f}", f"{row.commit_rate:.0%}",
-         f"{row.p50_latency:.1f}s", f"{row.p99_latency:.1f}s", row.max_in_flight]
-        for row in result.throughput
-    ]
+    series = table1_series(result)
     table_printer(
-        f"Engine throughput ({protocol}): 40 concurrent AC2Ts at 8 swaps/s",
+        "Engine throughput (table1 sweep): 40 concurrent AC2Ts at 8 swaps/s",
         ["protocol", "swaps/s", "commit", "p50", "p99", "peak in-flight"],
-        rows,
+        [
+            [row.protocol, f"{row.swaps_per_second:.2f}", f"{row.commit_rate:.0%}",
+             f"{row.p50_latency:.1f}s", f"{row.p99_latency:.1f}s", row.max_in_flight]
+            for row in series
+        ],
     )
-    assert result.metrics.total == 40
-    assert result.metrics.atomicity_violations == 0
-    assert result.metrics.swaps_per_second > 1.0
-    # Open-loop arrivals outpace per-swap latency: real concurrency.
-    assert result.metrics.max_in_flight > 10
+    assert [row.protocol for row in series] == ["nolan", "herlihy", "ac3tw", "ac3wn"]
+    assert result.atomicity_violations == 0
+    for row in series:
+        assert row.total == 40
+        assert row.swaps_per_second > 1.0
+        # Open-loop arrivals outpace per-swap latency: real concurrency.
+        assert row.max_in_flight > 10
 
 
 def test_min_rule_on_simulated_chains():

@@ -19,7 +19,7 @@ Quickstart::
     assert outcome.decision == "commit" and outcome.is_atomic
 """
 
-from . import analysis, chain, core, crypto, experiment, sim, workloads
+from . import analysis, chain, core, crypto, experiment, sim, sweeps, workloads
 from .core import (
     AC3TWDriver,
     AC3WNConfig,
@@ -42,6 +42,14 @@ from .experiment import (
     apply_overrides,
     preset_spec,
     run_experiment,
+)
+from .sweeps import (
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
+    sweep_spec,
 )
 from .workloads import (
     ScenarioEnvironment,
@@ -68,6 +76,10 @@ __all__ = [
     "SwapEnvironment",
     "SwapGraph",
     "SwapOutcome",
+    "SweepAxis",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
     "TrustedWitness",
     "analysis",
     "apply_overrides",
@@ -86,7 +98,10 @@ __all__ = [
     "run_experiment",
     "run_herlihy",
     "run_nolan",
+    "run_sweep",
     "sim",
+    "sweep_spec",
+    "sweeps",
     "two_party_swap",
     "workloads",
 ]

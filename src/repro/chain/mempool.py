@@ -25,6 +25,27 @@ class Mempool:
         self.rejected = 0
         self.rejected_duplicate = 0
         self.rejected_invalid = 0
+        self._eviction_listeners: list = []
+
+    # -- eviction notifications --------------------------------------------
+    #
+    # The FIFO pool never evicts, but the listener API lives here so
+    # event-driven protocol drivers can subscribe uniformly; the
+    # fee-market PriorityMempool fires it whenever a pending message
+    # loses its place (capacity eviction or replace-by-fee).
+
+    def add_eviction_listener(self, listener) -> None:
+        """Call ``listener(message_id)`` when a pending message is evicted."""
+        self._eviction_listeners.append(listener)
+
+    def remove_eviction_listener(self, listener) -> None:
+        """Remove an eviction listener (no-op if absent)."""
+        if listener in self._eviction_listeners:
+            self._eviction_listeners.remove(listener)
+
+    def _notify_eviction(self, message_id: bytes) -> None:
+        for listener in list(self._eviction_listeners):
+            listener(message_id)
 
     def __len__(self) -> int:
         return len(self._pending)

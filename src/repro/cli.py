@@ -4,7 +4,10 @@
 
     python -m repro run --preset congestion --set traffic.num_swaps=60 --json out.json
     python -m repro run --spec my_experiment.json --set engine.eager=false
-    python -m repro run --list-presets
+    python -m repro run --list-presets [--json]
+    python -m repro sweep --preset figure10 --workers 4 --csv out.csv
+    python -m repro sweep --spec my_sweep.json --workers 2 --json out.json
+    python -m repro sweep --list-presets [--json]
     python -m repro swap --protocol ac3wn --diameter 3
     python -m repro engine --swaps 50 --rate 10
     python -m repro congestion --fee-shock 32
@@ -13,12 +16,16 @@
     python -m repro table1
     python -m repro witness-depth --value-at-risk 1000000
 
-``run`` is the single scenario entry point: it resolves a named preset
+``run`` is the single-scenario entry point: it resolves a named preset
 or a JSON spec file into an :class:`~repro.experiment.ExperimentSpec`,
 applies ``--set`` dotted-path overrides, executes it through
 :func:`~repro.experiment.run_experiment`, prints paper-style tables, and
 can export the full :class:`~repro.experiment.ExperimentResult` artifact
-as JSON.  The legacy scenario subcommands (``swap``, ``engine``,
+as JSON.  ``sweep`` is its multi-point sibling: a named sweep campaign
+(or a ``SweepSpec`` JSON file) expands into N experiment points,
+executes them across ``--workers`` processes, prints the joined summary
+table, and exports the campaign as CSV and/or JSON — one command per
+paper figure.  The legacy scenario subcommands (``swap``, ``engine``,
 ``congestion``, ``crash-sweep``) are thin aliases that translate their
 flags into preset overrides and call the same pipeline; the analytic
 printouts (``figure10``, ``table1``, ``witness-depth``) need no
@@ -28,6 +35,8 @@ simulation at all.  Seeds default to 0 for reproducibility.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json as _json
 import sys
 
 from .analysis.latency import figure10_series
@@ -43,6 +52,14 @@ from .experiment import (
     preset_names,
     preset_spec,
     run_experiment,
+)
+from .sweeps import (
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    sweep_description,
+    sweep_names,
+    sweep_spec,
 )
 from .workloads.scenarios import LOW_FEE_BUDGET
 
@@ -153,18 +170,35 @@ def print_result(result: ExperimentResult) -> None:
 
 def _finish_run(result: ExperimentResult, json_path: str | None) -> int:
     if json_path:
-        try:
-            result.save(json_path)
-        except OSError as exc:
-            print(f"repro run: cannot write {json_path}: {exc}", file=sys.stderr)
-            return 2
-        print(f"\nwrote {json_path}")
+        if json_path == "-":
+            print(result.to_json())
+        else:
+            try:
+                result.save(json_path)
+            except OSError as exc:
+                print(f"repro run: cannot write {json_path}: {exc}", file=sys.stderr)
+                return 2
+            print(f"\nwrote {json_path}")
     return 0 if result.metrics.atomicity_violations == 0 else 1
 
 
 # ---------------------------------------------------------------------------
 # repro run: the universal entry point
 # ---------------------------------------------------------------------------
+
+
+def _print_catalog(names, describe, as_json: bool) -> None:
+    """The preset catalog, human table or machine-readable JSON."""
+    if as_json:
+        print(
+            _json.dumps(
+                [{"name": name, "description": describe(name)} for name in names],
+                indent=2,
+            )
+        )
+        return
+    for name in names:
+        print(f"{name:>18}  {describe(name)}")
 
 
 def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
@@ -187,8 +221,7 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list_presets:
-        for name in preset_names():
-            print(f"{name:>18}  {preset_description(name)}")
+        _print_catalog(preset_names(), preset_description, args.json is not None)
         return 0
     try:
         spec = _load_spec(args)
@@ -196,8 +229,129 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except (SpecError, OSError) as exc:
         print(f"repro run: {exc}", file=sys.stderr)
         return 2
-    print_result(result)
+    if args.json == "-":
+        # Streaming the artifact to stdout: keep it parseable by moving
+        # the human-readable tables to stderr.
+        with contextlib.redirect_stdout(sys.stderr):
+            print_result(result)
+    else:
+        print_result(result)
     return _finish_run(result, args.json)
+
+
+# ---------------------------------------------------------------------------
+# repro sweep: the multi-point campaign entry point
+# ---------------------------------------------------------------------------
+
+
+def _load_sweep(args: argparse.Namespace) -> SweepSpec:
+    if args.spec and args.preset:
+        raise SpecError("pass either --preset or --spec, not both")
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = SweepSpec.from_json(handle.read())
+    elif args.preset:
+        spec = sweep_spec(args.preset)
+    else:
+        raise SpecError(
+            f"pass --preset or --spec; sweeps: {', '.join(sweep_names())}"
+        )
+    overrides = parse_set_args(args.set or [])
+    if overrides:
+        # The same dotted-path machinery as ``run``, one level up:
+        # --set base.traffic.num_swaps=12 edits the base experiment,
+        # --set mode=zip the sweep itself.
+        spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def print_sweep_result(result: SweepResult) -> None:
+    """The joined campaign table, one row per executed point."""
+    axes = [axis.name for axis in result.spec.axes]
+    header = " | ".join(
+        [f"{'point':>5}"]
+        + [f"{name:>10}" for name in axes]
+        + [f"{'swaps':>5}", f"{'commit':>6}", f"{'viol':>4}", f"{'swaps/s':>8}",
+           f"{'p50':>7}", f"{'priced':>6}"]
+    )
+    print(header)
+    for row in result.rows():
+        cells = [f"{row['index']:>5}"]
+        cells += [f"{str(row.get(name, '')):>10}" for name in axes]
+        cells += [
+            f"{row['total']:>5}",
+            f"{row['commit_rate']:>6.1%}",
+            f"{row['atomicity_violations']:>4}",
+            f"{row['swaps_per_second']:>8.2f}",
+            f"{row['p50_latency']:>6.1f}s",
+            f"{row['priced_out']:>6}",
+        ]
+        print(" | ".join(cells))
+    for skip in result.skipped:
+        coords = ",".join(f"{k}={v}" for k, v in skip.coords.items())
+        print(f"skipped [{skip.index:03d}] {coords}: {skip.reason}")
+    total = sum(row["total"] for row in result.rows())
+    print(
+        f"\n{len(result.points)} points ({total} swaps), "
+        f"{len(result.skipped)} skipped; "
+        f"{result.atomicity_violations} atomicity violations"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.list_presets:
+        _print_catalog(sweep_names(), sweep_description, args.json is not None)
+        return 0
+    try:
+        spec = _load_sweep(args)
+
+        def progress(point) -> None:
+            m = point.metrics
+            print(
+                f"  [{point.index:03d}] {point.name}: "
+                f"commit {m['commit_rate']:.1%}, "
+                f"{m['atomicity_violations']} violations",
+                file=sys.stderr,
+            )
+
+        # Streaming an export to stdout: keep it parseable by moving the
+        # narration and the human-readable table to stderr.
+        streaming = "-" in (args.csv, args.json)
+        narrate = sys.stderr if streaming else sys.stdout
+        runner = SweepRunner(
+            spec,
+            workers=args.workers,
+            on_point=progress if args.progress else None,
+        )
+        print(
+            f"sweep {spec.name!r}: {spec.num_points()} points, "
+            f"{args.workers} worker(s)",
+            file=narrate,
+        )
+        result = runner.run()
+    except (SpecError, OSError) as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+    with contextlib.redirect_stdout(narrate):
+        print_sweep_result(result)
+    status = 0 if result.atomicity_violations == 0 else 1
+    exports = (
+        (args.csv, result.save_csv, result.to_csv),
+        (args.json, result.save, result.to_json),
+    )
+    for path, save, render in exports:
+        if not path:
+            continue
+        if path == "-":
+            print(render())
+            continue
+        try:
+            save(path)
+        except OSError as exc:
+            print(f"repro sweep: cannot write {path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}", file=narrate)
+    return status
 
 
 # ---------------------------------------------------------------------------
@@ -404,12 +558,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="dotted-path spec override, e.g. --set traffic.rate=12.0 (repeatable)",
     )
     run.add_argument(
-        "--json", default=None, help="write the full ExperimentResult JSON here"
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the full ExperimentResult JSON here ('-' or no value: "
+        "stdout; with --list-presets: emit the catalog as JSON)",
     )
     run.add_argument(
         "--list-presets", action="store_true", help="list the preset catalog and exit"
     )
     run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a multi-point sweep campaign across worker processes",
+    )
+    sweep.add_argument(
+        "--preset", default=None, help="named sweep (see sweep --list-presets)"
+    )
+    sweep.add_argument("--spec", default=None, help="path to a SweepSpec JSON file")
+    sweep.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="dotted-path sweep override, e.g. --set base.traffic.num_swaps=12",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process; N = multiprocessing pool)",
+    )
+    sweep.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write the summary table as CSV ('-' for stdout)",
+    )
+    sweep.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the full SweepResult JSON here ('-' or no value: stdout; "
+        "with --list-presets: emit the catalog as JSON)",
+    )
+    sweep.add_argument(
+        "--progress",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="print per-point progress lines to stderr as points finish",
+    )
+    sweep.add_argument(
+        "--list-presets", action="store_true", help="list the sweep catalog and exit"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     swap = sub.add_parser("swap", help="run one AC2T end to end (preset alias)")
     swap.add_argument("--protocol", choices=["ac3wn", "herlihy", "nolan"], default="ac3wn")
@@ -489,11 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_scenario_flags(congestion)
     congestion.set_defaults(func=_cmd_congestion)
 
-    sweep = sub.add_parser(
+    crash_sweep = sub.add_parser(
         "crash-sweep", help="Section 1 crash comparison (spec-driven sweep)"
     )
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument(
+    crash_sweep.add_argument("--seed", type=int, default=0)
+    crash_sweep.add_argument(
         "--onsets",
         type=float,
         nargs="+",
@@ -503,7 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[0.0, 2.0, 3.0, 4.5, 12.0],
         help="crash onsets (seconds after the swap's arrival)",
     )
-    sweep.set_defaults(func=_cmd_crash_sweep)
+    crash_sweep.set_defaults(func=_cmd_crash_sweep)
 
     fig10 = sub.add_parser("figure10", help="print Figure 10's latency curves")
     fig10.add_argument("--max-diameter", type=int, default=14)

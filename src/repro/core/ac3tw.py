@@ -236,6 +236,7 @@ class AC3TWDriver(ProtocolDriver):
         config: AC3TWConfig | None = None,
         eager: bool = True,
         fee_budget=None,
+        jitter_span: float | None = None,
     ) -> None:
         self.config = config or AC3TWConfig()
         super().__init__(
@@ -244,6 +245,7 @@ class AC3TWDriver(ProtocolDriver):
             poll_interval=self.config.poll_interval,
             eager=eager,
             fee_budget=fee_budget,
+            jitter_span=jitter_span,
         )
         self.witness = witness
         self._ms_id: bytes = b""

@@ -329,6 +329,7 @@ class AC3WNDriver(ProtocolDriver):
         config: AC3WNConfig,
         eager: bool = True,
         fee_budget=None,
+        jitter_span: float | None = None,
     ) -> None:
         if config.witness_chain_id not in env.chains:
             raise ProtocolError(f"unknown witness chain {config.witness_chain_id!r}")
@@ -340,6 +341,7 @@ class AC3WNDriver(ProtocolDriver):
             extra_chain_ids=(config.witness_chain_id,),
             eager=eager,
             fee_budget=fee_budget,
+            jitter_span=jitter_span,
         )
         self.witness_chain = env.chain(config.witness_chain_id)
         self._scw_deploy: DeployMessage | None = None

@@ -7,12 +7,22 @@ could be in flight at a time.  :class:`ProtocolDriver` replaces that with
 an event-driven state machine:
 
 * the driver never advances the simulator itself — it *schedules* its
-  next activation as a simulator callback (a poll tick, clamped to the
-  current phase's deadline) and returns;
-* by default (``eager=True``) it also subscribes to the involved chains'
-  on-block-mined hooks (:meth:`repro.chain.chain.Blockchain.add_block_listener`)
-  so confirmations are observed the instant the enabling block connects;
-  ``eager=False`` reverts to pure poll ticks for A/B cadence runs;
+  next activation as a simulator callback and returns;
+* by default (``eager=True``) the driver is purely event-driven: it
+  subscribes to the involved chains' on-block-mined hooks
+  (:meth:`repro.chain.chain.Blockchain.add_block_listener`) and to its
+  participants' recovery hooks
+  (:meth:`repro.sim.node.Node.add_recovery_listener`), and the only
+  *timer* it ever schedules is the current phase's own deadline.  Every
+  state change a driver can act on materializes either when a block
+  connects (confirmations, receipts, released change, expired on-chain
+  timelocks, mempool evictions) or when a crashed participant comes
+  back, so self-scheduled polling between those moments is pure
+  overhead — removing it is what lets one simulation multiplex far past
+  10³ concurrent swaps;
+* ``eager=False`` reverts to the historical self-scheduled poll ticks
+  (a tick every quarter block interval, clamped to the phase deadline)
+  for A/B cadence runs;
 * when the protocol reaches a terminal state the driver finalizes its
   :class:`~repro.core.protocol.SwapOutcome` and fires ``on_complete``
   callbacks — which is what lets :class:`repro.engine.SwapEngine`
@@ -21,6 +31,16 @@ an event-driven state machine:
 The poll cadence of the non-eager mode reproduces the historical blocking
 loops tick for tick, so ``eager=False`` single-swap runs (``driver.run()``
 — an engine of one) behave exactly as before the refactor.
+
+**Submission jitter (fee-budgeted swaps).**  Eager block hooks fire for
+every co-hosted driver at the same instant a block connects, so under a
+congested fee market hundreds of swaps would otherwise submit (and
+fee-bump) in one synchronized burst, evicting each other and timing out
+witness-chain decisions.  Drivers carrying a :class:`~repro.economy.FeeBudget`
+therefore react to block hooks after a small deterministic per-swap
+delay in ``[0, jitter_span)``, derived from the swap's identity (its
+graph digest) — the de-herding the staggered poll cadence used to
+provide for free, now explicit, seeded, and reproducible.
 
 Subclasses implement three hooks:
 
@@ -75,6 +95,7 @@ class ProtocolDriver:
         extra_chain_ids: tuple[str, ...] = (),
         eager: bool = True,
         fee_budget: FeeBudget | None = None,
+        jitter_span: float | None = None,
     ) -> None:
         self.env = env
         self.graph = graph
@@ -105,7 +126,10 @@ class ProtocolDriver:
 
         self._eager = eager
         self._watched: list[Blockchain] = []
+        self._watched_participants: list = []
+        self._watched_mempools: list = []
         self._pending_tick: Event | None = None
+        self._pending_hook: Event | None = None
         self._phase = "init"
         self._settle_deadline = 0.0
         self._settle_target = 0
@@ -118,6 +142,16 @@ class ProtocolDriver:
         self._poll = (
             poll_interval if poll_interval is not None else max(fastest / 4.0, 1e-3)
         )
+        # Deterministic per-swap submission jitter (see module docstring):
+        # only fee-budgeted swaps herd — unbudgeted traffic keeps the
+        # zero-delay hook reaction (and its pinned baselines).
+        span = self._poll if jitter_span is None else jitter_span
+        self._jitter = 0.0
+        if eager and fee_budget is not None and span > 0.0:
+            digest = graph.digest()
+            self._jitter = (
+                (int.from_bytes(digest[:8], "big") / float(1 << 64)) * span
+            )
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -440,32 +474,114 @@ class ProtocolDriver:
                 chain = self.env.chain(chain_id)
                 chain.add_block_listener(self._on_block)
                 self._watched.append(chain)
+            # A recovered participant can act again between blocks; the
+            # recovery hook replaces the poll tick that used to notice.
+            for name in self.graph.participant_names():
+                participant = self.env.participant(name)
+                participant.add_recovery_listener(self._on_recover)
+                self._watched_participants.append(participant)
+            # Fee-budgeted swaps also hear about their submissions being
+            # evicted the moment it happens, so bump-or-abort reacts
+            # between blocks exactly as the poll cadence used to.
+            if self.fee_budget is not None:
+                for chain_id in self._involved_chain_ids:
+                    pool = self.env.mempools.get(chain_id)
+                    if pool is not None:
+                        pool.add_eviction_listener(self._on_eviction)
+                        self._watched_mempools.append(pool)
         self._begin()
         if not self.finished:
             self._advance()
         return self
 
     def _on_block(self, block: Block) -> None:
-        """On-block-mined hook: re-examine the world as soon as it grows."""
-        if not self.finished:
-            self._maintain_submissions()
-        if not self.finished:
-            self._advance()
+        """On-block-mined hook: re-examine the world as soon as it grows.
 
-    def _schedule_tick(self, deadline: float | None = None) -> None:
-        """Schedule the next activation at ``min(deadline, now + poll)``.
-
-        At most one tick is ever outstanding; rescheduling cancels the
-        previous one (relevant in eager mode, where block hooks can
-        advance the machine between ticks).
+        Fee-budgeted swaps react after their deterministic per-swap
+        jitter instead of synchronously, so co-hosted swaps spread their
+        post-block submission bursts (see module docstring); at most one
+        jittered reaction is outstanding at a time.
         """
         if self.finished:
             return
-        target = self.sim.now + self._poll
-        if deadline is not None:
-            target = min(deadline, target)
-        if target <= self.sim.now:
+        if self._jitter > 0.0:
+            if self._pending_hook is None:
+                self._pending_hook = self.sim.schedule(
+                    self._jitter,
+                    self._jittered_advance,
+                    label=f"{self.protocol_name} jittered block reaction",
+                )
+            return
+        self._maintain_submissions()
+        if not self.finished:
+            self._advance()
+
+    def _jittered_advance(self) -> None:
+        self._pending_hook = None
+        if self.finished:
+            return
+        self._maintain_submissions()
+        if not self.finished:
+            self._advance()
+
+    def _on_recover(self) -> None:
+        """Participant-recovery hook (eager mode): the recovered actor can
+        submit again right now — no need to wait for the next block."""
+        if self.finished:
+            return
+        self._maintain_submissions()
+        if not self.finished:
+            self._advance()
+
+    def _on_eviction(self, message_id: bytes) -> None:
+        """Mempool-eviction hook (eager, fee-budgeted swaps only).
+
+        Fired synchronously from inside another submission's admission,
+        so never re-enter the mempool here — schedule the (jittered)
+        reaction on the simulator instead; bump-or-abort runs there.
+        """
+        if self.finished or message_id not in self._tracked:
+            return
+        if self._pending_hook is None:
+            self._pending_hook = self.sim.schedule(
+                self._jitter,
+                self._jittered_advance,
+                label=f"{self.protocol_name} eviction reaction",
+            )
+
+    def _eager_deadline(self) -> float | None:
+        """The phase deadline to arm when :meth:`_schedule_tick` got none.
+
+        Eager drivers advance on block/recovery hooks; the only timer
+        they need is the current phase's deadline.  Subclasses whose
+        ``_advance`` does not pass one (Herlihy's single rolling phase)
+        supply it here; None falls back to one poll interval.
+        """
+        return None
+
+    def _schedule_tick(self, deadline: float | None = None) -> None:
+        """Arm the next self-scheduled activation.
+
+        Eager mode schedules exactly one *timeout* event at the phase
+        deadline — everything before that is driven by block/recovery
+        hooks.  Non-eager mode keeps the historical poll cadence:
+        ``min(deadline, now + poll)``.  At most one timer is ever
+        outstanding; rescheduling cancels the previous one.
+        """
+        if self.finished:
+            return
+        if self._eager:
+            target = deadline if deadline is not None else self._eager_deadline()
+            if target is None or target <= self.sim.now:
+                target = self.sim.now + self._poll
+            if self._pending_tick is not None and self._pending_tick.time == target:
+                return  # the wanted wake-up is already armed
+        else:
             target = self.sim.now + self._poll
+            if deadline is not None:
+                target = min(deadline, target)
+            if target <= self.sim.now:
+                target = self.sim.now + self._poll
         if self._pending_tick is not None:
             self._pending_tick.cancel()
         self._pending_tick = self.sim.schedule_at(
@@ -491,9 +607,18 @@ class ProtocolDriver:
         if self._pending_tick is not None:
             self._pending_tick.cancel()
             self._pending_tick = None
+        if self._pending_hook is not None:
+            self._pending_hook.cancel()
+            self._pending_hook = None
         for chain in self._watched:
             chain.remove_block_listener(self._on_block)
         self._watched.clear()
+        for participant in self._watched_participants:
+            participant.remove_recovery_listener(self._on_recover)
+        self._watched_participants.clear()
+        for pool in self._watched_mempools:
+            pool.remove_eviction_listener(self._on_eviction)
+        self._watched_mempools.clear()
         for callback in list(self.on_complete):
             callback(self.outcome)
 

@@ -120,6 +120,7 @@ class HerlihyDriver(ProtocolDriver):
         config: HerlihyConfig | None = None,
         eager: bool = True,
         fee_budget=None,
+        jitter_span: float | None = None,
     ) -> None:
         self.config = config or HerlihyConfig()
         super().__init__(
@@ -128,6 +129,7 @@ class HerlihyDriver(ProtocolDriver):
             poll_interval=self.config.poll_interval,
             eager=eager,
             fee_budget=fee_budget,
+            jitter_span=jitter_span,
         )
         self.leader = self.config.leader or graph.participant_names()[0]
         self.waves = compute_publish_waves(graph, self.leader)
@@ -376,6 +378,12 @@ class HerlihyDriver(ProtocolDriver):
         self._horizon = self._last_timelock + (
             self.config.settle_timeout or 2.0 * self._delta
         )
+
+    def _eager_deadline(self) -> float | None:
+        # One rolling phase: publishes, reveals, redeems, and refunds are
+        # all enabled by chain growth (block hooks); the only timer the
+        # eager driver needs is the protocol's hard horizon.
+        return self._horizon
 
     def _advance(self) -> None:
         if self.sim.now >= self._horizon:

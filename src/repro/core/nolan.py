@@ -44,9 +44,17 @@ class NolanDriver(HerlihyDriver):
         config: HerlihyConfig | None = None,
         eager: bool = True,
         fee_budget=None,
+        jitter_span: float | None = None,
     ) -> None:
         validate_two_party(graph)
-        super().__init__(env, graph, config, eager=eager, fee_budget=fee_budget)
+        super().__init__(
+            env,
+            graph,
+            config,
+            eager=eager,
+            fee_budget=fee_budget,
+            jitter_span=jitter_span,
+        )
         self.outcome.protocol = self.protocol_name
 
 

@@ -149,6 +149,7 @@ class PriorityMempool(Mempool):
         for mid in conflicts:
             self._remove(mid)
             self.replaced += 1
+            self._notify_eviction(mid)
 
         self._seq += 1
         self._pending[message_id] = message
@@ -220,6 +221,7 @@ class PriorityMempool(Mempool):
         for mid in planned:
             self._remove(mid)
             self.evicted += 1
+            self._notify_eviction(mid)
 
     # -- removal -------------------------------------------------------------
 

@@ -124,6 +124,9 @@ class EngineResult:
     metrics: EngineMetrics
     by_protocol: dict[str, EngineMetrics]
     requests: list[SwapRequest] = field(repr=False, default_factory=list)
+    #: Simulator events executed by :meth:`SwapEngine.run` — the cadence
+    #: observability hook behind the eager-mode event-budget pins.
+    events_processed: int = 0
 
     def trace(self) -> list[tuple[int, str, str, float, float]]:
         """A compact deterministic fingerprint of the run, for tests:
@@ -153,10 +156,16 @@ class SwapEngine:
         trusted_witness: shared Trent instance for AC3TW swaps (default:
             one Trent with full-node access to every chain — shared
             across swaps, like the real single-witness deployment).
-        eager: if True (the default), drivers also advance on
-            on-block-mined hooks instead of only on their poll ticks
-            (lower observation latency; identical safety).  Pass False
-            for A/B runs against the pure poll-tick cadence.
+        eager: if True (the default), drivers are purely event-driven —
+            block-mined and participant-recovery hooks plus one timeout
+            event per phase deadline, no self-scheduled poll ticks
+            (lower observation latency and far fewer simulator events;
+            identical safety).  Pass False for A/B runs against the
+            historical poll-tick cadence.
+        jitter_span: width (seconds) of the deterministic per-swap
+            submission jitter applied to fee-budgeted swaps' block-hook
+            reactions (None = a quarter of the fastest involved chain's
+            block interval, mirroring the old poll cadence; 0 disables).
     """
 
     def __init__(
@@ -166,6 +175,7 @@ class SwapEngine:
         witness_chain_id: str | None = None,
         trusted_witness: TrustedWitness | None = None,
         eager: bool = True,
+        jitter_span: float | None = None,
     ) -> None:
         if default_protocol not in _PROTOCOL_REGISTRY:
             raise ProtocolError(
@@ -179,6 +189,7 @@ class SwapEngine:
         )
         self._trusted_witness = trusted_witness
         self.eager = eager
+        self.jitter_span = jitter_span
         self.requests: list[SwapRequest] = []
         self._completed = 0
         self._in_flight = 0
@@ -351,11 +362,11 @@ class SwapEngine:
         for request in self.requests:
             if request.driver is not None and not request.driver.finished:
                 request.driver._finish()
-        return self.result()
+        return self.result(events_processed=processed)
 
     # -- results -----------------------------------------------------------
 
-    def result(self) -> EngineResult:
+    def result(self, events_processed: int = 0) -> EngineResult:
         """Aggregate the completed swaps (callable mid-run as well)."""
         done = [r for r in self.requests if r.outcome is not None]
         outcomes = [r.outcome for r in done]
@@ -375,6 +386,7 @@ class SwapEngine:
             ),
             by_protocol=by_protocol,
             requests=list(self.requests),
+            events_processed=events_processed,
         )
 
 
@@ -390,6 +402,7 @@ def _nolan_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
         request.config or HerlihyConfig(),
         eager=engine.eager,
         fee_budget=request.fee_budget,
+        jitter_span=engine.jitter_span,
     )
 
 
@@ -400,6 +413,7 @@ def _herlihy_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver
         request.config or HerlihyConfig(),
         eager=engine.eager,
         fee_budget=request.fee_budget,
+        jitter_span=engine.jitter_span,
     )
 
 
@@ -411,6 +425,7 @@ def _ac3tw_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
         request.config or AC3TWConfig(),
         eager=engine.eager,
         fee_budget=request.fee_budget,
+        jitter_span=engine.jitter_span,
     )
 
 
@@ -421,6 +436,7 @@ def _ac3wn_factory(engine: SwapEngine, request: SwapRequest) -> ProtocolDriver:
         request.config or AC3WNConfig(witness_chain_id=engine.witness_chain_id),
         eager=engine.eager,
         fee_budget=request.fee_budget,
+        jitter_span=engine.jitter_span,
     )
 
 

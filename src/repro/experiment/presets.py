@@ -90,12 +90,11 @@ def _congestion() -> ExperimentSpec:
     """Oversubscribed fee market: 60 swaps at 12/s against a block
     budget of 16 — congestion prices the low-budget class out.
 
-    Pins ``engine.eager=False``: the fee-market acceptance numbers
-    (~9% low-budget / ~96% high-budget commit) were baselined on the
-    staggered poll-tick cadence, and eager block hooks synchronize
-    submission bursts enough to time out a few witness-chain decisions.
-    This is also the stock A/B demonstration that the spec keeps the
-    non-eager cadence reachable.
+    Runs the default event-driven cadence: mempool-eviction hooks plus
+    the deterministic per-swap submission jitter de-herd the post-block
+    bursts, so the eager run reproduces the poll-cadence fee-market
+    baseline (~9% low-budget / ~96% high-budget commit) that used to
+    require pinning ``engine.eager=False``.
     """
     return ExperimentSpec(
         name="congestion",
@@ -106,7 +105,6 @@ def _congestion() -> ExperimentSpec:
             enabled=True, block_weight_budget=16, capacity_weight=96
         ),
         traffic=TrafficSpec(generator="congestion", num_swaps=60, rate=12.0),
-        engine=EngineSpec(eager=False),
     )
 
 
@@ -167,7 +165,6 @@ def _fee_shock() -> ExperimentSpec:
         ),
         traffic=TrafficSpec(generator="congestion", num_swaps=60, rate=12.0),
         fee_shocks=(FeeShockSpec(at=5.0, count=32, fee_rate=8),),
-        engine=EngineSpec(eager=False),
     )
 
 

@@ -176,6 +176,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         default_protocol="ac3wn" if spec.protocol == "mixed" else spec.protocol,
         witness_chain_id=spec.chains.witness,
         eager=spec.engine.eager,
+        jitter_span=spec.engine.jitter,
     )
     # Arrivals are generated from t=0; shift them past the warm-up so
     # the schedule stays genuinely open-loop (no clamped head batch).

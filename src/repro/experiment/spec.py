@@ -381,11 +381,17 @@ class TrafficSpec:
 class EngineSpec:
     """Execution options for the :class:`~repro.engine.SwapEngine`."""
 
-    #: On-block-hook driving (the default); False reverts to pure poll
-    #: ticks for A/B cadence comparisons.
+    #: Event-driven driving (block/recovery hooks plus phase-deadline
+    #: timeouts, the default); False reverts to pure poll ticks for A/B
+    #: cadence comparisons.
     eager: bool = True
     warm_up_blocks: int = 2
     max_events: int = 50_000_000
+    #: Width (seconds) of the deterministic per-swap submission jitter
+    #: applied to fee-budgeted swaps' block-hook reactions.  None = a
+    #: quarter of the fastest involved chain's block interval (the old
+    #: poll cadence's natural stagger); 0 disables jitter.
+    jitter: float | None = None
 
 
 @dataclass(frozen=True)
@@ -517,6 +523,8 @@ class ExperimentSpec:
             fail("engine.warm_up_blocks must be non-negative")
         if self.engine.max_events < 1:
             fail("engine.max_events must be positive")
+        if self.engine.jitter is not None and self.engine.jitter < 0:
+            fail("engine.jitter must be non-negative")
         for index, shock in enumerate(self.fee_shocks):
             if shock.count < 1 or shock.fee_rate < 1:
                 fail(f"fee_shocks[{index}]: count and fee_rate must be at least 1")

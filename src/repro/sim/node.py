@@ -24,6 +24,7 @@ class Node:
         self.network = network
         self.crashed = False
         self.inbox_log: list[tuple[float, str, Any]] = []
+        self._recovery_listeners: list[Callable[[], None]] = []
         if network is not None:
             network.register(self)
 
@@ -65,8 +66,24 @@ class Node:
         self.crashed = True
 
     def recover(self) -> None:
-        """Recover from a crash; messages sent while crashed stay lost."""
+        """Recover from a crash; messages sent while crashed stay lost.
+
+        Fires the registered recovery listeners — event-driven protocol
+        drivers re-examine the world the moment their participant comes
+        back, instead of polling for it.
+        """
         self.crashed = False
+        for listener in list(self._recovery_listeners):
+            listener()
+
+    def add_recovery_listener(self, listener: Callable[[], None]) -> None:
+        """Call ``listener`` (no args) every time this node recovers."""
+        self._recovery_listeners.append(listener)
+
+    def remove_recovery_listener(self, listener: Callable[[], None]) -> None:
+        """Remove a recovery listener (no-op if absent)."""
+        if listener in self._recovery_listeners:
+            self._recovery_listeners.remove(listener)
 
     def __repr__(self) -> str:
         status = "crashed" if self.crashed else "up"

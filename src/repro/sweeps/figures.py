@@ -1,0 +1,199 @@
+"""Figure extractors: paper curves straight out of a SweepResult.
+
+Each extractor turns the generic per-point table of a
+:class:`~repro.sweeps.result.SweepResult` into one figure's data series,
+matching the axes of the stock sweep presets (:mod:`repro.sweeps.presets`):
+
+* :func:`figure10_curves` — diameter vs measured latency (in Δ units)
+  per protocol, the paper's headline Figure 10;
+* :func:`table1_series` — measured swap-level throughput per protocol,
+  the engine-side counterpart of Table 1's min() rule;
+* :func:`crash_matrix` — crash-onset × protocol decision/atomicity
+  cells, the Section 1 motivation table;
+* :func:`arrival_rate_series` — the congestion sweep: arrival rate vs
+  commit/priced-out split by fee-budget class.
+
+Extractors are pure functions of the artifact, so they work equally on
+a fresh :class:`SweepResult` and on one re-loaded from its JSON export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from .result import PointResult, SweepResult
+
+
+def _delta_of(point: PointResult) -> float:
+    """Δ for one point's world: confirmation depth × block interval."""
+    chains = point.spec["chains"]
+    return chains["confirmation_depth"] * chains["block_interval"]
+
+
+@dataclass(frozen=True)
+class Figure10Point:
+    """One measured Figure 10 sample: a diameter-D swap's latency."""
+
+    protocol: str
+    diameter: int
+    latency_seconds: float
+    latency_deltas: float
+    decision: str
+
+
+def figure10_curves(sweep: SweepResult) -> dict[str, list[Figure10Point]]:
+    """Diameter-vs-latency series per protocol, diameters ascending.
+
+    Expects the ``figure10`` sweep axes (``protocol`` × ``diameter``);
+    each point is a single measured swap.
+    """
+    curves: dict[str, list[Figure10Point]] = {}
+    for point in sweep.points:
+        (outcome,) = point.outcomes
+        delta = _delta_of(point)
+        latency = outcome["latency"]
+        sample = Figure10Point(
+            protocol=str(point.coords["protocol"]),
+            diameter=int(point.coords["diameter"]),
+            latency_seconds=latency,
+            latency_deltas=latency / delta if delta > 0 else 0.0,
+            decision=outcome["decision"],
+        )
+        curves.setdefault(sample.protocol, []).append(sample)
+    for series in curves.values():
+        series.sort(key=lambda s: s.diameter)
+    return curves
+
+
+@dataclass(frozen=True)
+class ThroughputRow:
+    """One protocol's measured engine throughput (a Table 1 analogue)."""
+
+    protocol: str
+    total: int
+    commit_rate: float
+    swaps_per_second: float
+    p50_latency: float
+    p99_latency: float
+    max_in_flight: int
+
+
+def table1_series(sweep: SweepResult) -> list[ThroughputRow]:
+    """Measured swap-level throughput per protocol, axis order.
+
+    Expects the ``table1`` sweep (a ``protocol`` axis over the stock
+    40-swap open-loop workload).
+    """
+    rows = []
+    for point in sweep.points:
+        m = point.metrics
+        rows.append(
+            ThroughputRow(
+                protocol=str(point.coords["protocol"]),
+                total=m["total"],
+                commit_rate=m["commit_rate"],
+                swaps_per_second=m["swaps_per_second"],
+                p50_latency=m["p50_latency"],
+                p99_latency=m["p99_latency"],
+                max_in_flight=m["max_in_flight"],
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class CrashCell:
+    """One crash-matrix cell: what a protocol did under one crash onset."""
+
+    protocol: str
+    onset: float
+    decision: str
+    atomic: bool
+
+
+def crash_matrix(sweep: SweepResult) -> dict[float, dict[str, CrashCell]]:
+    """Crash-onset → protocol → cell, onsets ascending.
+
+    Expects the ``crash-matrix`` sweep (``protocol`` × ``onset`` over
+    single-swap runs with a deterministic crash plan).
+    """
+    matrix: dict[float, dict[str, CrashCell]] = {}
+    for point in sweep.points:
+        (outcome,) = point.outcomes
+        onset = float(point.coords["onset"])
+        protocol = str(point.coords["protocol"])
+        matrix.setdefault(onset, {})[protocol] = CrashCell(
+            protocol=protocol,
+            onset=onset,
+            decision=outcome["decision"],
+            atomic=outcome["atomic"],
+        )
+    return dict(sorted(matrix.items()))
+
+
+@dataclass(frozen=True)
+class ArrivalRatePoint:
+    """One congestion sample: a fee market under one arrival rate."""
+
+    rate: float
+    total: int
+    commit_rate: float
+    priced_out: int
+    evictions: int
+    fee_bumps: int
+    fee_per_commit: float
+    low_commit_rate: float
+    high_commit_rate: float
+    atomicity_violations: int
+
+
+def _class_commit_rate(outcomes: list[dict], low: bool, low_cap: int) -> float:
+    slice_ = [
+        o
+        for o in outcomes
+        if o["fee_cap"] is not None and (o["fee_cap"] <= low_cap) == low
+    ]
+    if not slice_:
+        return 0.0
+    return sum(1 for o in slice_ if o["decision"] == "commit") / len(slice_)
+
+
+def arrival_rate_series(
+    sweep: SweepResult, low_cap: int | None = None
+) -> list[ArrivalRatePoint]:
+    """The congestion arrival-rate sweep, rates in axis order.
+
+    ``low_cap`` is the boundary between the LOW and HIGH fee-budget
+    classes (default: the stock LOW budget's cap).
+    """
+    if low_cap is None:
+        from ..workloads.scenarios import LOW_FEE_BUDGET
+
+        low_cap = LOW_FEE_BUDGET.cap
+    series = []
+    for point in sweep.points:
+        m = point.metrics
+        series.append(
+            ArrivalRatePoint(
+                rate=float(point.coords["rate"]),
+                total=m["total"],
+                commit_rate=m["commit_rate"],
+                priced_out=m["priced_out"],
+                evictions=m["evictions"],
+                fee_bumps=m["fee_bumps"],
+                fee_per_commit=m["fee_per_commit"],
+                low_commit_rate=_class_commit_rate(point.outcomes, True, low_cap),
+                high_commit_rate=_class_commit_rate(point.outcomes, False, low_cap),
+                atomicity_violations=m["atomicity_violations"],
+            )
+        )
+    return series
+
+
+def rows_by_axis(sweep: SweepResult, axis: str) -> dict[Any, list[dict]]:
+    """Generic helper: summary rows grouped by one axis coordinate."""
+    grouped: dict[Any, list[dict]] = {}
+    for point in sweep.points:
+        grouped.setdefault(point.coords[axis], []).append(point.row())
+    return grouped

@@ -1,0 +1,129 @@
+"""Sweep execution: fan experiment points out across worker processes.
+
+The execution contract keeps process boundaries dumb and deterministic:
+workers receive a *serialized* :class:`~repro.experiment.ExperimentSpec`
+(JSON) and return a *serialized* :class:`~repro.experiment.ExperimentResult`
+artifact (JSON) — no simulator state, driver object, or chain ever
+crosses a process boundary.  Because every experiment is a pure function
+of its spec (the PR 3 invariant) and aggregation sorts by point index,
+the joined :class:`~repro.sweeps.result.SweepResult` is byte-identical
+whatever the worker count or completion order.
+
+``workers=1`` is a pure in-process path: no ``multiprocessing`` import,
+no pickling — the debugging mode, and the reference the parallel path
+is pinned against.  Worker processes are forked where the platform
+allows it, so plug-in protocols and traffic generators registered by
+the parent are visible to the children.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import SpecError
+from ..experiment.runner import run_experiment
+from ..experiment.spec import ExperimentSpec
+from .result import PointResult, SweepResult
+from .spec import SweepPoint, SweepSpec
+
+
+def run_point_payload(payload: tuple[int, str]) -> tuple[int, str]:
+    """Execute one serialized point; the worker-side entry point.
+
+    ``payload`` is ``(index, spec_json)``; returns ``(index,
+    result_json)``.  Top-level so it pickles under every start method.
+    """
+    index, spec_json = payload
+    spec = ExperimentSpec.from_json(spec_json)
+    result = run_experiment(spec)
+    return index, result.to_json(indent=None)
+
+
+class SweepRunner:
+    """Executes a :class:`~repro.sweeps.spec.SweepSpec` campaign.
+
+    Args:
+        spec: the sweep to run.
+        workers: worker processes; 1 (the default) runs every point
+            in-process, N > 1 fans points out over a ``multiprocessing``
+            pool (one point per task, so stragglers load-balance).
+        on_point: optional progress callback, invoked in *completion*
+            order with each finished :class:`PointResult`.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        workers: int = 1,
+        on_point: Callable[[PointResult], None] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise SpecError(f"workers must be at least 1, got {workers}")
+        self.spec = spec
+        self.workers = workers
+        self.on_point = on_point
+
+    def run(self) -> SweepResult:
+        """Expand, execute every point, and join the artifacts.
+
+        Points complete in whatever order the pool produces them; the
+        join re-sorts by expansion index, which is what keeps the
+        aggregate byte-identical across worker counts and schedules.
+        """
+        expansion = self.spec.expand()
+        by_index = {point.index: point for point in expansion.points}
+        payloads = [
+            (point.index, point.spec.to_json(indent=None))
+            for point in expansion.points
+        ]
+        finished: dict[int, PointResult] = {}
+
+        def collect(item: tuple[int, str]) -> None:
+            index, result_json = item
+            joined = self._join(by_index[index], result_json)
+            finished[index] = joined
+            if self.on_point is not None:
+                self.on_point(joined)
+
+        if self.workers == 1 or len(payloads) <= 1:
+            for payload in payloads:
+                collect(run_point_payload(payload))
+        else:
+            import multiprocessing
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context("spawn")
+            workers = min(self.workers, len(payloads))
+            with context.Pool(processes=workers) as pool:
+                for item in pool.imap_unordered(
+                    run_point_payload, payloads, chunksize=1
+                ):
+                    collect(item)
+        points = [finished[point.index] for point in expansion.points]
+        return SweepResult(
+            spec=self.spec, points=points, skipped=list(expansion.skipped)
+        )
+
+    def _join(self, point: SweepPoint, result_json: str) -> PointResult:
+        import json
+
+        return PointResult(
+            index=point.index,
+            name=point.name,
+            coords=dict(point.coords),
+            overrides=dict(point.overrides),
+            seed=point.spec.seed,
+            artifact=json.loads(result_json),
+        )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    on_point: Callable[[PointResult], None] | None = None,
+) -> SweepResult:
+    """Convenience wrapper: ``SweepRunner(spec, workers).run()``."""
+    return SweepRunner(spec, workers=workers, on_point=on_point).run()

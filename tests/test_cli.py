@@ -136,6 +136,164 @@ class TestRun:
         assert "repro run:" in capsys.readouterr().err
 
 
+class TestListPresetsJson:
+    def test_run_list_presets_json(self, capsys):
+        assert main(["run", "--list-presets", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry["description"] for entry in catalog}
+        assert "congestion" in by_name
+        assert by_name["engine-smoke"]  # descriptions are non-empty
+
+    def test_sweep_list_presets(self, capsys):
+        assert main(["sweep", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure10", "table1", "crash-matrix", "congestion-rates"):
+            assert name in out
+
+    def test_sweep_list_presets_json(self, capsys):
+        assert main(["sweep", "--list-presets", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert {entry["name"] for entry in catalog} >= {
+            "figure10",
+            "table1",
+            "crash-matrix",
+            "congestion-rates",
+        }
+        assert all(entry["description"] for entry in catalog)
+
+
+class TestSweep:
+    def test_sweep_requires_a_source(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "pass --preset or --spec" in capsys.readouterr().err
+
+    def test_unknown_sweep_preset(self, capsys):
+        assert main(["sweep", "--preset", "warp"]) == 2
+        assert "unknown sweep" in capsys.readouterr().err
+
+    def test_bad_sweep_override_path(self, capsys):
+        assert (
+            main(["sweep", "--preset", "table1", "--set", "base.traffic.swaps=1"])
+            == 2
+        )
+        assert "unknown field" in capsys.readouterr().err
+
+    def test_sweep_spec_file_with_exports(self, tmp_path, capsys):
+        """A small campaign from a spec file: summary table + CSV + JSON."""
+        from repro.sweeps import SweepAxis, SweepSpec
+        from repro.experiment import preset_spec
+
+        spec = SweepSpec(
+            name="cli-tiny",
+            base=preset_spec("swap"),
+            axes=(
+                SweepAxis(
+                    name="protocol", path="protocol", values=("ac3wn", "herlihy")
+                ),
+            ),
+        )
+        spec_path = tmp_path / "sweep.json"
+        spec_path.write_text(spec.to_json())
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec",
+                    str(spec_path),
+                    "--workers",
+                    "2",
+                    "--csv",
+                    str(csv_path),
+                    "--json",
+                    str(json_path),
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep 'cli-tiny': 2 points" in out
+        assert "0 atomicity violations" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("index,name,protocol,seed,")
+        data = json.loads(json_path.read_text())
+        assert len(data["points"]) == 2
+        assert data["sweep"]["name"] == "cli-tiny"
+
+    def test_sweep_preset_with_override_trims_the_run(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--preset",
+                    "congestion-rates",
+                    "--set",
+                    "base.traffic.num_swaps=4",
+                    "--set",
+                    'axes=[{"name": "rate", "path": "traffic.rate", "values": [8.0]}]',
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 points (4 swaps)" in out
+
+    def test_sweep_json_to_stdout_is_parseable(self, capsys):
+        """--json - streams only the artifact to stdout; the narration
+        and summary table move to stderr."""
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--preset",
+                    "table1",
+                    "--set",
+                    "base.traffic.num_swaps=2",
+                    "--set",
+                    'axes=[{"name": "protocol", "path": "protocol", "values": ["ac3wn"]}]',
+                    "--json",
+                    "-",
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)  # stdout is pure JSON
+        assert len(data["points"]) == 1
+        assert "1 points" in captured.err  # the table went to stderr
+
+    def test_run_json_to_stdout_is_parseable(self, capsys):
+        assert main(["run", "--preset", "swap", "--json", "-"]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)
+        assert data["metrics"]["total"] == 1
+        assert "experiment 'swap'" in captured.err
+
+    def test_sweep_unwritable_output_is_a_clean_error(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--preset",
+                    "congestion-rates",
+                    "--set",
+                    "base.traffic.num_swaps=4",
+                    "--set",
+                    'axes=[{"name": "rate", "path": "traffic.rate", "values": [8.0]}]',
+                    "--csv",
+                    "/nonexistent/dir/out.csv",
+                    "--no-progress",
+                ]
+            )
+            == 2
+        )
+        assert "cannot write" in capsys.readouterr().err
+
+
 class TestAliases:
     def test_engine_alias_maps_flags_onto_the_spec(self, capsys):
         assert (

@@ -257,7 +257,10 @@ class TestPresets:
         assert spec.fee_market.capacity_weight == 96
         assert spec.traffic.generator == "congestion"
         assert spec.traffic.num_swaps == 60
-        assert spec.engine.eager is False  # re-baselined cadence pin
+        # The eager=False cadence pin is gone: eviction hooks + per-swap
+        # submission jitter recover the fee-market baseline under the
+        # default event-driven cadence.
+        assert spec.engine.eager is True
 
 
 class TestRegistries:

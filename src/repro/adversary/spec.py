@@ -1,0 +1,275 @@
+"""The adversary schema: attacks as declarative, sweepable spec nodes.
+
+Section 6.3's threat model — a malicious participant who rents hash
+power to fork the witness chain and flip an already-observed decision —
+plus the companion Byzantine behaviours (censorship, signature
+withholding, settle refusal, phase-keyed eclipses) are described here
+as one strict-serde :class:`AdversarySpec` hanging off
+:class:`~repro.experiment.spec.ExperimentSpec`.  Every actor is a
+singleton node with an ``enabled`` flag so sweep axes can address its
+parameters with plain dotted paths (``adversary.reorg.hashpower``,
+``adversary.reorg.enabled``) — the mechanism behind the
+``security-matrix`` campaign.
+
+The spec layer contains no execution logic; see
+:mod:`repro.adversary.actors` for the engine-scheduled actors and
+:func:`repro.adversary.build_roster` for the wiring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Byzantine participant behaviours.
+BYZANTINE_BEHAVIORS = ("withhold-settle", "decline", "withhold-signature")
+
+#: Phases the built-in protocol drivers announce (see
+#: ``ProtocolDriver._set_phase``): Herlihy's publish/settle rolling
+#: phase, AC3WN's four Δ-phases, AC3TW's deploy/settle.  An eclipse
+#: keyed to a phase its protocol never enters would silently disarm, so
+#: the spec only accepts phases some driver actually fires.
+DRIVER_PHASES = ("publish", "scw-wait", "deploy", "decision-wait", "settle")
+
+
+@dataclass(frozen=True)
+class ReorgAttackSpec:
+    """A rented-hashpower reorg attacker (Section 6.3's 51% attack).
+
+    The attacker watches ``chain_id`` for a decision reaching
+    ``trigger_depth`` confirmations — an AC3WN ``authorize_redeem``
+    settling on the witness chain, or an HTLC ``redeem`` settling on an
+    asset chain — then forks the chain from the block *before* the
+    decision and mines a private branch at ``hashpower`` times the
+    honest block rate.  The private branch censors the decision and
+    (for witness targets) carries the attacker's own ``flip_function``
+    call; it is published the moment it out-works the public branch.
+
+    The budget comes from the paper's cost model: each private block
+    costs ``hourly_cost / blocks_per_hour`` USD and a rational attacker
+    never spends more than ``value_at_risk``, so at most
+    ``floor(value_at_risk * blocks_per_hour / hourly_cost)`` blocks are
+    ever mined per attack — precisely one block short of
+    :func:`repro.analysis.security.required_depth`, which is why the
+    measured violation rate drops to zero once ``d`` reaches the
+    analytic bound.
+
+    Attributes:
+        enabled: arm the attacker.
+        chain_id: target chain (None = the protocol's decision chain —
+            the witness chain for witness-coordinated runs, else the
+            first asset chain).
+        hashpower: attacker block rate relative to the honest chain
+            (2.0 = mines twice as fast as the public network).
+        value_at_risk: ``Va`` — USD the attacker stands to gain.
+        hourly_cost: ``Ch`` — USD per hour of 51% hash power.
+        blocks_per_hour: ``dh`` — the modelled chain's block rate.
+        trigger_depth: confirmations at which a decision counts as
+            observed and the attack launches (None = the target chain's
+            ``confirmation_depth`` — attack exactly when honest
+            participants act on the decision).
+        trigger_functions: call-message functions that count as
+            decisions worth flipping.
+        flip_function: the counter-decision the attacker mines into its
+            private branch when the trigger was a witness-contract
+            authorization ("" disables the flip).
+        exploit: after winning a witness-chain reorg, spend the flipped
+            decision — submit refund calls carrying the new ``RFauth``
+            evidence against the victim swap's still-open contracts.
+        max_attacks: cap on launched attacks (None = every affordable
+            trigger while idle).
+        attacker: name of the adversary's funded on-chain identity.
+    """
+
+    enabled: bool = False
+    chain_id: str | None = None
+    hashpower: float = 2.0
+    value_at_risk: float = 175_000.0
+    hourly_cost: float = 300_000.0
+    blocks_per_hour: float = 6.0
+    trigger_depth: int | None = None
+    trigger_functions: tuple[str, ...] = ("authorize_redeem", "redeem")
+    flip_function: str = "authorize_refund"
+    exploit: bool = True
+    max_attacks: int | None = None
+    attacker: str = "mallory"
+
+    def block_cost_usd(self) -> float:
+        """Cost of renting 51% hash power for one block interval."""
+        return self.hourly_cost / self.blocks_per_hour
+
+    def budget_blocks(self) -> int:
+        """Private blocks a rational attacker can afford per attack."""
+        return math.floor(
+            self.value_at_risk * self.blocks_per_hour / self.hourly_cost
+        )
+
+    def required_depth(self) -> int:
+        """The analytic safety bound for these cost-model parameters."""
+        from ..analysis.security import required_depth
+
+        return required_depth(
+            self.value_at_risk, self.hourly_cost, self.blocks_per_hour
+        )
+
+
+@dataclass(frozen=True)
+class CensorSpec:
+    """A censoring miner: excludes matching messages from its templates.
+
+    The target chain's miner keeps mining normally but never includes a
+    message matching any of the criteria (OR across criteria; a
+    criterion left empty does not match).  Censored messages are
+    re-queued, so they stay pending forever — the liveness attack of
+    Section 5's discussion.
+
+    Attributes:
+        enabled: arm the censor.
+        chain_id: chain whose miner censors (None = the protocol's
+            decision chain, like :class:`ReorgAttackSpec`).
+        functions: call-message function names to censor
+            (per-contract-class decision censorship, e.g.
+            ``("authorize_redeem",)``).
+        contract_classes: deploy-message contract classes to censor.
+        participants: sender names to censor — full names, swap-role
+            letters (``"b"`` matches every ``swapNNNN.b``), or name
+            prefixes ending in ``.`` / ``*`` (``"swap0007."`` censors
+            one swap's entire traffic).
+    """
+
+    enabled: bool = False
+    chain_id: str | None = None
+    functions: tuple[str, ...] = ()
+    contract_classes: tuple[str, ...] = ()
+    participants: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ByzantineSpec:
+    """A Byzantine swap participant (one corrupted role per swap).
+
+    Attributes:
+        enabled: arm the actor.
+        role: the corrupted participant — a swap-local role letter
+            (``"b"`` resolves to ``swapNNNN.b`` per swap) or a literal
+            participant name.
+        behavior: ``"withhold-settle"`` (participate honestly until the
+            settle phase, then refuse every settle step),
+            ``"decline"`` (never publish the role's asset contracts), or
+            ``"withhold-signature"`` (withhold the role's signature
+            from ``ms(D)`` so registration validity fails on-chain;
+            falls back to ``decline`` for protocols without a
+            multisignature).
+        share: fraction of swaps corrupted, drawn per swap from the
+            ``adversary/byzantine`` RNG stream in submission order.
+    """
+
+    enabled: bool = False
+    role: str = "b"
+    behavior: str = "withhold-settle"
+    share: float = 1.0
+
+
+@dataclass(frozen=True)
+class EclipseSpec:
+    """A phase-keyed eclipse: isolate a participant at a protocol step.
+
+    Rather than a wall-clock :class:`~repro.sim.failures.FailureSchedule`
+    window, the eclipse fires exactly when the victim's swap enters
+    ``phase`` — the victim crashes (and is partitioned from the
+    network, when one exists) for ``duration`` seconds, then recovers.
+
+    Attributes:
+        enabled: arm the actor.
+        role: victim role letter or literal participant name.
+        phase: driver phase that triggers the eclipse (one of
+            :data:`DRIVER_PHASES`; ``"settle"`` fires for every
+            protocol, the others are protocol-specific).
+        duration: seconds the victim stays isolated.
+        share: fraction of swaps eclipsed (``adversary/eclipse``
+            stream, submission order).
+    """
+
+    enabled: bool = False
+    role: str = "a"
+    phase: str = "settle"
+    duration: float = 3.0
+    share: float = 1.0
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """The adversarial roster of one experiment (all actors optional)."""
+
+    reorg: ReorgAttackSpec = field(default_factory=ReorgAttackSpec)
+    censor: CensorSpec = field(default_factory=CensorSpec)
+    byzantine: ByzantineSpec = field(default_factory=ByzantineSpec)
+    eclipse: EclipseSpec = field(default_factory=EclipseSpec)
+
+    @property
+    def any_enabled(self) -> bool:
+        return (
+            self.reorg.enabled
+            or self.censor.enabled
+            or self.byzantine.enabled
+            or self.eclipse.enabled
+        )
+
+    def validate(self, fail, known_chains: set[str]) -> None:
+        """Semantic checks, reporting through ``fail(message)``."""
+        reorg = self.reorg
+        if reorg.enabled:
+            if reorg.hashpower <= 0:
+                fail("adversary.reorg.hashpower must be positive")
+            if reorg.value_at_risk < 0:
+                fail("adversary.reorg.value_at_risk must be non-negative")
+            if reorg.hourly_cost <= 0 or reorg.blocks_per_hour <= 0:
+                fail(
+                    "adversary.reorg.hourly_cost and .blocks_per_hour "
+                    "must be positive"
+                )
+            if reorg.trigger_depth is not None and reorg.trigger_depth < 1:
+                fail("adversary.reorg.trigger_depth must be at least 1")
+            if not reorg.trigger_functions:
+                fail("adversary.reorg.trigger_functions must not be empty")
+            if reorg.max_attacks is not None and reorg.max_attacks < 1:
+                fail("adversary.reorg.max_attacks must be at least 1")
+            if not reorg.attacker:
+                fail("adversary.reorg.attacker needs a name")
+            if reorg.chain_id is not None and reorg.chain_id not in known_chains:
+                fail(f"adversary.reorg names unknown chain {reorg.chain_id!r}")
+        censor = self.censor
+        if censor.enabled:
+            if not (
+                censor.functions or censor.contract_classes or censor.participants
+            ):
+                fail(
+                    "adversary.censor needs at least one criterion "
+                    "(functions, contract_classes, or participants)"
+                )
+            if censor.chain_id is not None and censor.chain_id not in known_chains:
+                fail(f"adversary.censor names unknown chain {censor.chain_id!r}")
+        byzantine = self.byzantine
+        if byzantine.enabled:
+            if byzantine.behavior not in BYZANTINE_BEHAVIORS:
+                fail(
+                    f"adversary.byzantine.behavior must be one of "
+                    f"{BYZANTINE_BEHAVIORS}, got {byzantine.behavior!r}"
+                )
+            if not byzantine.role:
+                fail("adversary.byzantine.role needs a name")
+            if not 0.0 <= byzantine.share <= 1.0:
+                fail("adversary.byzantine.share must be within [0, 1]")
+        eclipse = self.eclipse
+        if eclipse.enabled:
+            if not eclipse.role:
+                fail("adversary.eclipse.role needs a name")
+            if eclipse.phase not in DRIVER_PHASES:
+                fail(
+                    f"adversary.eclipse.phase must be one of {DRIVER_PHASES}, "
+                    f"got {eclipse.phase!r}"
+                )
+            if eclipse.duration <= 0:
+                fail("adversary.eclipse.duration must be positive")
+            if not 0.0 <= eclipse.share <= 1.0:
+                fail("adversary.eclipse.share must be within [0, 1]")

@@ -70,6 +70,8 @@ class Blockchain:
         self._head_hash: bytes = b""
         self.orphans_rejected = 0
         self._block_listeners: list[Callable[[Block], None]] = []
+        self._reorg_listeners: list[Callable[[int, int], None]] = []
+        self.reorgs = 0
 
         genesis = self._build_genesis(genesis_allocations or [])
         self._connect(genesis, check_work=False)
@@ -164,6 +166,30 @@ class Blockchain:
         except ValueError:
             pass
 
+    # -- reorg listeners -----------------------------------------------------
+
+    def add_reorg_listener(self, listener: Callable[[int, int], None]) -> None:
+        """Subscribe ``listener(abandoned_depth, adopted_depth)`` to reorgs.
+
+        Fired on every head switch that *abandons* part of the previous
+        main chain (a plain head extension is not a reorg): the
+        arguments are how many blocks of the old branch fell off the
+        main chain and how many blocks of the new branch replaced them,
+        both measured from the fork point.  Listeners fire after the
+        height index has been repointed (the chain already answers
+        queries from the new branch) and before the block listeners of
+        the head-switching block — so drivers and metrics observe
+        reorgs directly instead of re-deriving them from height queries.
+        """
+        self._reorg_listeners.append(listener)
+
+    def remove_reorg_listener(self, listener: Callable[[int, int], None]) -> None:
+        """Unsubscribe ``listener``; missing listeners are a no-op."""
+        try:
+            self._reorg_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _validate_structure(self, block: Block) -> None:
         header = block.header
         if header.chain_id != self.params.chain_id:
@@ -222,9 +248,33 @@ class Blockchain:
 
         became_head = False
         if not self._head_hash or self._work[block_hash] > self._work[self._head_hash]:
+            old_head = self._head_hash
+            reorg_depths: tuple[int, int] | None = None
+            if old_head and block.header.prev_hash != old_head:
+                # A head switch that does not extend the old head is a
+                # reorg: locate the fork point with the *old* height
+                # index (still pointing at the abandoned branch).
+                cursor = block_hash
+                while True:
+                    header = self._blocks[cursor].header
+                    if (
+                        self._height_index.get(header.height) == cursor
+                        or header.height == 0
+                    ):
+                        break
+                    cursor = header.prev_hash
+                fork_height = self._blocks[cursor].header.height
+                reorg_depths = (
+                    self._blocks[old_head].header.height - fork_height,
+                    block.header.height - fork_height,
+                )
             self._head_hash = block_hash
             self._reindex_main_chain(block_hash)
             became_head = True
+            if reorg_depths is not None:
+                self.reorgs += 1
+                for listener in list(self._reorg_listeners):
+                    listener(*reorg_depths)
         return became_head
 
     def _reindex_main_chain(self, new_head: bytes) -> None:

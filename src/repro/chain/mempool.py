@@ -104,14 +104,23 @@ class Mempool:
         return batch
 
     def take_block(
-        self, limit: int, weight_budget: int | None = None
+        self, limit: int, weight_budget: int | None = None, exclude=None
     ) -> list[ChainMessage]:
         """Messages for one block: FIFO here; fee-greedy and block-space
         limited in :class:`~repro.economy.mempool.PriorityMempool`.
 
         ``weight_budget`` is ignored by the FIFO pool (messages have no
-        weight without a fee policy)."""
-        return self.take(limit)
+        weight without a fee policy).  ``exclude`` (a censoring miner's
+        predicate) skips matching messages *in place*: they stay
+        pending without consuming any of the template's ``limit``."""
+        if exclude is None:
+            return self.take(limit)
+        selected = [
+            message_id
+            for message_id, message in self._pending.items()
+            if not exclude(message)
+        ][:limit]
+        return [self._pending.pop(message_id) for message_id in selected]
 
     def requeue(self, messages: list[ChainMessage]) -> None:
         """Put messages back at the front (after a failed block build)."""

@@ -54,6 +54,12 @@ class MinerNode(Node):
         self.blocks_mined = 0
         self.messages_dropped = 0
         self.fees_earned = 0
+        #: Optional censorship predicate (adversarial mining): messages
+        #: for which it returns True are skipped by this miner's block
+        #: templates *in place* — they stay pending forever without
+        #: consuming template capacity or block space.
+        self.censor: Callable[[ChainMessage], bool] | None = None
+        self.messages_censored = 0
         self._running = False
         self._rng = simulator.stream(f"miner/{chain.params.chain_id}")
         self.on_block: list[Callable[[Block], None]] = []
@@ -99,7 +105,16 @@ class MinerNode(Node):
         limit = self.chain.params.max_messages_per_block
         # Fee-market mempools hand back a fee-greedy template within the
         # block-space budget; FIFO pools ignore the budget (see take_block).
-        batch = self.mempool.take_block(limit, self.weight_budget)
+        exclude = None
+        if self.censor is not None:
+
+            def exclude(message: ChainMessage) -> bool:
+                if self.censor(message):
+                    self.messages_censored += 1
+                    return True
+                return False
+
+        batch = self.mempool.take_block(limit, self.weight_budget, exclude)
         valid = self._filter_valid(batch)
         parent_hash = self.chain.head_hash
         block = self.chain.make_block(valid, self.address, self.simulator.now)

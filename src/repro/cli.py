@@ -6,6 +6,7 @@
     python -m repro run --spec my_experiment.json --set engine.eager=false
     python -m repro run --list-presets [--json]
     python -m repro sweep --preset figure10 --workers 4 --csv out.csv
+    python -m repro sweep --preset security-matrix --workers 4 --resume runs/sec
     python -m repro sweep --spec my_sweep.json --workers 2 --json out.json
     python -m repro sweep --list-presets [--json]
     python -m repro swap --protocol ac3wn --diameter 3
@@ -141,6 +142,36 @@ def _print_fee_market(result: ExperimentResult) -> None:
         )
 
 
+def _print_adversary(result: ExperimentResult) -> None:
+    report = result.engine_result.adversary or {}
+    reorg = report.get("reorg")
+    if reorg is not None:
+        print(
+            f"adversary: reorg attacker on {reorg['chain_id']!r} "
+            f"(budget {reorg['budget_blocks']} blocks, required depth "
+            f"{reorg['required_depth']}): {reorg['attacks_launched']} launched, "
+            f"{reorg['attacks_forgone']} forgone, {reorg['reorgs_won']} won, "
+            f"{reorg['reorgs_lost']} lost, ${reorg['cost_spent']:,.0f} spent"
+        )
+    for kind in ("censor", "byzantine", "eclipse"):
+        actor = report.get(kind)
+        if actor is None:
+            continue
+        detail = {
+            "censor": lambda a: f"{a['messages_censored']} messages censored on {a['chain_id']!r}",
+            "byzantine": lambda a: f"{a['swaps_corrupted']} swaps corrupted ({a['behavior']})",
+            "eclipse": lambda a: f"{a['swaps_eclipsed']} swaps eclipsed at phase {a['phase']!r}",
+        }[kind](actor)
+        print(f"adversary: {kind}: {detail}")
+    reorgs = {
+        chain_id: count
+        for chain_id, count in sorted(result.engine_result.chain_reorgs.items())
+        if count
+    }
+    if reorgs:
+        print(f"reorgs observed: {reorgs}")
+
+
 def print_result(result: ExperimentResult) -> None:
     """Paper-style tables for one experiment run."""
     metrics = result.metrics
@@ -149,6 +180,9 @@ def print_result(result: ExperimentResult) -> None:
     if result.spec.fee_market.enabled:
         print()
         _print_fee_market(result)
+    if result.spec.adversary.any_enabled:
+        print()
+        _print_adversary(result)
     crashes = (
         f", {metrics.injected_crashes} injected crashes"
         if metrics.injected_crashes
@@ -179,6 +213,10 @@ def _finish_run(result: ExperimentResult, json_path: str | None) -> int:
                 print(f"repro run: cannot write {json_path}: {exc}", file=sys.stderr)
                 return 2
             print(f"\nwrote {json_path}")
+    if result.spec.adversary.any_enabled:
+        # Violations under an armed adversary are the *measurement*
+        # (the security matrix exists to count them), not a failure.
+        return 0
     return 0 if result.metrics.atomicity_violations == 0 else 1
 
 
@@ -265,6 +303,16 @@ def _load_sweep(args: argparse.Namespace) -> SweepSpec:
     return spec
 
 
+def _point_adversary_enabled(point) -> bool:
+    """Whether a sweep point's spec echo armed any adversary actor."""
+    adversary = point.spec.get("adversary", {})
+    return any(
+        actor.get("enabled", False)
+        for actor in adversary.values()
+        if isinstance(actor, dict)
+    )
+
+
 def print_sweep_result(result: SweepResult) -> None:
     """The joined campaign table, one row per executed point."""
     axes = [axis.name for axis in result.spec.axes]
@@ -322,6 +370,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             spec,
             workers=args.workers,
             on_point=progress if args.progress else None,
+            resume_dir=args.resume,
         )
         print(
             f"sweep {spec.name!r}: {spec.num_points()} points, "
@@ -329,12 +378,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=narrate,
         )
         result = runner.run()
+        if args.resume:
+            print(
+                f"resumed {len(runner.resumed)} point(s) from {args.resume}",
+                file=narrate,
+            )
     except (SpecError, OSError) as exc:
         print(f"repro sweep: {exc}", file=sys.stderr)
         return 2
     with contextlib.redirect_stdout(narrate):
         print_sweep_result(result)
-    status = 0 if result.atomicity_violations == 0 else 1
+    # The violation exit-gate is an *honest-run* tripwire: points that
+    # armed an adversary measure violations on purpose, so only
+    # violations in adversary-free points fail the command.
+    honest_violations = sum(
+        point.metrics["atomicity_violations"]
+        for point in result.points
+        if not _point_adversary_enabled(point)
+    )
+    status = 0 if honest_violations == 0 else 1
     exports = (
         (args.csv, result.save_csv, result.to_csv),
         (args.json, result.save, result.to_json),
@@ -590,6 +652,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes (1 = in-process; N = multiprocessing pool)",
+    )
+    sweep.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="per-point artifact directory: points whose artifact already "
+        "exists there are merged from disk instead of re-executed, and "
+        "every fresh point is stored for the next resume",
     )
     sweep.add_argument(
         "--csv", default=None, metavar="PATH",

@@ -28,11 +28,11 @@ from ..crypto.commitment import (
 )
 from ..crypto.ecdsa import EcdsaSignature
 from ..crypto.keys import KeyPair, PublicKey
-from ..crypto.signatures import Multisignature
+from ..crypto.signatures import Multisignature, multisign
 from ..errors import FeeTooLowError, InsufficientFundsError, WitnessError
 from .contract_template import AtomicSwapContract
 from .driver import ProtocolDriver
-from .graph import SwapGraph
+from .graph import GRAPH_SIGNING_DOMAIN, SwapGraph
 from .protocol import SwapEnvironment, SwapOutcome, edge_key
 
 CENTRALIZED_CONTRACT_CLASS = "AC3-CentralizedSC"
@@ -213,6 +213,7 @@ class AC3TWConfig:
     """Tunables of one AC3TW execution (see :class:`AC3WNConfig`)."""
 
     decliners: frozenset[str] = frozenset()
+    omit_signers: frozenset[str] = frozenset()
     deploy_timeout: float | None = None
     settle_timeout: float | None = None
     poll_interval: float | None = None
@@ -340,8 +341,22 @@ class AC3TWDriver(ProtocolDriver):
         deploy_timeout = self.config.deploy_timeout or 4.0 * delta
         self._settle_timeout = self.config.settle_timeout or 4.0 * delta
 
-        # Step 1-2: multisign the graph and register it at Trent.
-        ms = self.graph.multisign(self.env.keypairs())
+        # Step 1-2: multisign the graph and register it at Trent.  A
+        # Byzantine participant may withhold its signature; Trent then
+        # rejects the incomplete ms(D) at registration.
+        keypairs = self.env.keypairs()
+        if self.config.omit_signers:
+            ms = multisign(
+                [
+                    keypairs[name]
+                    for name in self.graph.participant_names()
+                    if name not in self.config.omit_signers
+                ],
+                GRAPH_SIGNING_DOMAIN,
+                self.graph.payload(),
+            )
+        else:
+            ms = self.graph.multisign(keypairs)
         try:
             self._ms_id = self.witness.register(self.graph, ms)
         except WitnessError as exc:
@@ -351,7 +366,7 @@ class AC3TWDriver(ProtocolDriver):
             return
         self.outcome.phase_times["registered"] = self.sim.now
         self._deploy_deadline = self.sim.now + deploy_timeout
-        self._phase = "deploy"
+        self._set_phase("deploy")
 
     def _advance(self) -> None:
         if self._phase == "deploy":

@@ -33,7 +33,7 @@ from ..chain.contracts import (
 )
 from ..chain.messages import CallMessage, DeployMessage
 from ..crypto.keys import PublicKey
-from ..crypto.signatures import Multisignature
+from ..crypto.signatures import Multisignature, multisign
 from ..errors import FeeTooLowError, InsufficientFundsError, EvidenceError, ProtocolError
 from .contract_template import AtomicSwapContract
 from .driver import ProtocolDriver
@@ -45,7 +45,7 @@ from .evidence import (
     verify_publication_evidence,
     verify_state_evidence,
 )
-from .graph import SwapGraph
+from .graph import GRAPH_SIGNING_DOMAIN, SwapGraph
 from .protocol import SwapEnvironment, SwapOutcome, edge_key
 
 WITNESS_CONTRACT_CLASS = "AC3WN-Witness"
@@ -292,6 +292,10 @@ class AC3WNConfig:
             alive participant in name order).
         decliners: participants who refuse to publish their contracts
             (maliciousness / change of mind — triggers the abort path).
+        omit_signers: participants who withhold their signature from
+            ``ms(D)`` (Byzantine equivocation) — the witness contract's
+            registration validity check rejects the incomplete
+            multisignature on-chain, so the AC2T never starts.
         deploy_timeout: seconds after ``SCw`` confirmation before an
             alive participant gives up and requests ``RFauth``.
         settle_timeout: seconds to keep polling for settlements after the
@@ -303,6 +307,7 @@ class AC3WNConfig:
     witness_chain_id: str
     registrar: str | None = None
     decliners: frozenset[str] = frozenset()
+    omit_signers: frozenset[str] = frozenset()
     deploy_timeout: float | None = None
     settle_timeout: float | None = None
     poll_interval: float | None = None
@@ -385,7 +390,22 @@ class AC3WNDriver(ProtocolDriver):
             return False
         registrar = self.env.participant(registrar_name)
 
-        ms = self.graph.multisign(self.env.keypairs())
+        keypairs = self.env.keypairs()
+        if self.config.omit_signers:
+            # Byzantine withholding: the missing signatures make ms(D)
+            # incomplete, which the witness contract's registration
+            # validity check rejects when the deploy executes on-chain.
+            ms = multisign(
+                [
+                    keypairs[name]
+                    for name in self.graph.participant_names()
+                    if name not in self.config.omit_signers
+                ],
+                GRAPH_SIGNING_DOMAIN,
+                self.graph.payload(),
+            )
+        else:
+            ms = self.graph.multisign(keypairs)
         specs = tuple(
             EdgeSpec(
                 chain_id=edge.chain_id,
@@ -420,6 +440,7 @@ class AC3WNDriver(ProtocolDriver):
             return False
         self._scw_deploy = deploy
         self._scw_id = deploy.contract_id()
+        self.outcome.coordinator_contract_id = self._scw_id
         self._track(
             self.config.witness_chain_id,
             deploy,
@@ -435,6 +456,7 @@ class AC3WNDriver(ProtocolDriver):
         before any asset contract captured the old SCw id."""
         self._scw_deploy = new
         self._scw_id = new.contract_id()
+        self.outcome.coordinator_contract_id = self._scw_id
 
     # -- phase 2: parallel asset-contract deployment ------------------------------
 
@@ -653,7 +675,7 @@ class AC3WNDriver(ProtocolDriver):
             # Asset contracts reference the witness anchor as of SCw
             # confirmation.
             self._witness_anchor = self.witness_chain.stable_header()
-            self._phase = "deploy"
+            self._set_phase("deploy")
             self._deploy_deadline = self.sim.now + self._deploy_timeout
             self._advance_deploy()
             return
@@ -679,7 +701,7 @@ class AC3WNDriver(ProtocolDriver):
                     f"contracts confirmed before the deadline; aborting"
                 )
                 self._submit_refund_authorization()
-            self._phase = "decision-wait"
+            self._set_phase("decision-wait")
             self._decision_deadline = self.sim.now + self._witness_timeout
             self._advance_decision_wait()
             return

@@ -123,6 +123,11 @@ class ProtocolDriver:
         self.finished = False
         #: Callbacks fired exactly once with the final outcome.
         self.on_complete: list[Callable[[SwapOutcome], None]] = []
+        #: Callbacks fired on every named phase transition (the hook
+        #: adversarial actors key on: crash-at-settle, phase-scoped
+        #: eclipse partitions).  Listeners run synchronously *before*
+        #: the new phase's first actions.
+        self.on_phase: list[Callable[[str], None]] = []
 
         self._eager = eager
         self._watched: list[Blockchain] = []
@@ -152,6 +157,19 @@ class ProtocolDriver:
             self._jitter = (
                 (int.from_bytes(digest[:8], "big") / float(1 << 64)) * span
             )
+
+    # -- phase transitions ---------------------------------------------------
+
+    def _set_phase(self, name: str) -> None:
+        """Enter phase ``name`` and notify the phase listeners.
+
+        Listeners fire before the new phase performs any action, so a
+        phase-keyed failure injection (an eclipse partition, a Byzantine
+        settle refusal) lands exactly at the protocol step it names.
+        """
+        self._phase = name
+        for listener in list(self.on_phase):
+            listener(name)
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -444,7 +462,7 @@ class ProtocolDriver:
         raise NotImplementedError
 
     def _enter_settle_phase(self, timeout: float) -> None:
-        self._phase = "settle"
+        self._set_phase("settle")
         self._settle_deadline = self.sim.now + timeout
         self._settle_target = len(self._deploys)
         self._advance_settle()

@@ -378,6 +378,7 @@ class HerlihyDriver(ProtocolDriver):
         self._horizon = self._last_timelock + (
             self.config.settle_timeout or 2.0 * self._delta
         )
+        self._set_phase("publish")
 
     def _eager_deadline(self) -> float | None:
         # One rolling phase: publishes, reveals, redeems, and refunds are
@@ -391,13 +392,18 @@ class HerlihyDriver(ProtocolDriver):
             return
         self._try_publish(self._t0, self._delta)
         self._observe_reveals()
-        self._try_redeem(self._t0, self._delta)
-        self._try_refund(self._t0, self._delta)
         if self._deploy_done_at is None and len(self._deploys) == len(
             self.graph.edges
         ) and all(self._edge_confirmed(e) for e in self.graph.edges):
             self._deploy_done_at = self.sim.now
             self.outcome.phase_times["contracts_deployed"] = self.sim.now
+            # All contracts are live: the redeem cascade is the HTLC
+            # analogue of the witness protocols' settle phase.  The
+            # phase event fires before the first redeem is attempted, so
+            # settle-keyed failure injections hit the whole cascade.
+            self._set_phase("settle")
+        self._try_redeem(self._t0, self._delta)
+        self._try_refund(self._t0, self._delta)
         if self._all_settled() and (
             len(self._deploys) == len(self.graph.edges)
             or self.sim.now > self._last_timelock

@@ -89,6 +89,16 @@ class SwapOutcome:
         fee_bumps: successful replace-by-fee rebroadcasts.
         injected_crash: participant crashed by the workload's failure
             injection (None when no crash was scheduled for this swap).
+        coordinator_contract_id: id of the swap's coordinating contract
+            (AC3WN's ``SCw``), used to attribute witness-chain attacks.
+        attacked_by: adversary actor kinds that targeted this swap
+            (stamped by :meth:`repro.adversary.AdversaryRoster.attribute`).
+        attacks_launched: reorg attacks launched against this swap.
+        reorgs_won / reorgs_lost: how those attacks resolved.
+        attack_blocks: private blocks the attacker mined against this
+            swap's decision.
+        attack_cost: USD the attacker spent on those blocks (Section
+            6.3's ``blocks x Ch / dh`` cost model).
         notes: free-form driver annotations (crash observations etc.).
     """
 
@@ -105,6 +115,13 @@ class SwapOutcome:
     evictions: int = 0
     fee_bumps: int = 0
     injected_crash: str | None = None
+    coordinator_contract_id: bytes = b""
+    attacked_by: list[str] = field(default_factory=list)
+    attacks_launched: int = 0
+    reorgs_won: int = 0
+    reorgs_lost: int = 0
+    attack_blocks: int = 0
+    attack_cost: float = 0.0
     notes: list[str] = field(default_factory=list)
 
     # -- atomicity ------------------------------------------------------------

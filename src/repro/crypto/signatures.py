@@ -13,12 +13,46 @@ digest, one per participant, which verifies under any ordering.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..errors import InvalidSignatureError
 from .ecdsa import EcdsaSignature
 from .hashing import hash_concat, tagged_hash
 from .keys import KeyPair, PublicKey
+
+# ---------------------------------------------------------------------------
+# Multisignature verification memo
+# ---------------------------------------------------------------------------
+#
+# Witness contracts re-verify the same ms(D) every time their deploy
+# message is applied to a state: the miner's template trial-apply, the
+# block connect, and every evidence re-validation all repeat identical
+# ECDSA work.  The verdict is a pure function of (digest, signature set,
+# required keyset), so it is memoized here; the cache is content-keyed
+# (tampering with any byte yields a different key) and bounded.
+
+_VERIFY_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
+_VERIFY_CACHE_MAX = 4096
+_verify_cache_hits = 0
+_verify_cache_misses = 0
+
+
+def verify_cache_info() -> dict:
+    """Hit/miss counters of the ``Multisignature.verify`` memo."""
+    return {
+        "hits": _verify_cache_hits,
+        "misses": _verify_cache_misses,
+        "size": len(_VERIFY_CACHE),
+    }
+
+
+def clear_verify_cache() -> None:
+    """Empty the memo and reset its counters (tests, benchmarks)."""
+    global _verify_cache_hits, _verify_cache_misses
+    _VERIFY_CACHE.clear()
+    _verify_cache_hits = 0
+    _verify_cache_misses = 0
 
 
 @dataclass(frozen=True)
@@ -97,14 +131,38 @@ class Multisignature:
 
         Signature order is irrelevant, matching the paper's remark that
         "the order of participant signatures in ms(D) is not important".
+        The verdict is memoized by (digest, signature set, keyset) —
+        see the module-level cache — so repeated validations of the
+        same multisigned graph skip the component ECDSA verifications.
         """
+        global _verify_cache_hits, _verify_cache_misses
+        key = (
+            self.digest,
+            tuple(
+                sorted(
+                    (sig.digest, sig.signer.to_bytes(), sig.signature.to_bytes())
+                    for sig in self.signatures
+                )
+            ),
+            tuple(sorted(pk.to_bytes() for pk in required_signers)),
+        )
+        cached = _VERIFY_CACHE.get(key)
+        if cached is not None:
+            _verify_cache_hits += 1
+            _VERIFY_CACHE.move_to_end(key)
+            return cached
+        _verify_cache_misses += 1
         have = {
             sig.signer.to_bytes()
             for sig in self.signatures
             if sig.digest == self.digest and sig.verify()
         }
         need = {pk.to_bytes() for pk in required_signers}
-        return need <= have
+        result = need <= have
+        _VERIFY_CACHE[key] = result
+        while len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.popitem(last=False)
+        return result
 
 
 def multisign(keypairs: list[KeyPair], domain: str, payload: bytes) -> Multisignature:

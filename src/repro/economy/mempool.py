@@ -255,29 +255,42 @@ class PriorityMempool(Mempool):
         return batch
 
     def take_block(
-        self, limit: int, weight_budget: int | None = None
+        self, limit: int, weight_budget: int | None = None, exclude=None
     ) -> list[ChainMessage]:
         """Fee-greedy block template within the block-space budget.
 
         Scans pending messages in priority order, including each one
         that still fits the remaining weight budget (greedy knapsack).
-        Skipped messages stay pending for later blocks.
+        Skipped messages stay pending for later blocks, as do messages
+        matched by a censoring miner's ``exclude`` predicate — censored
+        messages never consume template capacity or block space.
         """
         if self.policy.fifo:
-            return super().take(limit)
+            return super().take_block(limit, weight_budget, exclude)
         budget = (
             weight_budget
             if weight_budget is not None
             else self.policy.block_weight_budget
         )
         if budget is None:
-            return self.take(limit)
+            if exclude is None:
+                return self.take(limit)
+            batch = [
+                self._meta[mid].message
+                for mid in self._priority_order()
+                if not exclude(self._meta[mid].message)
+            ][:limit]
+            for message in batch:
+                self._remove(message.message_id())
+            return batch
         batch: list[ChainMessage] = []
         used = 0
         for mid in self._priority_order():
             if len(batch) >= limit:
                 break
             entry = self._meta[mid]
+            if exclude is not None and exclude(entry.message):
+                continue
             if used + entry.weight > budget:
                 continue
             used += entry.weight

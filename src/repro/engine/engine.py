@@ -127,6 +127,10 @@ class EngineResult:
     #: Simulator events executed by :meth:`SwapEngine.run` — the cadence
     #: observability hook behind the eager-mode event-budget pins.
     events_processed: int = 0
+    #: Reorgs observed per chain (the Blockchain reorg listeners).
+    chain_reorgs: dict[str, int] = field(default_factory=dict)
+    #: The adversary's self-report, when a roster was attached.
+    adversary: dict | None = None
 
     def trace(self) -> list[tuple[int, str, str, float, float]]:
         """A compact deterministic fingerprint of the run, for tests:
@@ -194,6 +198,28 @@ class SwapEngine:
         self._completed = 0
         self._in_flight = 0
         self.max_in_flight = 0
+        #: Hooks run at launch time, before the driver is built (may
+        #: rewrite ``request.config`` — how Byzantine actors corrupt a
+        #: swap) and after it is built but before it starts (phase
+        #: listeners, eclipse windows).
+        self.launch_hooks: list[Callable[[SwapRequest], None]] = []
+        self.driver_hooks: list[Callable[[SwapRequest, ProtocolDriver], None]] = []
+        #: Reorgs observed per chain over this engine's lifetime (the
+        #: Blockchain reorg hook, aggregated — attack observability).
+        self.chain_reorgs: dict[str, int] = {}
+        for chain_id, chain in env.chains.items():
+            self.chain_reorgs[chain_id] = 0
+
+            def count(abandoned: int, adopted: int, chain_id=chain_id) -> None:
+                self.chain_reorgs[chain_id] += 1
+
+            chain.add_reorg_listener(count)
+        self._adversary = None
+
+    def attach_adversary(self, roster) -> None:
+        """Attach an :class:`~repro.adversary.AdversaryRoster`: its
+        per-swap attack exposure is attributed into every result."""
+        self._adversary = roster
 
     # -- witness services --------------------------------------------------
 
@@ -308,6 +334,8 @@ class SwapEngine:
         return _PROTOCOL_REGISTRY[request.protocol].factory(self, request)
 
     def _launch(self, request: SwapRequest) -> None:
+        for hook in list(self.launch_hooks):
+            hook(request)
         try:
             driver = self._make_driver(request)
         except ReproError as exc:
@@ -331,6 +359,8 @@ class SwapEngine:
         driver.on_complete.append(
             lambda outcome, request=request: self._on_complete(request, outcome)
         )
+        for hook in list(self.driver_hooks):
+            hook(request, driver)
         driver.start()
 
     def _on_complete(self, request: SwapRequest, outcome: SwapOutcome) -> None:
@@ -368,6 +398,8 @@ class SwapEngine:
 
     def result(self, events_processed: int = 0) -> EngineResult:
         """Aggregate the completed swaps (callable mid-run as well)."""
+        if self._adversary is not None:
+            self._adversary.attribute(self.requests)
         done = [r for r in self.requests if r.outcome is not None]
         outcomes = [r.outcome for r in done]
         protocols = sorted({r.protocol for r in done})
@@ -387,6 +419,10 @@ class SwapEngine:
             by_protocol=by_protocol,
             requests=list(self.requests),
             events_processed=events_processed,
+            chain_reorgs=dict(self.chain_reorgs),
+            adversary=(
+                self._adversary.report() if self._adversary is not None else None
+            ),
         )
 
 

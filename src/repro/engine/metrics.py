@@ -55,6 +55,13 @@ class EngineMetrics:
             the workload's ``crash_rate`` knob.
         fee_per_commit: mean fee spend of the *committed* swaps — the
             measured counterpart of the Section 6.2 cost model.
+        attacked: swaps targeted by at least one adversary actor.
+        attacks_launched: reorg attacks launched against this batch.
+        reorgs_won / reorgs_lost: how those fork races resolved.
+        attack_blocks: private blocks the attacker mined in them.
+        attack_cost: USD the attacker spent (Section 6.3 cost model) —
+            compare against the per-swap value at risk to read the
+            economics of the measured violation rate.
     """
 
     protocol: str
@@ -79,6 +86,12 @@ class EngineMetrics:
     fee_bumps: int = 0
     injected_crashes: int = 0
     fee_per_commit: float = 0.0
+    attacked: int = 0
+    attacks_launched: int = 0
+    reorgs_won: int = 0
+    reorgs_lost: int = 0
+    attack_blocks: int = 0
+    attack_cost: float = 0.0
 
     @property
     def commits_per_second(self) -> float:
@@ -148,4 +161,10 @@ def compute_metrics(
         fee_bumps=sum(o.fee_bumps for o in outcomes),
         injected_crashes=sum(1 for o in outcomes if o.injected_crash is not None),
         fee_per_commit=(commit_fees / committed) if committed else 0.0,
+        attacked=sum(1 for o in outcomes if o.attacked_by),
+        attacks_launched=sum(o.attacks_launched for o in outcomes),
+        reorgs_won=sum(o.reorgs_won for o in outcomes),
+        reorgs_lost=sum(o.reorgs_lost for o in outcomes),
+        attack_blocks=sum(o.attack_blocks for o in outcomes),
+        attack_cost=sum(o.attack_cost for o in outcomes),
     )

@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from ..adversary import AdversarySpec, ReorgAttackSpec
 from ..errors import SpecError
 from .spec import (
     ChainsSpec,
@@ -168,6 +169,34 @@ def _fee_shock() -> ExperimentSpec:
     )
 
 
+def _security() -> ExperimentSpec:
+    """One security-matrix cell: open-loop traffic under a budgeted
+    reorg attacker (Section 6.3's rented 51% attack).
+
+    The cost model (``Va=175k``, ``Ch=300k``, ``dh=6``) gives
+    ``required_depth = 4`` and an attack budget of 3 private blocks, so
+    sweeping ``chains.confirmation_depth`` and
+    ``adversary.reorg.hashpower`` around those numbers reproduces the
+    depth-vs-cost trade-off empirically (the ``security-matrix`` sweep).
+    """
+    return ExperimentSpec(
+        name="security",
+        seed=7,
+        protocol="ac3wn",
+        chains=ChainsSpec(ids=("chain-0", "chain-1"), confirmation_depth=2),
+        traffic=TrafficSpec(generator="poisson", num_swaps=12, rate=4.0),
+        adversary=AdversarySpec(
+            reorg=ReorgAttackSpec(
+                enabled=True,
+                hashpower=2.0,
+                value_at_risk=175_000.0,
+                hourly_cost=300_000.0,
+                blocks_per_hour=6.0,
+            )
+        ),
+    )
+
+
 def _lazy_engine_smoke() -> ExperimentSpec:
     """The engine-smoke workload with eager block hooks disabled — the
     A/B baseline for the poll-tick-only driver cadence."""
@@ -186,6 +215,9 @@ register_preset(
 register_preset("table1", _table1, "measured swap throughput: 40 AC2Ts @ 8/s")
 register_preset("figure10", _figure10, "one measured Figure 10 latency point")
 register_preset("crash", _crash, "mixed traffic with 25% mid-protocol crashes")
+register_preset(
+    "security", _security, "traffic under a budgeted witness-reorg attacker"
+)
 register_preset("fee-shock", _fee_shock, "congestion plus a whale demand burst")
 register_preset(
     "engine-smoke-lazy", _lazy_engine_smoke, "engine smoke with eager=False (A/B)"

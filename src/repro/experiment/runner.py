@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 
+from ..adversary import build_roster
 from ..analysis.cost import CongestionCostRow, congestion_cost_report
 from ..analysis.throughput import engine_throughput_report
 from ..core.protocol import SwapOutcome
@@ -44,6 +45,12 @@ def _outcome_to_dict(outcome: SwapOutcome, swap_id: int, arrival: float) -> dict
         "evictions": outcome.evictions,
         "fee_bumps": outcome.fee_bumps,
         "injected_crash": outcome.injected_crash,
+        "attacked_by": list(outcome.attacked_by),
+        "attacks_launched": outcome.attacks_launched,
+        "reorgs_won": outcome.reorgs_won,
+        "reorgs_lost": outcome.reorgs_lost,
+        "attack_blocks": outcome.attack_blocks,
+        "attack_cost": outcome.attack_cost,
         "final_states": outcome.final_states(),
         "notes": list(outcome.notes),
     }
@@ -91,7 +98,9 @@ class ExperimentResult:
                 for r in requests
                 if r.outcome is not None
             ],
+            "chain_reorgs": dict(self.engine_result.chain_reorgs),
             "reports": {
+                "adversary": self.engine_result.adversary,
                 "throughput": [asdict(row) for row in self.throughput],
                 "congestion_cost": (
                     None
@@ -123,6 +132,13 @@ def build_environment(spec: ExperimentSpec, traffic: list) -> ScenarioEnvironmen
         dict.fromkeys(
             list(spec.chains.extra_participants)
             + [shock.whale for shock in spec.fee_shocks]
+            # The reorg attacker needs a funded on-chain identity: fees
+            # for its counter-decision and the exploit refund calls.
+            + (
+                [spec.adversary.reorg.attacker]
+                if spec.adversary.reorg.enabled
+                else []
+            )
         )
     )
     env = build_multi_scenario(
@@ -178,6 +194,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         eager=spec.engine.eager,
         jitter_span=spec.engine.jitter,
     )
+    # Arm the adversarial roster (a no-op when every actor is disabled).
+    build_roster(spec, env, engine)
     # Arrivals are generated from t=0; shift them past the warm-up so
     # the schedule stays genuinely open-loop (no clamped head batch).
     offset = env.simulator.now

@@ -24,6 +24,7 @@ import types
 import typing
 from dataclasses import dataclass, field, fields, is_dataclass
 
+from ..adversary.spec import AdversarySpec
 from ..chain.params import ChainParams, fast_chain
 from ..economy import FeeBudget, FeePolicy
 from ..errors import FeeError, SpecError
@@ -409,6 +410,9 @@ class ExperimentSpec:
     traffic: TrafficSpec = field(default_factory=TrafficSpec)
     engine: EngineSpec = field(default_factory=EngineSpec)
     fee_shocks: tuple[FeeShockSpec, ...] = ()
+    #: The adversarial roster (all actors disabled by default); see
+    #: :mod:`repro.adversary.spec`.
+    adversary: AdversarySpec = field(default_factory=AdversarySpec)
 
     # -- serialization -----------------------------------------------------
 
@@ -534,6 +538,7 @@ class ExperimentSpec:
                 fail(f"fee_shocks[{index}] names unknown chain {shock.chain_id!r}")
             if not shock.whale:
                 fail(f"fee_shocks[{index}]: whale needs a name")
+        self.adversary.validate(fail, known_chains)
         # Building the economy objects runs their own validation too;
         # surface their FeeError as a spec error so callers (and the
         # CLI's exit-2 path) only ever see SpecError for a bad spec.

@@ -31,11 +31,13 @@ from .figures import (
     CrashCell,
     Figure10Point,
     ThroughputRow,
+    ViolationSurfacePoint,
     arrival_rate_series,
     crash_matrix,
     figure10_curves,
     rows_by_axis,
     table1_series,
+    violation_rate_surface,
 )
 from .presets import (
     register_sweep,
@@ -67,6 +69,7 @@ __all__ = [
     "SweepRunner",
     "SweepSpec",
     "ThroughputRow",
+    "ViolationSurfacePoint",
     "arrival_rate_series",
     "crash_matrix",
     "figure10_curves",
@@ -79,4 +82,5 @@ __all__ = [
     "sweep_spec",
     "table1_series",
     "unregister_sweep",
+    "violation_rate_surface",
 ]

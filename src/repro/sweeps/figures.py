@@ -191,6 +191,73 @@ def arrival_rate_series(
     return series
 
 
+@dataclass(frozen=True)
+class ViolationSurfacePoint:
+    """One security-matrix cell: a protocol at one (depth, hashpower).
+
+    ``required_depth`` / ``model_safe`` come from the analytic Section
+    6.3 cost model echoed in the point's spec, so the extractor pairs
+    every measured cell with its analytic prediction.
+    """
+
+    protocol: str
+    depth: int
+    hashpower: float
+    total: int
+    violations: int
+    violation_rate: float
+    commit_rate: float
+    attacks_launched: int
+    reorgs_won: int
+    reorgs_lost: int
+    attack_cost: float
+    value_at_risk: float
+    required_depth: int
+    model_safe: bool
+
+
+def violation_rate_surface(sweep: SweepResult) -> list[ViolationSurfacePoint]:
+    """The empirical Section 6.3 trade-off, one cell per sweep point.
+
+    Expects the ``security-matrix`` axes (``depth`` x ``hashpower`` x
+    ``protocol``); cells come back in expansion order, so the surface
+    is deterministic and groupable by any coordinate.
+    """
+    from ..analysis.security import required_depth
+
+    surface = []
+    for point in sweep.points:
+        m = point.metrics
+        reorg = point.spec["adversary"]["reorg"]
+        bound = required_depth(
+            reorg["value_at_risk"],
+            reorg["hourly_cost"],
+            reorg["blocks_per_hour"],
+        )
+        depth = int(point.coords["depth"])
+        surface.append(
+            ViolationSurfacePoint(
+                protocol=str(point.coords["protocol"]),
+                depth=depth,
+                hashpower=float(point.coords["hashpower"]),
+                total=m["total"],
+                violations=m["atomicity_violations"],
+                violation_rate=(
+                    m["atomicity_violations"] / m["total"] if m["total"] else 0.0
+                ),
+                commit_rate=m["commit_rate"],
+                attacks_launched=m["attacks_launched"],
+                reorgs_won=m["reorgs_won"],
+                reorgs_lost=m["reorgs_lost"],
+                attack_cost=m["attack_cost"],
+                value_at_risk=reorg["value_at_risk"],
+                required_depth=bound,
+                model_safe=depth >= bound,
+            )
+        )
+    return surface
+
+
 def rows_by_axis(sweep: SweepResult, axis: str) -> dict[Any, list[dict]]:
     """Generic helper: summary rows grouped by one axis coordinate."""
     grouped: dict[Any, list[dict]] = {}

@@ -58,6 +58,8 @@ def sweep_spec(name: str) -> SweepSpec:
 FIGURE10_DIAMETERS = (2, 3, 4, 5, 6)
 CRASH_ONSETS = (0.0, 2.0, 3.0, 4.5, 12.0)
 CONGESTION_RATES = (6.0, 8.0, 10.0, 12.0, 14.0, 16.0)
+SECURITY_DEPTHS = (1, 2, 3, 4)
+SECURITY_HASHPOWERS = (2.0, 6.0)
 
 
 def _figure10() -> SweepSpec:
@@ -161,6 +163,65 @@ def _congestion_rates() -> SweepSpec:
     )
 
 
+def _security_matrix() -> SweepSpec:
+    """Section 6.3, measured: depth ``d`` x attacker hashpower x protocol
+    under the budgeted reorg attacker.
+
+    The base cost model pins ``required_depth = 4`` (budget 3 private
+    blocks per attack), so the surface shows the measured violation
+    rate falling to zero once ``d`` reaches the analytic bound: the
+    HTLC protocols bleed at shallow depth while the witness protocols
+    stay atomic everywhere — the paper's depth-``d`` defense, end to
+    end.  Same seed for every point, so each protocol faces the same
+    arrival schedule at every coordinate.
+    """
+    return SweepSpec(
+        name="security-matrix",
+        base=preset_spec("security"),
+        axes=(
+            SweepAxis(
+                name="depth",
+                path="chains.confirmation_depth",
+                values=SECURITY_DEPTHS,
+            ),
+            SweepAxis(
+                name="hashpower",
+                path="adversary.reorg.hashpower",
+                values=SECURITY_HASHPOWERS,
+            ),
+            SweepAxis(
+                name="protocol",
+                path="protocol",
+                values=("nolan", "herlihy", "ac3tw", "ac3wn"),
+            ),
+        ),
+        mode="grid",
+        derive_seeds=False,
+    )
+
+
+def _security_smoke() -> SweepSpec:
+    """The CI-sized security matrix: 2 depths x 2 hashpowers over the
+    most informative protocol pair (Nolan bleeds, AC3WN holds)."""
+    return SweepSpec(
+        name="security-smoke",
+        base=preset_spec("security"),
+        axes=(
+            SweepAxis(
+                name="depth", path="chains.confirmation_depth", values=(1, 4)
+            ),
+            SweepAxis(
+                name="hashpower",
+                path="adversary.reorg.hashpower",
+                values=SECURITY_HASHPOWERS,
+            ),
+            SweepAxis(name="protocol", path="protocol", values=("nolan", "ac3wn")),
+        ),
+        mode="grid",
+        derive_seeds=False,
+    )
+
+
 register_sweep(
     "figure10",
     _figure10,
@@ -178,4 +239,14 @@ register_sweep(
     "congestion-rates",
     _congestion_rates,
     "fee-market commit/priced-out vs arrival rate (6 points)",
+)
+register_sweep(
+    "security-matrix",
+    _security_matrix,
+    "violation rate vs depth d x attacker hashpower x protocol (Section 6.3)",
+)
+register_sweep(
+    "security-smoke",
+    _security_smoke,
+    "CI-sized security matrix: 2 depths x 2 hashpowers, nolan vs ac3wn",
 )

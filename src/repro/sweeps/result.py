@@ -39,6 +39,11 @@ ROW_METRICS = (
     "evictions",
     "fee_bumps",
     "injected_crashes",
+    "attacked",
+    "attacks_launched",
+    "reorgs_won",
+    "reorgs_lost",
+    "attack_cost",
 )
 
 

@@ -18,7 +18,8 @@ the parent are visible to the children.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
 from typing import Callable
 
 from ..errors import SpecError
@@ -50,6 +51,14 @@ class SweepRunner:
             pool (one point per task, so stragglers load-balance).
         on_point: optional progress callback, invoked in *completion*
             order with each finished :class:`PointResult`.
+        resume_dir: per-point artifact directory for resumable
+            campaigns.  Every executed point writes its serialized
+            ``ExperimentResult`` to ``point-NNNNN.json`` there; on a
+            re-run, points whose artifact already exists (and whose
+            stored spec echo still matches the expanded point) are
+            loaded from disk instead of executed — the merged
+            :class:`SweepResult` is byte-identical to a fresh run
+            because the stored bytes *are* the worker payloads.
     """
 
     def __init__(
@@ -57,12 +66,16 @@ class SweepRunner:
         spec: SweepSpec,
         workers: int = 1,
         on_point: Callable[[PointResult], None] | None = None,
+        resume_dir: str | None = None,
     ) -> None:
         if workers < 1:
             raise SpecError(f"workers must be at least 1, got {workers}")
         self.spec = spec
         self.workers = workers
         self.on_point = on_point
+        self.resume_dir = resume_dir
+        #: Point indices loaded from ``resume_dir`` on the last run.
+        self.resumed: list[int] = []
 
     def run(self) -> SweepResult:
         """Expand, execute every point, and join the artifacts.
@@ -73,18 +86,29 @@ class SweepRunner:
         """
         expansion = self.spec.expand()
         by_index = {point.index: point for point in expansion.points}
-        payloads = [
-            (point.index, point.spec.to_json(indent=None))
-            for point in expansion.points
-        ]
         finished: dict[int, PointResult] = {}
+        self.resumed = []
+        resumed_set: set[int] = set()
 
         def collect(item: tuple[int, str]) -> None:
             index, result_json = item
+            if self.resume_dir is not None and index not in resumed_set:
+                self._store_artifact(index, result_json)
             joined = self._join(by_index[index], result_json)
             finished[index] = joined
             if self.on_point is not None:
                 self.on_point(joined)
+
+        payloads = []
+        for point in expansion.points:
+            spec_json = point.spec.to_json(indent=None)
+            cached = self._load_artifact(point)
+            if cached is not None:
+                self.resumed.append(point.index)
+                resumed_set.add(point.index)
+                collect((point.index, cached))
+            else:
+                payloads.append((point.index, spec_json))
 
         if self.workers == 1 or len(payloads) <= 1:
             for payload in payloads:
@@ -107,9 +131,39 @@ class SweepRunner:
             spec=self.spec, points=points, skipped=list(expansion.skipped)
         )
 
-    def _join(self, point: SweepPoint, result_json: str) -> PointResult:
-        import json
+    # -- resumable campaigns -----------------------------------------------
 
+    def _artifact_path(self, index: int) -> str:
+        return os.path.join(self.resume_dir, f"point-{index:05d}.json")
+
+    def _load_artifact(self, point: SweepPoint) -> str | None:
+        """The stored result bytes for ``point``, or None to execute it.
+
+        A stored artifact is only trusted when its spec echo matches
+        the freshly expanded point — editing the sweep (axes, seeds,
+        base) invalidates stale points individually instead of
+        poisoning the merge.
+        """
+        if self.resume_dir is None:
+            return None
+        path = self._artifact_path(point.index)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+            stored_spec = json.loads(text).get("spec")
+        except (OSError, json.JSONDecodeError):
+            return None
+        if stored_spec != point.spec.to_dict():
+            return None
+        return text
+
+    def _store_artifact(self, index: int, result_json: str) -> None:
+        os.makedirs(self.resume_dir, exist_ok=True)
+        path = self._artifact_path(index)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(result_json)
+
+    def _join(self, point: SweepPoint, result_json: str) -> PointResult:
         return PointResult(
             index=point.index,
             name=point.name,
@@ -124,6 +178,9 @@ def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     on_point: Callable[[PointResult], None] | None = None,
+    resume_dir: str | None = None,
 ) -> SweepResult:
     """Convenience wrapper: ``SweepRunner(spec, workers).run()``."""
-    return SweepRunner(spec, workers=workers, on_point=on_point).run()
+    return SweepRunner(
+        spec, workers=workers, on_point=on_point, resume_dir=resume_dir
+    ).run()

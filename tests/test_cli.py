@@ -341,3 +341,76 @@ class TestAliases:
     def test_crash_sweep_rejects_bad_onset(self, capsys):
         assert main(["crash-sweep", "--onsets", "-1"]) == 2
         assert "repro crash-sweep:" in capsys.readouterr().err
+
+
+class TestSweepResume:
+    def _tiny_spec(self, tmp_path):
+        from repro.experiment import preset_spec
+        from repro.sweeps import SweepAxis, SweepSpec
+
+        spec = SweepSpec(
+            name="cli-resume",
+            base=preset_spec("swap"),
+            axes=(
+                SweepAxis(
+                    name="protocol", path="protocol", values=("ac3wn", "herlihy")
+                ),
+            ),
+        )
+        path = tmp_path / "sweep.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def test_resume_skips_stored_points(self, tmp_path, capsys):
+        spec_path = self._tiny_spec(tmp_path)
+        resume = tmp_path / "campaign"
+        fresh_json = tmp_path / "fresh.json"
+        resumed_json = tmp_path / "resumed.json"
+        args = ["sweep", "--spec", str(spec_path), "--no-progress",
+                "--resume", str(resume)]
+        assert main(args + ["--json", str(fresh_json)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 0 point(s)" in out
+        assert sorted(p.name for p in resume.iterdir()) == [
+            "point-00000.json",
+            "point-00001.json",
+        ]
+        assert main(args + ["--json", str(resumed_json)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed 2 point(s)" in out
+        assert fresh_json.read_bytes() == resumed_json.read_bytes()
+
+
+class TestAdversaryCli:
+    def test_security_presets_listed(self, capsys):
+        assert main(["run", "--list-presets"]) == 0
+        assert "security" in capsys.readouterr().out
+        assert main(["sweep", "--list-presets"]) == 0
+        out = capsys.readouterr().out
+        assert "security-matrix" in out and "security-smoke" in out
+
+    def test_attacked_run_exits_zero_despite_violations(self, tmp_path, capsys):
+        """Violations under an armed adversary are the measurement, not
+        a failure: the honest-run exit gate must not fire."""
+        json_path = tmp_path / "security.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "--preset",
+                    "security",
+                    "--set",
+                    "protocol=nolan",
+                    "--set",
+                    "chains.confirmation_depth=1",
+                    "--set",
+                    "traffic.num_swaps=6",
+                    "--json",
+                    str(json_path),
+                ]
+            )
+            == 0
+        )
+        data = json.loads(json_path.read_text())
+        assert data["reports"]["adversary"]["reorg"]["attacks_launched"] >= 1
+        assert "chain_reorgs" in data

@@ -404,7 +404,14 @@ class TestRunExperiment:
     def test_result_artifact_shape(self, tmp_path):
         result = run_experiment(small_spec())
         data = result.to_dict()
-        assert set(data) == {"spec", "metrics", "by_protocol", "outcomes", "reports"}
+        assert set(data) == {
+            "spec",
+            "metrics",
+            "by_protocol",
+            "outcomes",
+            "chain_reorgs",
+            "reports",
+        }
         assert data["spec"] == small_spec().to_dict()
         assert data["metrics"]["total"] == 6
         assert len(data["outcomes"]) == 6

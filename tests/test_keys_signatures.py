@@ -9,9 +9,11 @@ from repro.crypto.hashing import sha256
 from repro.crypto.signatures import (
     Multisignature,
     SignedMessage,
+    clear_verify_cache,
     multisign,
     sign_payload,
     verify_payload,
+    verify_cache_info,
 )
 from repro.errors import InvalidKeyError, InvalidSignatureError
 
@@ -149,3 +151,46 @@ class TestMultisignature:
         kps = self._keys(n)
         ms = multisign(kps, "d", b"p")
         assert ms.verify([kp.public_key for kp in kps])
+
+
+class TestMultisignVerifyMemo:
+    """`Multisignature.verify` is memoized by (digest, sigs, keyset)."""
+
+    def _ms(self, n=3, payload=b"memo-graph"):
+        kps = [KeyPair.from_seed(f"memo-{i}") for i in range(n)]
+        return multisign(kps, "swap", payload), [kp.public_key for kp in kps]
+
+    def test_repeat_verification_hits_the_cache(self):
+        clear_verify_cache()
+        ms, keys = self._ms()
+        assert ms.verify(keys)
+        first = verify_cache_info()
+        assert first["misses"] == 1 and first["hits"] == 0
+        for _ in range(5):
+            assert ms.verify(keys)
+        after = verify_cache_info()
+        assert after["misses"] == 1 and after["hits"] == 5
+
+    def test_cache_keyed_on_content_not_identity(self):
+        clear_verify_cache()
+        ms, keys = self._ms()
+        ms.verify(keys)
+        # An equal-content copy reuses the entry...
+        copy = Multisignature(ms.digest, tuple(ms.signatures))
+        assert copy.verify(keys)
+        assert verify_cache_info()["hits"] == 1
+        # ...but a different keyset or tampered signature set does not.
+        assert not ms.verify(keys + [KeyPair.from_seed("memo-x").public_key])
+        tampered = Multisignature(ms.digest, ms.signatures[:-1])
+        assert not tampered.verify(keys)
+        info = verify_cache_info()
+        assert info["misses"] == 3
+
+    def test_cached_negative_result(self):
+        clear_verify_cache()
+        ms, keys = self._ms(2)
+        missing = Multisignature(ms.digest, ms.signatures[:1])
+        assert not missing.verify(keys)
+        assert not missing.verify(keys)
+        info = verify_cache_info()
+        assert info["misses"] == 1 and info["hits"] == 1

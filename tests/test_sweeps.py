@@ -449,3 +449,78 @@ class TestExtractors:
         curves = figure10_curves(single)
         assert curves["ac3wn"][0].diameter == 2
         assert curves["ac3wn"][0].latency_deltas > 0
+
+
+class TestResumableCampaigns:
+    """`--resume DIR`: per-point artifacts merged byte-identically."""
+
+    def test_fresh_run_stores_one_artifact_per_point(self, tmp_path):
+        resume = tmp_path / "campaign"
+        runner = SweepRunner(tiny_sweep(), resume_dir=str(resume))
+        result = runner.run()
+        assert runner.resumed == []
+        stored = sorted(p.name for p in resume.iterdir())
+        assert stored == [f"point-{i:05d}.json" for i in range(4)]
+        # Stored bytes are the worker payloads: each echoes its spec.
+        artifact = json.loads((resume / "point-00000.json").read_text())
+        assert artifact["spec"] == result.points[0].artifact["spec"]
+
+    def test_resume_skips_stored_points_byte_identically(self, tmp_path):
+        resume = tmp_path / "campaign"
+        spec = tiny_sweep()
+        fresh = SweepRunner(spec).run()
+        SweepRunner(spec, resume_dir=str(resume)).run()
+        # Drop one artifact: only that point re-runs.
+        (resume / "point-00002.json").unlink()
+        runner = SweepRunner(spec, resume_dir=str(resume))
+        merged = runner.run()
+        assert runner.resumed == [0, 1, 3]
+        assert merged.to_json() == fresh.to_json()
+        assert merged.to_csv() == fresh.to_csv()
+        # The re-run point was stored again for the next resume.
+        full = SweepRunner(spec, resume_dir=str(resume))
+        assert full.run().to_json() == fresh.to_json()
+        assert full.resumed == [0, 1, 2, 3]
+
+    def test_stale_artifact_is_re_executed(self, tmp_path):
+        resume = tmp_path / "campaign"
+        spec = tiny_sweep()
+        SweepRunner(spec, resume_dir=str(resume)).run()
+        # A sweep edit that changes a point's spec invalidates exactly
+        # the stored artifacts whose echo no longer matches.
+        edited = dataclasses.replace(
+            spec,
+            axes=(
+                SweepAxis(name="rate", path="traffic.rate", values=(5.0, 8.0)),
+                spec.axes[1],
+            ),
+        )
+        runner = SweepRunner(edited, resume_dir=str(resume))
+        merged = runner.run()
+        # rate=8.0 points (indices 2, 3) were still valid; rate=5.0 re-ran.
+        assert runner.resumed == [2, 3]
+        assert merged.to_json() == SweepRunner(edited).run().to_json()
+
+    def test_corrupt_artifact_is_re_executed(self, tmp_path):
+        resume = tmp_path / "campaign"
+        spec = tiny_sweep()
+        fresh = SweepRunner(spec).run()
+        SweepRunner(spec, resume_dir=str(resume)).run()
+        (resume / "point-00001.json").write_text("{not json")
+        runner = SweepRunner(spec, resume_dir=str(resume))
+        assert runner.run().to_json() == fresh.to_json()
+        assert 1 not in runner.resumed
+
+    def test_resume_with_workers_matches_serial(self, tmp_path):
+        resume = tmp_path / "campaign"
+        spec = tiny_sweep()
+        fresh = SweepRunner(spec).run()
+        (resume).mkdir()
+        # Pre-populate half the campaign, then finish with a pool.
+        partial = SweepRunner(spec, resume_dir=str(resume))
+        partial.run()
+        (resume / "point-00000.json").unlink()
+        (resume / "point-00003.json").unlink()
+        runner = SweepRunner(spec, workers=2, resume_dir=str(resume))
+        assert runner.run().to_json() == fresh.to_json()
+        assert runner.resumed == [1, 2]

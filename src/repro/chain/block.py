@@ -4,11 +4,17 @@ A header commits to its parent (hash chaining — the "tamper-proof chain
 of blocks" of Section 2.1), to its message set (Merkle root), and to the
 proof of work (nonce + difficulty).  Everything a light client or the
 Section 4.3 relay validator needs lives in the header.
+
+Headers and blocks are immutable, so the block hash, message-id list,
+and messages Merkle tree are each computed once and cached on the
+instance (evidence construction walks these repeatedly).  The caches are
+``init=False`` slots: ``dataclasses.replace`` — how tests forge tampered
+headers — resets them, and the forged copy hashes afresh.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..crypto.hashing import double_sha256
 from ..crypto.keys import Address
@@ -30,7 +36,7 @@ def decode_time(ticks: int) -> float:
     return ticks / TIME_SCALE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockHeader:
     """The consensus-critical summary of a block."""
 
@@ -43,6 +49,7 @@ class BlockHeader:
     difficulty_bits: int
     nonce: int
     miner: Address
+    _id: bytes | None = field(default=None, init=False, repr=False, compare=False)
 
     def to_wire(self):
         return {
@@ -59,7 +66,11 @@ class BlockHeader:
 
     def block_id(self) -> bytes:
         """The block hash (double SHA-256 of the header, Bitcoin-style)."""
-        return double_sha256(canonical_encode(self.to_wire()))
+        block_id = self._id
+        if block_id is None:
+            block_id = double_sha256(canonical_encode(self.to_wire()))
+            object.__setattr__(self, "_id", block_id)
+        return block_id
 
     @property
     def timestamp(self) -> float:
@@ -107,7 +118,7 @@ def receipts_merkle_tree(statuses: list[tuple[bytes, str]]) -> MerkleTree:
     return MerkleTree([receipt_leaf(mid, status) for mid, status in statuses])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Block:
     """A header plus the ordered list of messages it includes.
 
@@ -118,15 +129,27 @@ class Block:
 
     header: BlockHeader
     messages: tuple
+    _ids: tuple | None = field(default=None, init=False, repr=False, compare=False)
+    _tree: MerkleTree | None = field(default=None, init=False, repr=False, compare=False)
 
     def block_id(self) -> bytes:
         return self.header.block_id()
 
     def message_ids(self) -> list[bytes]:
-        return [message.message_id() for message in self.messages]
+        ids = self._ids
+        if ids is None:
+            ids = tuple(message.message_id() for message in self.messages)
+            object.__setattr__(self, "_ids", ids)
+        return list(ids)
 
     def merkle_tree(self) -> MerkleTree:
-        return messages_merkle_tree(self.message_ids())
+        tree = self._tree
+        if tree is None:
+            # MerkleTree memoizes its levels internally and is read-only
+            # after construction, so one shared instance per block is safe.
+            tree = messages_merkle_tree(self.message_ids())
+            object.__setattr__(self, "_tree", tree)
+        return tree
 
     def compute_merkle_root(self) -> bytes:
         return self.merkle_tree().root()

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
 from ..crypto.keys import Address, KeyPair
-from ..crypto.merkle import MerkleProof
+from ..crypto.merkle import MerkleProof, MerkleTree
 from ..errors import InvalidBlockError, UnknownBlockError, ValidationError
 from .block import Block, BlockHeader, encode_time, receipts_merkle_tree
 from .contracts import DEFAULT_REGISTRY, ContractRegistry, Receipt, SmartContract
@@ -67,6 +67,14 @@ class Blockchain:
         #: incrementally on connect/reorg so main-chain membership,
         #: block_at_height, and message_depth are all O(1).
         self._height_index: dict[int, bytes] = {}
+        #: block hash -> ((message_id, status) list in block order, receipts
+        #: Merkle tree).  Filled at connect time, where the tree is built
+        #: anyway to check the header commitment; evidence construction
+        #: reuses it instead of rebuilding a tree per proof.
+        self._receipt_data: dict[bytes, tuple[list[tuple[bytes, str]], MerkleTree]] = {}
+        #: one-entry memo for header_chain(): evidence built for several
+        #: edges against the same head repeats the identical query.
+        self._header_chain_memo: tuple | None = None
         self._head_hash: bytes = b""
         self.orphans_rejected = 0
         self._block_listeners: list[Callable[[Block], None]] = []
@@ -231,13 +239,13 @@ class Blockchain:
             receipts = state.apply_block(block, self.params, self.registry, self.validators)
         except ValidationError as exc:
             raise InvalidBlockError(f"block payload invalid: {exc}") from exc
-        computed_receipts_root = receipts_merkle_tree(
-            [(r.message_id, r.status) for r in receipts]
-        ).root()
-        if block.header.receipts_root != computed_receipts_root:
+        statuses = [(r.message_id, r.status) for r in receipts]
+        receipts_tree = receipts_merkle_tree(statuses)
+        if block.header.receipts_root != receipts_tree.root():
             raise InvalidBlockError("receipts root does not match execution")
 
         self._blocks[block_hash] = block
+        self._receipt_data[block_hash] = (statuses, receipts_tree)
         self._children.setdefault(parent_hash, []).append(block_hash)
         self._work[block_hash] = parent_work + work_for_bits(block.header.difficulty_bits)
         self._states[block_hash] = state
@@ -359,9 +367,23 @@ class Blockchain:
     def header_chain(self, start_height: int, end_height: int | None = None) -> list[BlockHeader]:
         """Main-chain headers from ``start_height`` to ``end_height`` inclusive."""
         end_height = self.height if end_height is None else end_height
-        return [
+        key = (self._head_hash, start_height, end_height)
+        memo = self._header_chain_memo
+        if memo is not None and memo[0] == key:
+            return list(memo[1])
+        headers = [
             self.block_at_height(h).header for h in range(start_height, end_height + 1)
         ]
+        self._header_chain_memo = (key, headers)
+        return list(headers)
+
+    def receipts_data(self, block_hash: bytes) -> tuple[list[tuple[bytes, str]], MerkleTree]:
+        """The ``(message_id, status)`` list and receipts Merkle tree of a
+        connected block, in block order (cached from connect time)."""
+        try:
+            return self._receipt_data[block_hash]
+        except KeyError:
+            raise UnknownBlockError(f"no receipts for block {block_hash.hex()[:12]}…")
 
     # -- message queries --------------------------------------------------------
 
@@ -398,6 +420,7 @@ class Blockchain:
         parent_hash: bytes | None = None,
         parent_header: "BlockHeader | None" = None,
         parent_state: ChainState | None = None,
+        statuses: list[tuple[bytes, str]] | None = None,
     ) -> Block:
         """Assemble and mine a block on ``parent_hash`` (default: head).
 
@@ -405,6 +428,10 @@ class Blockchain:
         a non-head parent is how fork/attack experiments create branches.
         ``parent_header``/``parent_state`` let a caller extend a parent
         the chain has not connected yet (withheld private branches).
+        ``statuses`` lets a caller that already trial-applied ``messages``
+        at this block's quantized time (the miner's template pass) supply
+        the ``(message_id, status)`` receipts commitment directly instead
+        of paying a second trial application here.
         """
         parent_hash = parent_hash or self._head_hash
         if parent_header is not None:
@@ -414,20 +441,21 @@ class Blockchain:
         time_ticks = max(encode_time(timestamp), parent.header.time_ticks)
         height = parent.header.height + 1
         block_time = time_ticks / 1000
-        # Trial-apply the messages to compute the receipts commitment.
-        base_state = parent_state if parent_state is not None else self.state_at(parent_hash)
-        trial = base_state.clone()
-        statuses: list[tuple[bytes, str]] = []
-        for message in messages:
-            receipt = trial.apply_message(
-                message,
-                self.params,
-                block_height=height,
-                block_time=block_time,
-                registry=self.registry,
-                validators=self.validators,
-            )
-            statuses.append((receipt.message_id, receipt.status))
+        if statuses is None:
+            # Trial-apply the messages to compute the receipts commitment.
+            base_state = parent_state if parent_state is not None else self.state_at(parent_hash)
+            trial = base_state.clone()
+            statuses = []
+            for message in messages:
+                receipt = trial.apply_message(
+                    message,
+                    self.params,
+                    block_height=height,
+                    block_time=block_time,
+                    registry=self.registry,
+                    validators=self.validators,
+                )
+                statuses.append((receipt.message_id, receipt.status))
         candidate = Block(
             header=BlockHeader(
                 chain_id=self.params.chain_id,

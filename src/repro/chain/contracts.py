@@ -108,6 +108,28 @@ class SmartContract:
             )
         return func
 
+    def _execution_copy(self) -> "SmartContract":
+        """A working copy for one call invocation.
+
+        Chain states share contract instances copy-on-write (see
+        ``ChainState.clone``): the runtime mutates this copy during a
+        call and installs it in the state only if the call succeeds, so
+        the shared original is never touched.  Attribute values are
+        copied one container level deep — contract state must be scalars,
+        immutables, or flat dict/list/set of immutables.
+        """
+        clone = object.__new__(type(self))
+        clone_vars = clone.__dict__
+        for key, value in self.__dict__.items():
+            if type(value) is dict:
+                value = dict(value)
+            elif type(value) is list:
+                value = list(value)
+            elif type(value) is set:
+                value = set(value)
+            clone_vars[key] = value
+        return clone
+
     def describe(self) -> dict:
         """A read-only snapshot of public state (for evidence/tests)."""
         snapshot = {

@@ -13,6 +13,13 @@ End-users interact with the storage layer via message passing
 Every message funds itself UTXO-style: ``inputs`` spend the sender's
 assets, ``change`` returns the excess, and the difference covers the
 locked value (deploys) plus the miner fee.
+
+Messages are immutable, so every digest derived from the wire encoding
+(message id, signing digest, contract id) is computed once and cached on
+the instance.  All three digests share one cached canonical encoding —
+they differ only in hash domain.  The cache slots are ``init=False``,
+so ``dataclasses.replace`` (used by tests to build tampered copies)
+resets them and the copy re-derives fresh digests.
 """
 
 from __future__ import annotations
@@ -24,11 +31,19 @@ from ..crypto.ecdsa import EcdsaSignature
 from ..crypto.keys import KeyPair, PublicKey
 from ..errors import ValidationError
 from .transaction import Transaction, TxInput, TxOutput
-from .wire import wire_hash
+from .wire import canonical_encode, hash_encoded, wire_hash
+
+_MESSAGE_DOMAIN = "repro/message"
+
+
+def _cache_slot():
+    return field(default=None, init=False, repr=False, compare=False)
 
 
 class ChainMessage:
     """Common interface of all block payloads."""
+
+    __slots__ = ()
 
     kind: str = "abstract"
 
@@ -37,18 +52,26 @@ class ChainMessage:
 
     def message_id(self) -> bytes:
         """Globally unique id: hash of the canonical encoding."""
-        return wire_hash(self.to_wire(), domain="repro/message")
+        return wire_hash(self.to_wire(), domain=_MESSAGE_DOMAIN)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransferMessage(ChainMessage):
     """Wraps a plain UTXO transaction."""
 
     tx: Transaction
     kind: str = field(default="transfer", init=False)
+    _mid: bytes | None = _cache_slot()
 
     def to_wire(self):
         return {"kind": self.kind, "tx": self.tx}
+
+    def message_id(self) -> bytes:
+        mid = self._mid
+        if mid is None:
+            mid = wire_hash(self.to_wire(), domain=_MESSAGE_DOMAIN)
+            object.__setattr__(self, "_mid", mid)
+        return mid
 
 
 def _funding_wire(inputs: tuple[TxInput, ...], change: tuple[TxOutput, ...]):
@@ -59,7 +82,7 @@ def _funding_wire(inputs: tuple[TxInput, ...], change: tuple[TxOutput, ...]):
     }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeployMessage(ChainMessage):
     """Publishes a smart contract.
 
@@ -84,6 +107,10 @@ class DeployMessage(ChainMessage):
     nonce: int = 0
     signature: EcdsaSignature | None = None
     kind: str = field(default="deploy", init=False)
+    _enc: bytes | None = _cache_slot()
+    _mid: bytes | None = _cache_slot()
+    _sig_digest: bytes | None = _cache_slot()
+    _cid: bytes | None = _cache_slot()
 
     def to_wire(self):
         return {
@@ -97,15 +124,37 @@ class DeployMessage(ChainMessage):
             "nonce": self.nonce,
         }
 
+    def _encoded(self) -> bytes:
+        enc = self._enc
+        if enc is None:
+            enc = canonical_encode(self.to_wire())
+            object.__setattr__(self, "_enc", enc)
+        return enc
+
+    def message_id(self) -> bytes:
+        mid = self._mid
+        if mid is None:
+            mid = hash_encoded(self._encoded(), _MESSAGE_DOMAIN)
+            object.__setattr__(self, "_mid", mid)
+        return mid
+
     def signing_digest(self) -> bytes:
-        return wire_hash(self.to_wire(), domain="repro/deploy-signing")
+        digest = self._sig_digest
+        if digest is None:
+            digest = hash_encoded(self._encoded(), "repro/deploy-signing")
+            object.__setattr__(self, "_sig_digest", digest)
+        return digest
 
     def contract_id(self) -> bytes:
         """The id the deployed contract instance will live under."""
-        return wire_hash(self.to_wire(), domain="repro/contract-id")
+        cid = self._cid
+        if cid is None:
+            cid = hash_encoded(self._encoded(), "repro/contract-id")
+            object.__setattr__(self, "_cid", cid)
+        return cid
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CallMessage(ChainMessage):
     """Invokes a function on a deployed contract."""
 
@@ -120,6 +169,9 @@ class CallMessage(ChainMessage):
     nonce: int = 0
     signature: EcdsaSignature | None = None
     kind: str = field(default="call", init=False)
+    _enc: bytes | None = _cache_slot()
+    _mid: bytes | None = _cache_slot()
+    _sig_digest: bytes | None = _cache_slot()
 
     def to_wire(self):
         return {
@@ -134,8 +186,26 @@ class CallMessage(ChainMessage):
             "nonce": self.nonce,
         }
 
+    def _encoded(self) -> bytes:
+        enc = self._enc
+        if enc is None:
+            enc = canonical_encode(self.to_wire())
+            object.__setattr__(self, "_enc", enc)
+        return enc
+
+    def message_id(self) -> bytes:
+        mid = self._mid
+        if mid is None:
+            mid = hash_encoded(self._encoded(), _MESSAGE_DOMAIN)
+            object.__setattr__(self, "_mid", mid)
+        return mid
+
     def signing_digest(self) -> bytes:
-        return wire_hash(self.to_wire(), domain="repro/call-signing")
+        digest = self._sig_digest
+        if digest is None:
+            digest = hash_encoded(self._encoded(), "repro/call-signing")
+            object.__setattr__(self, "_sig_digest", digest)
+        return digest
 
 
 def sign_message(message: DeployMessage | CallMessage, keypair: KeyPair):

@@ -16,7 +16,7 @@ from typing import Callable
 
 from ..crypto.keys import Address, KeyPair
 from ..errors import InvalidBlockError, ValidationError
-from .block import Block
+from .block import TIME_SCALE, Block, encode_time
 from .chain import Blockchain
 from .mempool import Mempool
 from .messages import ChainMessage
@@ -115,9 +115,18 @@ class MinerNode(Node):
                 return False
 
         batch = self.mempool.take_block(limit, self.weight_budget, exclude)
-        valid = self._filter_valid(batch)
         parent_hash = self.chain.head_hash
-        block = self.chain.make_block(valid, self.address, self.simulator.now)
+        # The template pass runs at the quantized time the header will
+        # carry, so its receipts double as the block's commitment and
+        # make_block skips a second trial application of the whole batch.
+        block_time = (
+            max(encode_time(self.simulator.now), self.chain.head.header.time_ticks)
+            / TIME_SCALE
+        )
+        valid, statuses = self._filter_valid(batch, block_time)
+        block = self.chain.make_block(
+            valid, self.address, self.simulator.now, statuses=statuses
+        )
         try:
             self.chain.add_block(block)
         except InvalidBlockError:
@@ -134,27 +143,40 @@ class MinerNode(Node):
             callback(block)
         return block
 
-    def _filter_valid(self, batch: list[ChainMessage]) -> list[ChainMessage]:
-        """Greedily keep messages that apply cleanly on the head state."""
+    def _filter_valid(
+        self, batch: list[ChainMessage], block_time: float
+    ) -> tuple[list[ChainMessage], list[tuple[bytes, str]] | None]:
+        """Greedily keep messages that apply cleanly on the head state.
+
+        Returns the valid messages plus their ``(message_id, status)``
+        receipts, reusable as the block's receipts commitment.  When a
+        message is dropped the trial state is no longer a clean run of
+        the surviving messages, so the receipts are returned as ``None``
+        and ``make_block`` re-derives them on a fresh clone.
+        """
         state = self.chain.state_at().clone()
         params = self.chain.params
         head = self.chain.head
         valid: list[ChainMessage] = []
+        statuses: list[tuple[bytes, str]] | None = []
         for message in batch:
             try:
-                state.apply_message(
+                receipt = state.apply_message(
                     message,
                     params,
                     block_height=head.header.height + 1,
-                    block_time=self.simulator.now,
+                    block_time=block_time,
                     registry=self.chain.registry,
                     validators=self.chain.validators,
                 )
             except ValidationError:
                 self.messages_dropped += 1
+                statuses = None
             else:
                 valid.append(message)
-        return valid
+                if statuses is not None:
+                    statuses.append((receipt.message_id, receipt.status))
+        return valid, statuses
 
 
 class AttackMiner:

@@ -20,7 +20,6 @@ Message application rules:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -59,11 +58,15 @@ class ChainState:
     transfer_count: int = 0
 
     def clone(self) -> "ChainState":
-        """Deep-enough copy: UTXO entries are immutable and shared;
-        contracts are mutable and deep-copied."""
+        """Copy-on-write copy: UTXO entries are immutable and shared, and
+        contract *instances* are shared too — the call runtime mutates a
+        working copy and installs it into the owning state only on
+        success (see :meth:`_apply_call`), so a shared instance is never
+        written through.  This makes clone O(#contracts) dict copies
+        instead of a deep copy of every contract."""
         return ChainState(
             utxos=self.utxos.copy(),
-            contracts=copy.deepcopy(self.contracts),
+            contracts=dict(self.contracts),
             receipts=dict(self.receipts),
             fees_collected=self.fees_collected,
             deploy_count=self.deploy_count,
@@ -264,9 +267,11 @@ class ChainState:
         message_id: bytes,
     ) -> Receipt:
         self._verify_message_signature(message)
-        contract = self.contract(message.contract_id)
+        # Never mutate the stored instance: other states may share it
+        # (copy-on-write clone).  Run the call against a working copy and
+        # install the copy only if the invocation succeeds.
+        contract = self.contract(message.contract_id)._execution_copy()
         fee = self._consume_funding(message, params.fees.call)
-        snapshot = copy.deepcopy(contract)
         contract.balance += message.value
         ctx = ExecutionContext(
             chain_id=params.chain_id,
@@ -283,9 +288,8 @@ class ChainState:
             function(ctx, *message.args)
             self._apply_contract_transfers(contract, ctx, message_id)
         except ContractRequireError as exc:
-            # Revert the contract mutation; fee stays with the miner and
-            # the attached value returns to the sender.
-            self.contracts[message.contract_id] = snapshot
+            # Revert by dropping the working copy; fee stays with the
+            # miner and the attached value returns to the sender.
             if message.value > 0:
                 self._mint(
                     message.sender.address(),
@@ -300,6 +304,7 @@ class ChainState:
                 fee_paid=fee,
                 contract_id=message.contract_id,
             )
+        self.contracts[message.contract_id] = contract
         self.call_count += 1
         return Receipt(
             message_id=message_id,

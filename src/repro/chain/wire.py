@@ -82,8 +82,18 @@ def canonical_encode(value: Any) -> bytes:
 
 def wire_hash(value: Any, domain: str = "repro/wire") -> bytes:
     """SHA-256 of the canonical encoding, domain-separated by ``domain``."""
+    return hash_encoded(canonical_encode(value), domain)
+
+
+def hash_encoded(encoded: bytes, domain: str = "repro/wire") -> bytes:
+    """Domain-separated SHA-256 over an already-canonical encoding.
+
+    Messages derive several digests (message id, signing digest, contract
+    id) from the *same* canonical bytes; callers that cache the encoding
+    use this to skip re-encoding for each domain.
+    """
     hasher = hashlib.sha256()
     hasher.update(domain.encode("utf-8"))
     hasher.update(b"\x00")
-    hasher.update(canonical_encode(value))
+    hasher.update(encoded)
     return hasher.digest()

@@ -220,6 +220,35 @@ def _finish_run(result: ExperimentResult, json_path: str | None) -> int:
     return 0 if result.metrics.atomicity_violations == 0 else 1
 
 
+def _profiled(destination: str | None, fn):
+    """Run ``fn`` under cProfile when ``--profile`` was passed.
+
+    ``destination`` is None (profiling off), ``"-"`` (print the top 25
+    cumulative-time entries), or a path — print the table *and* dump the
+    raw pstats data there for ``snakeviz``/``pstats`` digging.  The table
+    goes to stderr so ``--json -`` artifact streams stay parseable.
+    """
+    if destination is None:
+        return fn()
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
+        print(stream.getvalue(), file=sys.stderr)
+        if destination != "-":
+            profiler.dump_stats(destination)
+            print(f"wrote profile data to {destination}", file=sys.stderr)
+    return result
+
+
 # ---------------------------------------------------------------------------
 # repro run: the universal entry point
 # ---------------------------------------------------------------------------
@@ -263,7 +292,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 0
     try:
         spec = _load_spec(args)
-        result = run_experiment(spec)
+        result = _profiled(args.profile, lambda: run_experiment(spec))
     except (SpecError, OSError) as exc:
         print(f"repro run: {exc}", file=sys.stderr)
         return 2
@@ -377,7 +406,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{args.workers} worker(s)",
             file=narrate,
         )
-        result = runner.run()
+        result = _profiled(args.profile, runner.run)
         if args.resume:
             print(
                 f"resumed {len(runner.resumed)} point(s) from {args.resume}",
@@ -629,6 +658,16 @@ def build_parser() -> argparse.ArgumentParser:
         "stdout; with --list-presets: emit the catalog as JSON)",
     )
     run.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="profile the run under cProfile and print the top 25 "
+        "cumulative-time entries to stderr; with FILE, also dump the raw "
+        "pstats data there",
+    )
+    run.add_argument(
         "--list-presets", action="store_true", help="list the preset catalog and exit"
     )
     run.set_defaults(func=_cmd_run)
@@ -679,6 +718,15 @@ def build_parser() -> argparse.ArgumentParser:
         action=argparse.BooleanOptionalAction,
         default=True,
         help="print per-point progress lines to stderr as points finish",
+    )
+    sweep.add_argument(
+        "--profile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="profile the whole sweep under cProfile (top 25 cumulative "
+        "entries to stderr; with FILE, also dump raw pstats data)",
     )
     sweep.add_argument(
         "--list-presets", action="store_true", help="list the sweep catalog and exit"

@@ -42,6 +42,7 @@ from .evidence import (
     StateEvidence,
     build_publication_evidence,
     build_state_evidence,
+    headers_required,
     verify_publication_evidence,
     verify_state_evidence,
 )
@@ -512,11 +513,15 @@ class AC3WNDriver(ProtocolDriver):
         if submitter_name is None:
             return False
         submitter = self.env.participant(submitter_name)
+        # The witness chain's miners are the verifiers of these evidences;
+        # skip the header runs entirely when they won't read them.
+        include_headers = headers_required(self.witness_chain.validators)
         evidences = tuple(
             build_publication_evidence(
                 self.env.chain(edge.chain_id),
                 self._deploys[edge_key(edge)],
                 anchor=self._anchors[edge.chain_id],
+                include_headers=include_headers,
             )
             for edge in self.graph.edges
         )
@@ -588,6 +593,10 @@ class AC3WNDriver(ProtocolDriver):
     def _try_settle(self, state_name: str) -> None:
         """Attempt redeem (on commit) or refund (on abort) for each contract."""
         function = "redeem" if state_name == WitnessState.REDEEM_AUTHORIZED else "refund"
+        # Every edge proves the same witness-chain fact, and the witness
+        # chain does not advance inside this loop, so one evidence per
+        # header-inclusion variant is built lazily and shared across edges.
+        evidence_variants: dict[bool, StateEvidence] = {}
         for edge in self.graph.edges:
             key = edge_key(edge)
             if key in self._settle_calls or key not in self._deploys:
@@ -596,13 +605,18 @@ class AC3WNDriver(ProtocolDriver):
             actor = self.env.participant(actor_name)
             if actor.crashed:
                 continue
-            evidence = build_state_evidence(
-                self.witness_chain,
-                self._scw_id,
-                self._decision_call,
-                state_name,
-                anchor=self._witness_anchor,
-            )
+            include_headers = headers_required(self.env.chain(edge.chain_id).validators)
+            evidence = evidence_variants.get(include_headers)
+            if evidence is None:
+                evidence = build_state_evidence(
+                    self.witness_chain,
+                    self._scw_id,
+                    self._decision_call,
+                    state_name,
+                    anchor=self._witness_anchor,
+                    include_headers=include_headers,
+                )
+                evidence_variants[include_headers] = evidence
             deploy = self._deploys[key]
             if not self._fee_ok(edge.chain_id, "call"):
                 continue

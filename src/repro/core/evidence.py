@@ -154,15 +154,30 @@ def _anchor_height_default(anchor: BlockHeader | None) -> int:
     return 0 if anchor is None else anchor.height
 
 
+def headers_required(validators) -> bool:
+    """Whether evidence destined for a chain with this validator registry
+    must carry the header segment.
+
+    Relay/anchor verification replays the headers; full-replica and
+    light-client validators consult their own copy of the validated chain
+    and ignore the field entirely, so builders may skip the (long) header
+    run for them.  Unknown validator types get headers — the safe default.
+    """
+    return not isinstance(validators, (FullReplicaValidator, LightClientValidator))
+
+
 def build_publication_evidence(
     chain: Blockchain,
     deploy: DeployMessage,
     anchor: BlockHeader | None = None,
+    include_headers: bool = True,
 ) -> PublicationEvidence:
     """Assemble publication evidence for a deploy included in ``chain``.
 
     ``anchor`` is the stable header the verifier trusts; the evidence
     carries all main-chain headers from the anchor to the current tip.
+    Pass ``include_headers=False`` when the verifier is known to ignore
+    the header segment (see :func:`headers_required`).
     """
     message_id = deploy.message_id()
     location = chain.find_message(message_id)
@@ -170,9 +185,10 @@ def build_publication_evidence(
         raise EvidenceError("deploy message is not on the main chain")
     block = chain.block(location.block_hash)
     message_proof = block.merkle_tree().proof(location.index)
-    receipt = chain.state_at(location.block_hash).receipts[message_id]
-    receipt_proof = _receipt_proof_for(chain, location.block_hash, message_id, receipt.status)
-    headers = tuple(chain.header_chain(_anchor_height_default(anchor)))
+    receipt_proof = _receipt_proof_for(chain, location.block_hash, message_id)
+    headers: tuple[BlockHeader, ...] = ()
+    if include_headers:
+        headers = tuple(chain.header_chain(_anchor_height_default(anchor)))
     return PublicationEvidence(
         chain_id=chain.params.chain_id,
         deploy=deploy,
@@ -189,6 +205,7 @@ def build_state_evidence(
     call: CallMessage,
     claimed_state: str,
     anchor: BlockHeader | None = None,
+    include_headers: bool = True,
 ) -> StateEvidence:
     """Assemble state evidence from the authorizing call's inclusion."""
     message_id = call.message_id()
@@ -197,9 +214,10 @@ def build_state_evidence(
         raise EvidenceError("authorizing call is not on the main chain")
     block = chain.block(location.block_hash)
     message_proof = block.merkle_tree().proof(location.index)
-    receipt = chain.state_at(location.block_hash).receipts[message_id]
-    receipt_proof = _receipt_proof_for(chain, location.block_hash, message_id, receipt.status)
-    headers = tuple(chain.header_chain(_anchor_height_default(anchor)))
+    receipt_proof = _receipt_proof_for(chain, location.block_hash, message_id)
+    headers: tuple[BlockHeader, ...] = ()
+    if include_headers:
+        headers = tuple(chain.header_chain(_anchor_height_default(anchor)))
     return StateEvidence(
         chain_id=chain.params.chain_id,
         contract_id=contract_id,
@@ -212,30 +230,50 @@ def build_state_evidence(
     )
 
 
-def _receipt_proof_for(
-    chain: Blockchain, block_hash: bytes, message_id: bytes, status: str
-) -> MerkleProof:
-    """Build the Merkle proof of a message's receipt within its block."""
-    from ..chain.block import receipts_merkle_tree
+def _receipt_proof_for(chain: Blockchain, block_hash: bytes, message_id: bytes) -> MerkleProof:
+    """Build the Merkle proof of a message's receipt within its block.
 
-    block = chain.block(block_hash)
-    statuses = []
-    index = None
-    for i, message in enumerate(block.messages):
-        mid = message.message_id()
-        receipt = chain.state_at(block_hash).receipts[mid]
-        statuses.append((mid, receipt.status))
+    The per-block receipt list and tree are cached by the chain at
+    connect time, so this costs one index scan plus one proof walk.
+    """
+    statuses, tree = chain.receipts_data(block_hash)
+    for i, (mid, _status) in enumerate(statuses):
         if mid == message_id:
-            index = i
-    if index is None:
-        raise EvidenceError("message not found in its claimed block")
-    tree = receipts_merkle_tree(statuses)
-    return tree.proof(index)
+            return tree.proof(i)
+    raise EvidenceError("message not found in its claimed block")
 
 
 # ---------------------------------------------------------------------------
 # Pure verification against a trusted anchor (the paper's relay proposal)
 # ---------------------------------------------------------------------------
+
+
+def _memoized_verify(evidence, anchor: BlockHeader, min_depth: int, compute):
+    """Per-instance verdict cache for the pure verifiers.
+
+    The same frozen evidence object is re-verified several times on its
+    way into a block (miner template trial, block connect, driver
+    re-validation), always against the same ``(anchor, min_depth)``; the
+    verdict is a pure function of the three, so it is cached on the
+    evidence instance.  Tampered copies made via ``dataclasses.replace``
+    are new instances and start with an empty cache.
+    """
+    cache = evidence.__dict__.get("_verdicts")
+    if cache is None:
+        cache = {}
+        object.__setattr__(evidence, "_verdicts", cache)
+    key = (anchor.block_id(), min_depth)
+    verdict = cache.get(key)
+    if verdict is None:
+        try:
+            verdict = (True, compute())
+        except EvidenceError as exc:
+            verdict = (False, str(exc))
+        cache[key] = verdict
+    ok, payload = verdict
+    if not ok:
+        raise EvidenceError(payload)
+    return payload
 
 
 def _verify_segment(
@@ -295,16 +333,20 @@ def verify_publication_evidence(
     success the returned deploy message is *trusted data*: its hash is
     committed in a PoW-buried block of the validated chain.
     """
-    headers = _verify_segment(evidence.headers, anchor, evidence.chain_id)
-    _verify_inclusion_in_segment(
-        headers,
-        evidence.height,
-        evidence.deploy.message_id(),
-        evidence.message_proof,
-        evidence.receipt_proof,
-        min_depth,
-    )
-    return evidence.deploy
+
+    def compute() -> DeployMessage:
+        headers = _verify_segment(evidence.headers, anchor, evidence.chain_id)
+        _verify_inclusion_in_segment(
+            headers,
+            evidence.height,
+            evidence.deploy.message_id(),
+            evidence.message_proof,
+            evidence.receipt_proof,
+            min_depth,
+        )
+        return evidence.deploy
+
+    return _memoized_verify(evidence, anchor, min_depth, compute)
 
 
 def verify_state_evidence(
@@ -318,23 +360,29 @@ def verify_state_evidence(
     call, the call must target the claimed contract, and its success
     receipt must be included at depth ≥ ``min_depth``.
     """
-    headers = _verify_segment(evidence.headers, anchor, evidence.chain_id)
-    expected_state = AUTHORIZING_FUNCTIONS.get(evidence.call.function)
-    if expected_state is None:
-        raise EvidenceError(f"call {evidence.call.function!r} is not an authorizing function")
-    if expected_state != evidence.state:
-        raise EvidenceError("claimed state does not match the authorizing function")
-    if evidence.call.contract_id != evidence.contract_id:
-        raise EvidenceError("authorizing call targets a different contract")
-    _verify_inclusion_in_segment(
-        headers,
-        evidence.height,
-        evidence.call.message_id(),
-        evidence.message_proof,
-        evidence.receipt_proof,
-        min_depth,
-    )
-    return evidence.contract_id, evidence.state
+
+    def compute() -> tuple[bytes, str]:
+        headers = _verify_segment(evidence.headers, anchor, evidence.chain_id)
+        expected_state = AUTHORIZING_FUNCTIONS.get(evidence.call.function)
+        if expected_state is None:
+            raise EvidenceError(
+                f"call {evidence.call.function!r} is not an authorizing function"
+            )
+        if expected_state != evidence.state:
+            raise EvidenceError("claimed state does not match the authorizing function")
+        if evidence.call.contract_id != evidence.contract_id:
+            raise EvidenceError("authorizing call targets a different contract")
+        _verify_inclusion_in_segment(
+            headers,
+            evidence.height,
+            evidence.call.message_id(),
+            evidence.message_proof,
+            evidence.receipt_proof,
+            min_depth,
+        )
+        return evidence.contract_id, evidence.state
+
+    return _memoized_verify(evidence, anchor, min_depth, compute)
 
 
 # ---------------------------------------------------------------------------

@@ -9,11 +9,45 @@ hashing the public key, used as the owner field of assets and contracts.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..errors import InvalidKeyError
 from . import ecdsa
 from .hashing import sha256, tagged_hash
+
+# ---------------------------------------------------------------------------
+# ECDSA verification memo
+# ---------------------------------------------------------------------------
+#
+# A chain message's signature is re-verified at every state application:
+# the miner's template trial-apply, the block connect, and every fork
+# trial repeat the exact same double-scalar multiplication (~9 ms each).
+# The verdict is a pure function of (public point, digest, signature), so
+# it is memoized content-keyed and bounded, same idiom as the
+# multisignature memo in :mod:`repro.crypto.signatures`.
+
+_VERIFY_CACHE: "OrderedDict[tuple, bool]" = OrderedDict()
+_VERIFY_CACHE_MAX = 8192
+_verify_cache_hits = 0
+_verify_cache_misses = 0
+
+
+def verify_cache_info() -> dict:
+    """Hit/miss counters of the ``PublicKey.verify`` memo."""
+    return {
+        "hits": _verify_cache_hits,
+        "misses": _verify_cache_misses,
+        "size": len(_VERIFY_CACHE),
+    }
+
+
+def clear_verify_cache() -> None:
+    """Empty the memo and reset its counters (tests, benchmarks)."""
+    global _verify_cache_hits, _verify_cache_misses
+    _VERIFY_CACHE.clear()
+    _verify_cache_hits = 0
+    _verify_cache_misses = 0
 
 
 @dataclass(frozen=True)
@@ -28,7 +62,11 @@ class PublicKey:
 
     def to_bytes(self) -> bytes:
         """SEC1 compressed encoding."""
-        return ecdsa.compress_point(self.point)
+        encoded = self.__dict__.get("_bytes")
+        if encoded is None:
+            encoded = ecdsa.compress_point(self.point)
+            object.__setattr__(self, "_bytes", encoded)
+        return encoded
 
     def to_wire(self):
         return {"pubkey": self.to_bytes()}
@@ -39,11 +77,27 @@ class PublicKey:
 
     def address(self) -> "Address":
         """Derive the address (hash of the compressed public key)."""
-        return Address(tagged_hash("repro/address", self.to_bytes())[:20])
+        address = self.__dict__.get("_address")
+        if address is None:
+            address = Address(tagged_hash("repro/address", self.to_bytes())[:20])
+            object.__setattr__(self, "_address", address)
+        return address
 
     def verify(self, digest: bytes, signature: ecdsa.EcdsaSignature) -> bool:
-        """Verify a signature over a 32-byte digest."""
-        return ecdsa.verify_digest(self.point, digest, signature)
+        """Verify a signature over a 32-byte digest (memoized)."""
+        global _verify_cache_hits, _verify_cache_misses
+        key = (self.point.x, self.point.y, digest, signature.r, signature.s)
+        cached = _VERIFY_CACHE.get(key)
+        if cached is not None:
+            _verify_cache_hits += 1
+            _VERIFY_CACHE.move_to_end(key)
+            return cached
+        _verify_cache_misses += 1
+        result = ecdsa.verify_digest(self.point, digest, signature)
+        _VERIFY_CACHE[key] = result
+        while len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.popitem(last=False)
+        return result
 
     def __repr__(self) -> str:
         return f"PublicKey({self.to_bytes().hex()[:16]}…)"

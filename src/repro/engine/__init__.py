@@ -10,15 +10,23 @@ from .engine import (
     registered_protocols,
     unregister_protocol,
 )
-from .metrics import EngineMetrics, compute_metrics, percentile
+from .metrics import (
+    EngineMetrics,
+    MetricsAccumulator,
+    WindowedMetrics,
+    compute_metrics,
+    percentile,
+)
 
 __all__ = [
     "PROTOCOLS",
     "EngineMetrics",
     "EngineResult",
+    "MetricsAccumulator",
     "ProtocolEntry",
     "SwapEngine",
     "SwapRequest",
+    "WindowedMetrics",
     "compute_metrics",
     "percentile",
     "register_protocol",

@@ -36,7 +36,7 @@ from ..core.protocol import SwapEnvironment, SwapOutcome
 from ..economy import FeeBudget
 from ..errors import ProtocolError, ReproError, SchedulingError
 from ..workloads.scenarios import CrashPlan, TrafficItem
-from .metrics import EngineMetrics, compute_metrics
+from .metrics import EngineMetrics, MetricsAccumulator
 
 #: The four built-in protocols, in the canonical round-robin order used
 #: by "mixed" workloads.  The *registry* below may hold more: plug-in
@@ -196,8 +196,15 @@ class SwapEngine:
         self.jitter_span = jitter_span
         self.requests: list[SwapRequest] = []
         self._completed = 0
-        self._in_flight = 0
-        self.max_in_flight = 0
+        #: Streaming metrics: every terminal outcome is folded in as it
+        #: finalizes (overall plus a per-protocol slice), so end-of-run
+        #: aggregation is one snapshot per accumulator instead of a
+        #: re-scan of all outcomes per protocol.  The overall
+        #: accumulator also owns the in-flight / peak-concurrency
+        #: counters, and :meth:`metrics_window` exposes its sliding
+        #: streaming views mid-run.
+        self._metrics = MetricsAccumulator()
+        self._by_protocol: dict[str, MetricsAccumulator] = {}
         #: Hooks run at launch time, before the driver is built (may
         #: rewrite ``request.config`` — how Byzantine actors corrupt a
         #: swap) and after it is built but before it starts (phase
@@ -349,13 +356,13 @@ class SwapEngine:
             if request.crash is not None:
                 outcome.injected_crash = request.crash.participant
             request.outcome = outcome
-            self._completed += 1  # never entered flight
+            self._completed += 1
+            self._fold(request, outcome, completes_flight=False)  # never entered flight
             return
         if request.crash is not None:
             driver.outcome.injected_crash = request.crash.participant
         request.driver = driver
-        self._in_flight += 1
-        self.max_in_flight = max(self.max_in_flight, self._in_flight)
+        self._metrics.launched()
         driver.on_complete.append(
             lambda outcome, request=request: self._on_complete(request, outcome)
         )
@@ -365,12 +372,35 @@ class SwapEngine:
 
     def _on_complete(self, request: SwapRequest, outcome: SwapOutcome) -> None:
         request.outcome = outcome
-        self._in_flight -= 1
         self._completed += 1
+        self._fold(request, outcome, completes_flight=True)
+
+    def _fold(
+        self, request: SwapRequest, outcome: SwapOutcome, completes_flight: bool
+    ) -> None:
+        """Fold one terminal outcome into the streaming accumulators."""
+        self._metrics.fold(
+            outcome, key=request.swap_id, completes_flight=completes_flight
+        )
+        per_protocol = self._by_protocol.get(request.protocol)
+        if per_protocol is None:
+            per_protocol = self._by_protocol[request.protocol] = MetricsAccumulator()
+        per_protocol.fold(outcome, key=request.swap_id)
 
     @property
     def in_flight(self) -> int:
-        return self._in_flight
+        return self._metrics.in_flight
+
+    @property
+    def max_in_flight(self) -> int:
+        """Peak concurrency so far (tracked inside the accumulator)."""
+        return self._metrics.max_in_flight
+
+    def metrics_window(self, window: float, end: float | None = None):
+        """Streaming service-mode view: commit rate / latency percentiles
+        over the swaps that finished in the trailing ``window`` seconds
+        (see :meth:`MetricsAccumulator.windowed`).  Callable mid-run."""
+        return self._metrics.windowed(window, end=end)
 
     def run(self, max_events: int = 50_000_000) -> EngineResult:
         """Drive the simulation until every submitted swap terminates.
@@ -397,25 +427,28 @@ class SwapEngine:
     # -- results -----------------------------------------------------------
 
     def result(self, events_processed: int = 0) -> EngineResult:
-        """Aggregate the completed swaps (callable mid-run as well)."""
+        """Aggregate the completed swaps (callable mid-run as well).
+
+        Every outcome was already folded into the streaming accumulators
+        at completion time, so assembly is one snapshot per protocol —
+        O(#protocols) snapshots over pre-folded state rather than a
+        re-scan of all outcomes per protocol slice.  Snapshots read the
+        outcomes by reference, which is what lets the adversary
+        attribution pass just above re-stamp attack exposure (and
+        re-audit reorged final states) without a re-fold.
+        """
         if self._adversary is not None:
             self._adversary.attribute(self.requests)
-        done = [r for r in self.requests if r.outcome is not None]
-        outcomes = [r.outcome for r in done]
-        protocols = sorted({r.protocol for r in done})
+        outcomes = [r.outcome for r in self.requests if r.outcome is not None]
+        protocols = sorted(self._by_protocol)
         overall_name = protocols[0] if len(protocols) == 1 else "mixed"
         by_protocol = {
-            protocol: compute_metrics(
-                [r.outcome for r in done if r.protocol == protocol],
-                protocol=protocol,
-            )
+            protocol: self._by_protocol[protocol].snapshot(protocol=protocol)
             for protocol in protocols
         }
         return EngineResult(
             outcomes=outcomes,
-            metrics=compute_metrics(
-                outcomes, protocol=overall_name, max_in_flight=self.max_in_flight
-            ),
+            metrics=self._metrics.snapshot(protocol=overall_name),
             by_protocol=by_protocol,
             requests=list(self.requests),
             events_processed=events_processed,

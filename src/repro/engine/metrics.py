@@ -1,18 +1,42 @@
 """Aggregate metrics over a batch of concurrently executed AC2Ts.
 
 The paper's evaluation (Table 1, Figures 8-10) quantifies protocols by
-throughput and latency under load; :func:`compute_metrics` distills a
-set of :class:`~repro.core.protocol.SwapOutcome` records produced by the
-:class:`~repro.engine.engine.SwapEngine` into those aggregate numbers.
-Everything here is a pure function of the outcomes, so metrics are
-exactly as deterministic as the simulation that produced them.
+throughput and latency under load.  :class:`MetricsAccumulator` folds
+:class:`~repro.core.protocol.SwapOutcome` records in one at a time as
+the :class:`~repro.engine.engine.SwapEngine` finalizes them — O(1) per
+swap — and produces :class:`EngineMetrics` snapshots on demand in a
+single pass, instead of the dozen-plus generator sweeps the old
+``compute_metrics`` ran over the full outcome list per protocol slice.
+:func:`compute_metrics` remains as a thin wrapper with byte-identical
+output.  Everything here is a pure function of the outcomes, so metrics
+are exactly as deterministic as the simulation that produced them.
+
+Two ordering subtleties keep snapshots deterministic and pinned:
+
+* Floating-point sums are order-sensitive, so the accumulator assigns
+  every fold a sort key (the engine passes the swap id) and computes
+  order-sensitive aggregates in key order.  Folding the same outcomes
+  in any order therefore yields the identical ``EngineMetrics``.
+* Outcomes are folded by *reference*: the adversary roster re-stamps
+  attack fields and re-audits final states after completion, so the
+  snapshot pass reads whatever the outcomes say at snapshot time.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from ..core.protocol import SwapOutcome
+
+
+def _nearest_rank(ordered: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted non-empty list."""
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, math.ceil(len(ordered) * q / 100))
+    return ordered[rank - 1]
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -21,11 +45,7 @@ def percentile(values: list[float], q: float) -> float:
         raise ValueError("percentile of an empty list")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be within [0, 100], got {q}")
-    ordered = sorted(values)
-    if q == 0.0:
-        return ordered[0]
-    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
-    return ordered[int(rank) - 1]
+    return _nearest_rank(sorted(values), q)
 
 
 @dataclass(frozen=True)
@@ -104,67 +124,280 @@ class EngineMetrics:
         return self.priced_out / self.total if self.total > 0 else 0.0
 
 
+@dataclass(frozen=True)
+class WindowedMetrics:
+    """Streaming view over the swaps finishing in a trailing time window.
+
+    The service-mode counterpart of :class:`EngineMetrics`: commit rate
+    and latency percentiles over the swaps whose ``finished_at`` falls in
+    ``(end - window, end]``, queryable mid-run at any point.
+    """
+
+    window: float
+    end: float
+    total: int
+    committed: int
+    commit_rate: float
+    p50_latency: float
+    p99_latency: float
+
+
+class MetricsAccumulator:
+    """Folds terminal :class:`SwapOutcome` records in one at a time.
+
+    ``fold`` is O(1) (append plus counter updates); latency digests are
+    exact (reservoir-free) and sorted on demand at snapshot time, where
+    the sort is shared between p50 and p99.  ``snapshot`` reduces
+    everything else in a single pass over the folded outcomes in key
+    order, so it is fold-order independent and byte-identical to the
+    historical multi-pass ``compute_metrics``.
+    """
+
+    __slots__ = (
+        "_records",
+        "_keys_sorted",
+        "_last_key",
+        "total",
+        "committed",
+        "total_fees",
+        "in_flight",
+        "max_in_flight",
+        "_ordered_cache",
+        "_finish_cache",
+    )
+
+    def __init__(self) -> None:
+        self._records: list[tuple[object, SwapOutcome]] = []
+        self._keys_sorted = True
+        self._last_key: object | None = None
+        #: Live streaming counters, O(1) to read mid-run.
+        self.total = 0
+        self.committed = 0
+        self.total_fees = 0
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self._ordered_cache: list[tuple[object, SwapOutcome]] | None = None
+        self._finish_cache: tuple[list[float], list[SwapOutcome]] | None = None
+
+    # -- folding -----------------------------------------------------------
+
+    def launched(self) -> None:
+        """Record one swap entering flight (peak concurrency tracking)."""
+        self.in_flight += 1
+        if self.in_flight > self.max_in_flight:
+            self.max_in_flight = self.in_flight
+
+    def fold(
+        self,
+        outcome: SwapOutcome,
+        key: object | None = None,
+        completes_flight: bool = False,
+    ) -> None:
+        """Fold one terminal outcome in; O(1).
+
+        ``key`` fixes the outcome's position in the canonical snapshot
+        order (the engine passes the swap id); it defaults to the fold
+        sequence.  Don't mix explicit and default keys in one
+        accumulator.  ``completes_flight`` balances a prior
+        :meth:`launched` call.
+        """
+        if key is None:
+            key = len(self._records)
+        if self._keys_sorted and self._last_key is not None and key < self._last_key:  # type: ignore[operator]
+            self._keys_sorted = False
+        self._last_key = key
+        self._records.append((key, outcome))
+        self._ordered_cache = None
+        self._finish_cache = None
+        if completes_flight:
+            self.in_flight -= 1
+        self.total += 1
+        if outcome.decision == "commit":
+            self.committed += 1
+        self.total_fees += outcome.fees_paid
+
+    @property
+    def commit_rate(self) -> float:
+        """Live commit rate over everything folded so far."""
+        return self.committed / self.total if self.total else 0.0
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _ordered(self) -> list[tuple[object, SwapOutcome]]:
+        if self._ordered_cache is None:
+            if self._keys_sorted:
+                self._ordered_cache = self._records
+            else:
+                self._ordered_cache = sorted(self._records, key=lambda kv: kv[0])  # type: ignore[arg-type]
+        return self._ordered_cache
+
+    def snapshot(
+        self, protocol: str = "mixed", max_in_flight: int | None = None
+    ) -> EngineMetrics:
+        """Reduce everything folded so far into an :class:`EngineMetrics`.
+
+        One pass in key order; ``max_in_flight`` overrides the peak the
+        accumulator tracked itself (``compute_metrics`` compatibility).
+        """
+        peak = self.max_in_flight if max_in_flight is None else max_in_flight
+        if not self._records:
+            return EngineMetrics(
+                protocol=protocol,
+                total=0,
+                committed=0,
+                aborted=0,
+                mixed=0,
+                undecided=0,
+                atomicity_violations=0,
+                commit_rate=0.0,
+                mean_latency=0.0,
+                p50_latency=0.0,
+                p99_latency=0.0,
+                swaps_per_second=0.0,
+                makespan=0.0,
+                first_started_at=0.0,
+                last_finished_at=0.0,
+                max_in_flight=peak,
+                total_fees=0,
+            )
+        committed = aborted = mixed = undecided = violations = 0
+        priced_out = evictions = fee_bumps = injected = attacked = 0
+        attacks_launched = reorgs_won = reorgs_lost = attack_blocks = 0
+        total_fees = commit_fees = 0
+        latency_sum = 0.0
+        attack_cost = 0.0
+        latencies: list[float] = []
+        first_start = math.inf
+        last_finish = -math.inf
+        for _, o in self._ordered():
+            decision = o.decision
+            fees = o.fees_paid
+            if decision == "commit":
+                committed += 1
+                commit_fees += fees
+            elif decision == "abort":
+                aborted += 1
+            elif decision == "mixed":
+                mixed += 1
+            elif decision == "undecided":
+                undecided += 1
+            if not o.is_atomic:
+                violations += 1
+            latency = o.finished_at - o.started_at
+            latencies.append(latency)
+            latency_sum += latency
+            if o.started_at < first_start:
+                first_start = o.started_at
+            if o.finished_at > last_finish:
+                last_finish = o.finished_at
+            total_fees += fees
+            if o.priced_out:
+                priced_out += 1
+            evictions += o.evictions
+            fee_bumps += o.fee_bumps
+            if o.injected_crash is not None:
+                injected += 1
+            if o.attacked_by:
+                attacked += 1
+            attacks_launched += o.attacks_launched
+            reorgs_won += o.reorgs_won
+            reorgs_lost += o.reorgs_lost
+            attack_blocks += o.attack_blocks
+            attack_cost += o.attack_cost
+        total = len(latencies)
+        ordered_latencies = sorted(latencies)
+        makespan = last_finish - first_start
+        return EngineMetrics(
+            protocol=protocol,
+            total=total,
+            committed=committed,
+            aborted=aborted,
+            mixed=mixed,
+            undecided=undecided,
+            atomicity_violations=violations,
+            commit_rate=committed / total,
+            mean_latency=latency_sum / total,
+            p50_latency=_nearest_rank(ordered_latencies, 50.0),
+            p99_latency=_nearest_rank(ordered_latencies, 99.0),
+            swaps_per_second=(total / makespan) if makespan > 0 else 0.0,
+            makespan=makespan,
+            first_started_at=first_start,
+            last_finished_at=last_finish,
+            max_in_flight=peak,
+            total_fees=total_fees,
+            priced_out=priced_out,
+            evictions=evictions,
+            fee_bumps=fee_bumps,
+            injected_crashes=injected,
+            fee_per_commit=(commit_fees / committed) if committed else 0.0,
+            attacked=attacked,
+            attacks_launched=attacks_launched,
+            reorgs_won=reorgs_won,
+            reorgs_lost=reorgs_lost,
+            attack_blocks=attack_blocks,
+            attack_cost=attack_cost,
+        )
+
+    # -- windowed streaming views ------------------------------------------
+
+    def _finish_sorted(self) -> tuple[list[float], list[SwapOutcome]]:
+        if self._finish_cache is None:
+            ordered = sorted(
+                (o for _, o in self._records), key=lambda o: o.finished_at
+            )
+            self._finish_cache = ([o.finished_at for o in ordered], ordered)
+        return self._finish_cache
+
+    def windowed(self, window: float, end: float | None = None) -> WindowedMetrics:
+        """Commit rate / latency percentiles over a trailing time window.
+
+        Covers the swaps finishing in ``(end - window, end]``; ``end``
+        defaults to the latest finish folded so far.  This is the
+        streaming service-mode view: cheap to query repeatedly mid-run.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        finish_times, ordered = self._finish_sorted()
+        if end is None:
+            end = finish_times[-1] if finish_times else 0.0
+        lo = bisect_right(finish_times, end - window)
+        hi = bisect_right(finish_times, end)
+        selected = ordered[lo:hi]
+        total = len(selected)
+        if total == 0:
+            return WindowedMetrics(
+                window=window,
+                end=end,
+                total=0,
+                committed=0,
+                commit_rate=0.0,
+                p50_latency=0.0,
+                p99_latency=0.0,
+            )
+        committed = sum(1 for o in selected if o.decision == "commit")
+        latencies = sorted(o.finished_at - o.started_at for o in selected)
+        return WindowedMetrics(
+            window=window,
+            end=end,
+            total=total,
+            committed=committed,
+            commit_rate=committed / total,
+            p50_latency=_nearest_rank(latencies, 50.0),
+            p99_latency=_nearest_rank(latencies, 99.0),
+        )
+
+
 def compute_metrics(
     outcomes: list[SwapOutcome],
     protocol: str = "mixed",
     max_in_flight: int = 0,
 ) -> EngineMetrics:
-    """Summarize completed outcomes into an :class:`EngineMetrics`."""
-    if not outcomes:
-        return EngineMetrics(
-            protocol=protocol,
-            total=0,
-            committed=0,
-            aborted=0,
-            mixed=0,
-            undecided=0,
-            atomicity_violations=0,
-            commit_rate=0.0,
-            mean_latency=0.0,
-            p50_latency=0.0,
-            p99_latency=0.0,
-            swaps_per_second=0.0,
-            makespan=0.0,
-            first_started_at=0.0,
-            last_finished_at=0.0,
-            max_in_flight=max_in_flight,
-            total_fees=0,
-        )
-    decisions = [outcome.decision for outcome in outcomes]
-    latencies = [outcome.latency for outcome in outcomes]
-    first_start = min(outcome.started_at for outcome in outcomes)
-    last_finish = max(outcome.finished_at for outcome in outcomes)
-    makespan = last_finish - first_start
-    total = len(outcomes)
-    committed = decisions.count("commit")
-    commit_fees = sum(o.fees_paid for o in outcomes if o.decision == "commit")
-    return EngineMetrics(
-        protocol=protocol,
-        total=total,
-        committed=committed,
-        aborted=decisions.count("abort"),
-        mixed=decisions.count("mixed"),
-        undecided=decisions.count("undecided"),
-        atomicity_violations=sum(1 for o in outcomes if not o.is_atomic),
-        commit_rate=committed / total,
-        mean_latency=sum(latencies) / total,
-        p50_latency=percentile(latencies, 50.0),
-        p99_latency=percentile(latencies, 99.0),
-        swaps_per_second=(total / makespan) if makespan > 0 else 0.0,
-        makespan=makespan,
-        first_started_at=first_start,
-        last_finished_at=last_finish,
-        max_in_flight=max_in_flight,
-        total_fees=sum(outcome.fees_paid for outcome in outcomes),
-        priced_out=sum(1 for o in outcomes if o.priced_out),
-        evictions=sum(o.evictions for o in outcomes),
-        fee_bumps=sum(o.fee_bumps for o in outcomes),
-        injected_crashes=sum(1 for o in outcomes if o.injected_crash is not None),
-        fee_per_commit=(commit_fees / committed) if committed else 0.0,
-        attacked=sum(1 for o in outcomes if o.attacked_by),
-        attacks_launched=sum(o.attacks_launched for o in outcomes),
-        reorgs_won=sum(o.reorgs_won for o in outcomes),
-        reorgs_lost=sum(o.reorgs_lost for o in outcomes),
-        attack_blocks=sum(o.attack_blocks for o in outcomes),
-        attack_cost=sum(o.attack_cost for o in outcomes),
-    )
+    """Summarize completed outcomes into an :class:`EngineMetrics`.
+
+    Thin wrapper over :class:`MetricsAccumulator`, byte-identical to the
+    historical multi-pass implementation.
+    """
+    accumulator = MetricsAccumulator()
+    for outcome in outcomes:
+        accumulator.fold(outcome)
+    return accumulator.snapshot(protocol=protocol, max_in_flight=max_in_flight)

@@ -16,7 +16,14 @@ from .simulator import Simulator
 
 
 class Node:
-    """A named actor attached to a simulator and (optionally) a network."""
+    """A named actor attached to a simulator and (optionally) a network.
+
+    Slotted: thousands of nodes exist in a large engine run, and the base
+    attributes are fixed.  Subclasses that declare extra attributes without
+    their own ``__slots__`` simply regain a ``__dict__`` — that is fine.
+    """
+
+    __slots__ = ("simulator", "name", "network", "crashed", "inbox_log", "_recovery_listeners")
 
     def __init__(self, simulator: Simulator, name: str, network: Network | None = None) -> None:
         self.simulator = simulator

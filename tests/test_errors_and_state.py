@@ -61,12 +61,29 @@ class TestChainStateClone:
         assert clone.balance_of(BOB.address) == 100_100
 
     def test_clone_isolates_contracts(self, chain):
-        from tests.test_contracts_runtime import deploy_vault
+        # Clones share contract instances copy-on-write: applying a call
+        # to the clone must leave the original state's contract untouched.
+        from repro.chain.messages import CallMessage, sign_message
+        from tests.test_contracts_runtime import deploy_vault, funding_for
 
         deploy = deploy_vault(chain, value=500)
         state = chain.state_at()
         clone = state.clone()
-        clone.contract(deploy.contract_id()).balance = 0
+        inputs, change = funding_for(chain, BOB, 5)
+        call = sign_message(
+            CallMessage(
+                sender=BOB.public_key,
+                contract_id=deploy.contract_id(),
+                function="withdraw",
+                args=(100,),
+                fee=5,
+                inputs=inputs,
+                change=change,
+            ),
+            BOB,
+        )
+        clone.apply_message(call, chain.params, 2, 2.0, chain.registry)
+        assert clone.contract(deploy.contract_id()).balance == 400
         assert state.contract(deploy.contract_id()).balance == 500
 
     def test_counters(self, chain):

@@ -1,0 +1,74 @@
+"""Flight-recorder overhead: full tracing must stay within 10%.
+
+Runs the ``engine-smoke`` preset with tracing off and with every
+category armed (unbounded buffer — the worst case), interleaved
+best-of-N wall-clock timings so scheduler noise hits both arms equally.
+The recorder's contract is *zero* cost when disabled (verified
+byte-for-byte by ``tests/test_obs.py``) and near-zero when enabled:
+every emit site is one attribute check plus, when tracing, one slotted
+object append.  A breach here means an emit site grew real work —
+serialization, rendering, or state copies belong in the explorer, never
+on the hot path.
+"""
+
+import time
+
+from repro.experiment import apply_overrides, preset_spec, run_experiment
+
+from conftest import print_table
+
+#: Full-tracing wall-clock budget relative to the untraced run.
+MAX_OVERHEAD = 1.10
+ROUNDS = 3
+
+
+def _run(traced: bool):
+    spec = preset_spec("engine-smoke")
+    if traced:
+        spec = apply_overrides(
+            spec, {"obs.enabled": True, "obs.sample_interval": 1.0}
+        )
+    return run_experiment(spec)
+
+
+def _best_of(rounds: int, traced: bool) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        _run(traced)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_trace_overhead_within_budget(table_printer):
+    """Full tracing on engine-smoke costs at most 10% wall-clock."""
+    # Warm both paths once (imports, cache priming) before timing.
+    _run(traced=False)
+    _run(traced=True)
+    # Interleave the arms so drift hits both equally.
+    base = float("inf")
+    traced = float("inf")
+    for _ in range(ROUNDS):
+        base = min(base, _best_of(1, traced=False))
+        traced = min(traced, _best_of(1, traced=True))
+    ratio = traced / base
+    events = len(_run(traced=True).trace_collector)
+    table_printer(
+        "Flight-recorder overhead (engine-smoke preset)",
+        ["arm", "best wall-clock", "events"],
+        [
+            ["untraced", f"{base * 1000:.1f} ms", 0],
+            ["full tracing", f"{traced * 1000:.1f} ms", events],
+            ["ratio", f"{ratio:.3f}x", f"budget {MAX_OVERHEAD:.2f}x"],
+        ],
+    )
+    assert events > 0
+    assert ratio <= MAX_OVERHEAD, (
+        f"tracing overhead {ratio:.3f}x exceeds the {MAX_OVERHEAD:.2f}x "
+        f"budget ({base * 1000:.1f} ms -> {traced * 1000:.1f} ms)"
+    )
+
+
+def test_traced_run_changes_nothing():
+    """The recorder is a pure tap: metrics identical either way."""
+    assert _run(traced=False).metrics == _run(traced=True).metrics

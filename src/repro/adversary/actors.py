@@ -172,14 +172,38 @@ class ReorgAttacker:
             launched=False,
         )
         self.records.append(record)
+        collector = self.engine.collector
         if self.budget_blocks < public_lead + 1:
             # The cost model says this decision is buried too deep to
             # flip profitably — the rational attacker walks away.  This
             # is exactly the depth-d defense paying off.
             record.resolved_at = sim.now
             record.won = False
+            if collector is not None:
+                collector.emit(
+                    "adversary",
+                    "forgone",
+                    swap_id=self.engine.trace_swap_for(record.target_contract),
+                    chain_id=self.chain_id,
+                    actor="reorg",
+                    trigger=record.trigger_function,
+                    public_lead=public_lead,
+                    budget_blocks=self.budget_blocks,
+                )
             return
         record.launched = True
+        if collector is not None:
+            collector.emit(
+                "adversary",
+                "launch",
+                swap_id=self.engine.trace_swap_for(record.target_contract),
+                chain_id=self.chain_id,
+                actor="reorg",
+                trigger=record.trigger_function,
+                fork_height=fork_height,
+                public_lead=public_lead,
+                target=record.target_contract.hex()[:16],
+            )
         fork_hash = self.chain.block_at_height(fork_height).block_id()
         self._miner.fork_from(fork_hash)
         flip = None
@@ -237,9 +261,32 @@ class ReorgAttacker:
             record.won = True
             record.resolved_at = sim.now
             self._active = None
+            collector = self.engine.collector
+            if collector is not None:
+                collector.emit(
+                    "adversary",
+                    "won",
+                    swap_id=self.engine.trace_swap_for(record.target_contract),
+                    chain_id=self.chain_id,
+                    actor="reorg",
+                    blocks=record.blocks,
+                    cost=record.cost,
+                )
             if self.spec.exploit:
                 if attack.flip_call is not None:
                     record.exploit_refunds = self._exploit(attack)
+                    if collector is not None and record.exploit_refunds:
+                        collector.emit(
+                            "adversary",
+                            "exploit",
+                            swap_id=self.engine.trace_swap_for(
+                                record.target_contract
+                            ),
+                            chain_id=self.chain_id,
+                            actor="reorg",
+                            refunds=record.exploit_refunds,
+                            mode="evidence",
+                        )
                 else:
                     self._schedule_timelock_exploit(attack)
             return
@@ -253,6 +300,17 @@ class ReorgAttacker:
             record.won = False
             record.resolved_at = sim.now
             self._active = None
+            collector = self.engine.collector
+            if collector is not None:
+                collector.emit(
+                    "adversary",
+                    "lost",
+                    swap_id=self.engine.trace_swap_for(record.target_contract),
+                    chain_id=self.chain_id,
+                    actor="reorg",
+                    blocks=record.blocks,
+                    cost=record.cost,
+                )
             return
         self._schedule_mine()
 
@@ -383,6 +441,17 @@ class ReorgAttacker:
         except ReproError:
             return
         attack.record.exploit_refunds += 1
+        collector = self.engine.collector
+        if collector is not None:
+            collector.emit(
+                "adversary",
+                "exploit",
+                swap_id=self.engine.trace_swap_for(target),
+                chain_id=self.chain_id,
+                actor="reorg",
+                refunds=attack.record.exploit_refunds,
+                mode="timelock",
+            )
 
     # -- reporting ---------------------------------------------------------
 
@@ -494,6 +563,16 @@ class ByzantineParticipant:
         if victim is None:
             return
         self.corrupted[request.swap_id] = victim
+        collector = self.engine.collector
+        if collector is not None:
+            collector.emit(
+                "adversary",
+                "corrupt",
+                swap_id=request.swap_id,
+                actor="byzantine",
+                victim=victim,
+                behavior=self.spec.behavior,
+            )
         behavior = self.spec.behavior
         if behavior == "withhold-signature" and request.protocol not in (
             "ac3wn",
@@ -575,6 +654,17 @@ class EclipseActor:
                 return
             fired.append(self.env.simulator.now)
             self.eclipsed[request.swap_id] = victim_name
+            collector = self.engine.collector
+            if collector is not None:
+                collector.emit(
+                    "adversary",
+                    "eclipse",
+                    swap_id=request.swap_id,
+                    actor="eclipse",
+                    victim=victim_name,
+                    phase=phase,
+                    duration=self.spec.duration,
+                )
             victim.crash()
             network = getattr(self.env, "network", None)
             if network is not None:

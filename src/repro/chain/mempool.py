@@ -26,6 +26,9 @@ class Mempool:
         self.rejected_duplicate = 0
         self.rejected_invalid = 0
         self._eviction_listeners: list = []
+        #: Optional flight recorder (set by :func:`repro.obs.instrument`);
+        #: emit sites guard on ``is not None``.
+        self.collector = None
 
     # -- eviction notifications --------------------------------------------
     #
@@ -77,6 +80,14 @@ class Mempool:
             self.rejected_invalid += 1
             raise
         self._pending[message_id] = message
+        if self.collector is not None:
+            self.collector.emit(
+                "mempool",
+                "submit",
+                chain_id=self.chain.params.chain_id,
+                msg=message.kind,
+                pending=len(self._pending),
+            )
         return message_id
 
     def _light_validate(self, message: ChainMessage) -> None:

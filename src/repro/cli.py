@@ -4,7 +4,11 @@
 
     python -m repro run --preset congestion --set traffic.num_swaps=60 --json out.json
     python -m repro run --spec my_experiment.json --set engine.eager=false
+    python -m repro run --preset security --trace out.jsonl
     python -m repro run --list-presets [--json]
+    python -m repro trace out.jsonl
+    python -m repro trace out.jsonl --swap 3
+    python -m repro trace out.jsonl --series series.csv
     python -m repro sweep --preset figure10 --workers 4 --csv out.csv
     python -m repro sweep --preset security-matrix --workers 4 --resume runs/sec
     python -m repro sweep --spec my_sweep.json --workers 2 --json out.json
@@ -43,7 +47,7 @@ import sys
 from .analysis.latency import figure10_series
 from .analysis.security import PAPER_WITNESS_CANDIDATES
 from .analysis.throughput import TABLE1_ROWS, ac2t_throughput
-from .errors import SpecError
+from .errors import SpecError, TraceError
 from .experiment import (
     ExperimentResult,
     ExperimentSpec,
@@ -286,24 +290,107 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
     return spec
 
 
+def _print_queue_stats(result: ExperimentResult) -> None:
+    """The event-loop's own counters, alongside the cProfile table."""
+    stats = result.env.simulator.queue_stats()
+    print(
+        f"event queue: {stats['events_processed']} events processed, "
+        f"{stats['cancelled']} cancelled, {stats['pool_reuses']} pool "
+        f"reuses, {stats['compactions']} compactions, "
+        f"{stats['pending']} still pending",
+        file=sys.stderr,
+    )
+
+
+def _write_trace(result: ExperimentResult, path: str) -> int:
+    collector = result.trace_collector
+    if collector is None:  # pragma: no cover - --trace forces obs.enabled
+        print("repro run: no trace was collected", file=sys.stderr)
+        return 2
+    try:
+        if path == "-":
+            sys.stdout.write(collector.to_jsonl())
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(collector.to_jsonl())
+    except OSError as exc:
+        print(f"repro run: cannot write {path}: {exc}", file=sys.stderr)
+        return 2
+    dropped = f" ({collector.dropped} dropped)" if collector.dropped else ""
+    destination = "stdout" if path == "-" else path
+    print(
+        f"wrote {len(collector)} trace events{dropped} to {destination}",
+        file=sys.stderr if path == "-" else sys.stdout,
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list_presets:
         _print_catalog(preset_names(), preset_description, args.json is not None)
         return 0
     try:
         spec = _load_spec(args)
+        if args.trace:
+            # --trace is the switch: it arms the recorder even when the
+            # preset/spec left obs off, without editing the spec file.
+            spec = apply_overrides(spec, {"obs.enabled": True})
         result = _profiled(args.profile, lambda: run_experiment(spec))
     except (SpecError, OSError) as exc:
         print(f"repro run: {exc}", file=sys.stderr)
         return 2
-    if args.json == "-":
-        # Streaming the artifact to stdout: keep it parseable by moving
+    if args.profile is not None:
+        _print_queue_stats(result)
+    streaming = args.json == "-" or args.trace == "-"
+    if streaming:
+        # Streaming an artifact to stdout: keep it parseable by moving
         # the human-readable tables to stderr.
         with contextlib.redirect_stdout(sys.stderr):
             print_result(result)
     else:
         print_result(result)
+    if args.trace:
+        status = _write_trace(result, args.trace)
+        if status:
+            return status
     return _finish_run(result, args.json)
+
+
+# ---------------------------------------------------------------------------
+# repro trace: the flight-recorder timeline explorer
+# ---------------------------------------------------------------------------
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import load_trace, render_swap, series_csv, summarize
+
+    try:
+        collector = load_trace(args.file)
+    except (TraceError, OSError, ValueError) as exc:
+        print(f"repro trace: {exc}", file=sys.stderr)
+        return 2
+    if args.swap is not None:
+        try:
+            print(render_swap(collector, args.swap))
+        except TraceError as exc:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 2
+        return 0
+    if args.series is not None:
+        csv_text = series_csv(collector.events())
+        if args.series == "-":
+            sys.stdout.write(csv_text)
+        else:
+            try:
+                with open(args.series, "w", encoding="utf-8") as handle:
+                    handle.write(csv_text)
+            except OSError as exc:
+                print(f"repro trace: cannot write {args.series}: {exc}", file=sys.stderr)
+                return 2
+            print(f"wrote {args.series}")
+        return 0
+    print(summarize(collector))
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -668,9 +755,37 @@ def build_parser() -> argparse.ArgumentParser:
         "pstats data there",
     )
     run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="arm the flight recorder (obs.enabled=true) and write the "
+        "trace as JSONL here ('-' for stdout); explore it with "
+        "'repro trace PATH'",
+    )
+    run.add_argument(
         "--list-presets", action="store_true", help="list the preset catalog and exit"
     )
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="explore a flight-recorder trace written by run --trace",
+    )
+    trace.add_argument("file", help="trace JSONL file written by run --trace")
+    trace.add_argument(
+        "--swap",
+        type=int,
+        default=None,
+        metavar="SWAPID",
+        help="print the phase-span timeline of one swap",
+    )
+    trace.add_argument(
+        "--series",
+        default=None,
+        metavar="PATH",
+        help="write the sampled time-series gauges as CSV ('-' for stdout)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     sweep = sub.add_parser(
         "sweep",
@@ -843,7 +958,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # pragma: no cover - e.g. `repro trace | head`
+        # The downstream reader closed the pipe; not an error.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -129,6 +129,12 @@ class ProtocolDriver:
         #: the new phase's first actions.
         self.on_phase: list[Callable[[str], None]] = []
 
+        #: Optional flight recorder plus this swap's trace id, set by the
+        #: engine at launch (see :mod:`repro.obs`).  Emit sites guard on
+        #: ``is not None`` so untraced runs pay one attribute load.
+        self.collector = None
+        self.trace_swap_id: int | None = None
+
         self._eager = eager
         self._watched: list[Blockchain] = []
         self._watched_participants: list = []
@@ -168,6 +174,10 @@ class ProtocolDriver:
         settle refusal) lands exactly at the protocol step it names.
         """
         self._phase = name
+        if self.collector is not None:
+            self.collector.emit(
+                "swap", "phase", swap_id=self.trace_swap_id, phase=name
+            )
         for listener in list(self.on_phase):
             listener(name)
 
@@ -292,6 +302,17 @@ class ProtocolDriver:
                     f"fee budget exhausted before a {kind} on {chain_id} "
                     f"({self._fee_committed}+{fee} > cap {self.fee_budget.cap})"
                 )
+                if self.collector is not None:
+                    self.collector.emit(
+                        "fee",
+                        "priced_out",
+                        swap_id=self.trace_swap_id,
+                        chain_id=chain_id,
+                        msg=kind,
+                        committed=self._fee_committed,
+                        needed=fee,
+                        cap=self.fee_budget.cap,
+                    )
             if kind == "deploy":
                 self._publish_priced_out = True
             return False
@@ -357,6 +378,16 @@ class ProtocolDriver:
             self._abandon(sub, priced_out=False, reason="replacement rejected")
             return
         self.outcome.fee_bumps += 1
+        if self.collector is not None:
+            self.collector.emit(
+                "fee",
+                "bump",
+                swap_id=self.trace_swap_id,
+                chain_id=sub.chain_id,
+                msg=sub.message.kind,
+                new_fee=new_fee,
+                bumps=new_sub.bumps,
+            )
         self._tracked[bumped.message_id()] = new_sub
         self._submitted.append((sub.chain_id, bumped.message_id()))
         if sub.on_replace is not None:
@@ -384,6 +415,16 @@ class ProtocolDriver:
             f"{label}: {sub.message.kind} on {sub.chain_id} evicted "
             f"after {sub.bumps} bump(s)"
         )
+        if self.collector is not None:
+            self.collector.emit(
+                "fee",
+                "priced_out" if priced_out else "abandon",
+                swap_id=self.trace_swap_id,
+                chain_id=sub.chain_id,
+                msg=sub.message.kind,
+                bumps=sub.bumps,
+                reason=reason or "budget",
+            )
 
     # -- replace bookkeeping shared by the protocols -------------------------
 

@@ -248,6 +248,26 @@ def _receipt_proof_for(chain: Blockchain, block_hash: bytes, message_id: bytes) 
 # ---------------------------------------------------------------------------
 
 
+#: Process-wide hit/miss counters for the evidence verdict memo, the
+#: cache-introspection twin of ``crypto.keys.verify_cache_info()``.
+#: The memo itself is per-evidence-instance, so "size" has no global
+#: meaning and is reported as the instance count observed via misses.
+_memo_hits = 0
+_memo_misses = 0
+
+
+def evidence_cache_info() -> dict:
+    """Hit/miss counters for the per-instance evidence verdict memo."""
+    return {"hits": _memo_hits, "misses": _memo_misses}
+
+
+def reset_evidence_cache_info() -> None:
+    """Zero the counters (test isolation)."""
+    global _memo_hits, _memo_misses
+    _memo_hits = 0
+    _memo_misses = 0
+
+
 def _memoized_verify(evidence, anchor: BlockHeader, min_depth: int, compute):
     """Per-instance verdict cache for the pure verifiers.
 
@@ -258,6 +278,7 @@ def _memoized_verify(evidence, anchor: BlockHeader, min_depth: int, compute):
     evidence instance.  Tampered copies made via ``dataclasses.replace``
     are new instances and start with an empty cache.
     """
+    global _memo_hits, _memo_misses
     cache = evidence.__dict__.get("_verdicts")
     if cache is None:
         cache = {}
@@ -265,11 +286,14 @@ def _memoized_verify(evidence, anchor: BlockHeader, min_depth: int, compute):
     key = (anchor.block_id(), min_depth)
     verdict = cache.get(key)
     if verdict is None:
+        _memo_misses += 1
         try:
             verdict = (True, compute())
         except EvidenceError as exc:
             verdict = (False, str(exc))
         cache[key] = verdict
+    else:
+        _memo_hits += 1
     ok, payload = verdict
     if not ok:
         raise EvidenceError(payload)

@@ -146,9 +146,18 @@ class PriorityMempool(Mempool):
 
         self._enforce_capacity(entry, exempt=set(conflicts))
 
+        collector = self.collector
         for mid in conflicts:
             self._remove(mid)
             self.replaced += 1
+            if collector is not None:
+                collector.emit(
+                    "mempool",
+                    "rbf",
+                    chain_id=self.chain.params.chain_id,
+                    replaced=mid.hex()[:16],
+                    new_fee=entry.fee,
+                )
             self._notify_eviction(mid)
 
         self._seq += 1
@@ -157,6 +166,16 @@ class PriorityMempool(Mempool):
         self._weight += entry.weight
         for op in entry.spends:
             self._spends[op] = message_id
+        if collector is not None:
+            collector.emit(
+                "mempool",
+                "submit",
+                chain_id=self.chain.params.chain_id,
+                msg=message.kind,
+                fee=entry.fee,
+                weight=entry.weight,
+                pending=len(self._pending),
+            )
         return message_id
 
     def _base_checks(self, message: ChainMessage) -> bytes:
@@ -180,6 +199,13 @@ class PriorityMempool(Mempool):
     def _reject_fee(self, reason: str) -> None:
         self.rejected += 1
         self.rejected_fee += 1
+        if self.collector is not None:
+            self.collector.emit(
+                "mempool",
+                "reject",
+                chain_id=self.chain.params.chain_id,
+                reason=reason,
+            )
         raise FeeTooLowError(reason)
 
     def _check_rbf(self, entry: MempoolEntry, conflicts: list[bytes]) -> None:
@@ -221,6 +247,13 @@ class PriorityMempool(Mempool):
         for mid in planned:
             self._remove(mid)
             self.evicted += 1
+            if self.collector is not None:
+                self.collector.emit(
+                    "mempool",
+                    "evict",
+                    chain_id=self.chain.params.chain_id,
+                    evicted=mid.hex()[:16],
+                )
             self._notify_eviction(mid)
 
     # -- removal -------------------------------------------------------------

@@ -222,11 +222,21 @@ class SwapEngine:
 
             chain.add_reorg_listener(count)
         self._adversary = None
+        #: Optional flight recorder (see :mod:`repro.obs`).  Every emit
+        #: site below guards on ``is not None`` so unobserved runs stay
+        #: byte- and time-identical.
+        self.collector = None
 
     def attach_adversary(self, roster) -> None:
         """Attach an :class:`~repro.adversary.AdversaryRoster`: its
         per-swap attack exposure is attributed into every result."""
         self._adversary = roster
+
+    def attach_collector(self, collector) -> None:
+        """Attach a :class:`~repro.obs.TraceCollector`: swap lifecycle
+        events (arrival/launch, phase transitions, outcomes) are emitted
+        for every subsequently launched driver."""
+        self.collector = collector
 
     # -- witness services --------------------------------------------------
 
@@ -341,6 +351,18 @@ class SwapEngine:
         return _PROTOCOL_REGISTRY[request.protocol].factory(self, request)
 
     def _launch(self, request: SwapRequest) -> None:
+        collector = self.collector
+        if collector is not None:
+            collector.emit(
+                "swap",
+                "launch",
+                swap_id=request.swap_id,
+                protocol=request.protocol,
+                chains=sorted(request.graph.chains_used()),
+                fee_cap=(
+                    request.fee_budget.cap if request.fee_budget is not None else None
+                ),
+            )
         for hook in list(self.launch_hooks):
             hook(request)
         try:
@@ -358,10 +380,15 @@ class SwapEngine:
             request.outcome = outcome
             self._completed += 1
             self._fold(request, outcome, completes_flight=False)  # never entered flight
+            if collector is not None:
+                self._emit_outcome(request, outcome)
             return
         if request.crash is not None:
             driver.outcome.injected_crash = request.crash.participant
         request.driver = driver
+        if collector is not None:
+            driver.collector = collector
+            driver.trace_swap_id = request.swap_id
         self._metrics.launched()
         driver.on_complete.append(
             lambda outcome, request=request: self._on_complete(request, outcome)
@@ -374,6 +401,53 @@ class SwapEngine:
         request.outcome = outcome
         self._completed += 1
         self._fold(request, outcome, completes_flight=True)
+        if self.collector is not None:
+            self._emit_outcome(request, outcome)
+
+    def _emit_outcome(self, request: SwapRequest, outcome: SwapOutcome) -> None:
+        """Record a terminal outcome in the trace (collector is attached)."""
+        self.collector.emit(
+            "swap",
+            "outcome",
+            swap_id=request.swap_id,
+            decision=outcome.decision,
+            atomic=outcome.is_atomic,
+            latency=outcome.latency,
+            fees_paid=outcome.fees_paid,
+            priced_out=outcome.priced_out,
+            evictions=outcome.evictions,
+            fee_bumps=outcome.fee_bumps,
+            contracts={
+                key: {
+                    "chain": record.edge.chain_id,
+                    "deployed_at": record.deployed_at,
+                    "confirmed_at": record.confirmed_at,
+                    "settled_at": record.settled_at,
+                    "state": record.final_state,
+                }
+                for key, record in sorted(outcome.contracts.items())
+            },
+        )
+
+    def trace_swap_for(self, contract_id: bytes) -> int | None:
+        """Which swap owns ``contract_id`` (adversary emit attribution).
+
+        Linear over requests — attacks are rare events, so the scan never
+        sits on a hot path; returns None for unknown contracts."""
+        if not contract_id:
+            return None
+        for request in self.requests:
+            outcome = (
+                request.driver.outcome if request.driver is not None else request.outcome
+            )
+            if outcome is None:
+                continue
+            if outcome.coordinator_contract_id == contract_id:
+                return request.swap_id
+            for record in outcome.contracts.values():
+                if record.contract_id == contract_id:
+                    return request.swap_id
+        return None
 
     def _fold(
         self, request: SwapRequest, outcome: SwapOutcome, completes_flight: bool
@@ -390,6 +464,11 @@ class SwapEngine:
     @property
     def in_flight(self) -> int:
         return self._metrics.in_flight
+
+    @property
+    def completed(self) -> int:
+        """Swaps that reached a terminal outcome so far."""
+        return self._completed
 
     @property
     def max_in_flight(self) -> int:

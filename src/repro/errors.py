@@ -115,6 +115,10 @@ class NetworkError(SimulationError):
     """A message could not be routed (unknown node, closed network)."""
 
 
+class TraceError(SimulationError):
+    """A flight-recorder trace is malformed (bad schema, unknown keys)."""
+
+
 # ---------------------------------------------------------------------------
 # Protocol
 # ---------------------------------------------------------------------------

@@ -38,6 +38,7 @@ from .spec import (
     FeeMarketSpec,
     FeeShockSpec,
     LatencySpec,
+    ObsSpec,
     TrafficSpec,
     apply_overrides,
     parse_set_args,
@@ -56,6 +57,7 @@ __all__ = [
     "FeeMarketSpec",
     "FeeShockSpec",
     "LatencySpec",
+    "ObsSpec",
     "TrafficSpec",
     "apply_overrides",
     "build_environment",

@@ -17,9 +17,15 @@ from dataclasses import asdict, dataclass, field
 from ..adversary import build_roster
 from ..analysis.cost import CongestionCostRow, congestion_cost_report
 from ..analysis.throughput import engine_throughput_report
+from ..core.evidence import evidence_cache_info, reset_evidence_cache_info
 from ..core.protocol import SwapOutcome
+from ..crypto.keys import clear_verify_cache as clear_ecdsa_cache
+from ..crypto.keys import verify_cache_info as ecdsa_cache_info
+from ..crypto.signatures import clear_verify_cache as clear_multisig_cache
+from ..crypto.signatures import verify_cache_info as multisig_cache_info
 from ..engine import PROTOCOLS, EngineResult, SwapEngine
 from ..engine.metrics import EngineMetrics
+from ..obs import TimeSeriesSampler, TraceCollector, instrument
 from ..workloads.scenarios import (
     ScenarioEnvironment,
     build_multi_scenario,
@@ -70,6 +76,10 @@ class ExperimentResult:
         congestion_cost: fee-economics rows, when a fee market was on.
         engine_result: the raw engine artifact (requests included).
         env: the simulated world, for post-hoc inspection (not exported).
+        caches: per-run verify-cache deltas (ECDSA, multisig, evidence
+            memo) — how much the PR 5/6 caches actually saved this run.
+        trace_collector: the flight recorder, when ``spec.obs.enabled``
+            (not exported into ``to_dict``; see ``to_jsonl``).
     """
 
     spec: ExperimentSpec
@@ -80,6 +90,8 @@ class ExperimentResult:
     congestion_cost: list[CongestionCostRow] | None
     engine_result: EngineResult = field(repr=False)
     env: ScenarioEnvironment = field(repr=False)
+    caches: dict | None = None
+    trace_collector: TraceCollector | None = field(default=None, repr=False)
 
     def trace(self) -> list[tuple[int, str, str, float, float]]:
         """The engine's deterministic run fingerprint (for tests)."""
@@ -101,6 +113,7 @@ class ExperimentResult:
             "chain_reorgs": dict(self.engine_result.chain_reorgs),
             "reports": {
                 "adversary": self.engine_result.adversary,
+                "caches": self.caches,
                 "throughput": [asdict(row) for row in self.throughput],
                 "congestion_cost": (
                     None
@@ -171,9 +184,35 @@ def _shock_chain(spec: ExperimentSpec, shock) -> str:
     return spec.chains.asset_ids()[0]
 
 
+def _reset_caches() -> None:
+    """Start every run cold so the ``caches`` report is a pure function
+    of the spec — a warm process-global cache would leak one run's state
+    into the next artifact and break byte-identical re-execution."""
+    clear_ecdsa_cache()
+    clear_multisig_cache()
+    reset_evidence_cache_info()
+
+
+def _caches_report() -> dict:
+    """This run's cache activity (the process caches were reset at the
+    start of the run), with a derived hit rate per cache."""
+    report: dict = {}
+    for cache, counters in (
+        ("ecdsa_verify", ecdsa_cache_info()),
+        ("multisig_verify", multisig_cache_info()),
+        ("evidence_memo", evidence_cache_info()),
+    ):
+        row = {key: value for key, value in counters.items()}
+        total = row.get("hits", 0) + row.get("misses", 0)
+        row["hit_rate"] = (row.get("hits", 0) / total) if total else 0.0
+        report[cache] = row
+    return report
+
+
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Validate and execute one spec end to end; never mutates ``spec``."""
     spec.validate()
+    _reset_caches()
     traffic = traffic_generator(spec.traffic.generator)(spec)
     env = build_environment(spec, traffic)
 
@@ -194,6 +233,23 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         eager=spec.engine.eager,
         jitter_span=spec.engine.jitter,
     )
+    # Attach the flight recorder before anything can emit (a no-op when
+    # obs is off: no collector ⇒ every emit-site guard stays False).
+    collector = None
+    sampler = None
+    if spec.obs.enabled:
+        collector = TraceCollector(
+            categories=spec.obs.categories, ring_size=spec.obs.ring_size
+        )
+        instrument(collector, env, engine)
+        if collector.wants("sample"):
+            sampler = TimeSeriesSampler(
+                collector,
+                env,
+                engine,
+                interval=spec.obs.sample_interval,
+                window=spec.obs.sample_window,
+            ).start()
     # Arm the adversarial roster (a no-op when every actor is disabled).
     build_roster(spec, env, engine)
     # Arrivals are generated from t=0; shift them past the warm-up so
@@ -211,6 +267,8 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     else:
         engine.submit_many(traffic, offset=offset)
     raw = engine.run(max_events=spec.engine.max_events)
+    if sampler is not None:
+        sampler.stop()
 
     congestion_cost = None
     if spec.fee_market.enabled:
@@ -227,4 +285,6 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         congestion_cost=congestion_cost,
         engine_result=raw,
         env=env,
+        caches=_caches_report(),
+        trace_collector=collector,
     )

@@ -396,6 +396,30 @@ class EngineSpec:
 
 
 @dataclass(frozen=True)
+class ObsSpec:
+    """The flight recorder (see :mod:`repro.obs`): off by default.
+
+    Attributes:
+        enabled: attach a :class:`~repro.obs.TraceCollector` to the run
+            (disabled runs are byte- and time-identical to untraced ones).
+        categories: trace categories to record; empty means all of
+            :data:`repro.obs.CATEGORIES`.
+        ring_size: bounded flight-recorder mode — keep only the newest
+            N events (None = unbounded).
+        sample_interval: sim-seconds between :class:`TimeSeriesSampler`
+            gauge emissions (only when the ``sample`` category is on).
+        sample_window: trailing window for the sampler's windowed
+            metrics view (None = four sample intervals).
+    """
+
+    enabled: bool = False
+    categories: tuple[str, ...] = ()
+    ring_size: int | None = None
+    sample_interval: float = 10.0
+    sample_window: float | None = None
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One complete, runnable, serializable experiment description."""
 
@@ -413,6 +437,8 @@ class ExperimentSpec:
     #: The adversarial roster (all actors disabled by default); see
     #: :mod:`repro.adversary.spec`.
     adversary: AdversarySpec = field(default_factory=AdversarySpec)
+    #: The flight recorder (off by default); see :mod:`repro.obs`.
+    obs: ObsSpec = field(default_factory=ObsSpec)
 
     # -- serialization -----------------------------------------------------
 
@@ -539,6 +565,20 @@ class ExperimentSpec:
             if not shock.whale:
                 fail(f"fee_shocks[{index}]: whale needs a name")
         self.adversary.validate(fail, known_chains)
+        from ..obs.trace import CATEGORIES as TRACE_CATEGORIES
+
+        for category in self.obs.categories:
+            if category not in TRACE_CATEGORIES:
+                fail(
+                    f"obs.categories names unknown category {category!r}; "
+                    f"expected a subset of {TRACE_CATEGORIES}"
+                )
+        if self.obs.ring_size is not None and self.obs.ring_size < 1:
+            fail("obs.ring_size must be at least 1")
+        if self.obs.sample_interval <= 0:
+            fail("obs.sample_interval must be positive")
+        if self.obs.sample_window is not None and self.obs.sample_window <= 0:
+            fail("obs.sample_window must be positive")
         # Building the economy objects runs their own validation too;
         # surface their FeeError as a spec error so callers (and the
         # CLI's exit-2 path) only ever see SpecError for a bad spec.

@@ -1,0 +1,35 @@
+"""Observability: the flight recorder, span folding, and samplers.
+
+Zero-cost when disabled: every emit site in the engine, drivers,
+chains, mempools, nodes, and adversary actors sits behind a single
+``if collector is not None`` check, so a run without a collector is
+byte- and time-identical to one before this package existed.
+
+See :mod:`repro.obs.trace` for the event model and JSONL serde,
+:mod:`repro.obs.spans` for per-swap timeline reconstruction,
+:mod:`repro.obs.sampler` for windowed time-series gauges, and
+``docs/observability.md`` for the full walkthrough.
+"""
+
+from .explorer import load_trace, render_swap, series_csv, summarize
+from .sampler import TimeSeriesSampler
+from .spans import PhaseSpan, SwapTimeline, category_histogram, swap_ids
+from .trace import CATEGORIES, SCHEMA, TraceCollector, TraceEvent
+from .wiring import instrument
+
+__all__ = [
+    "CATEGORIES",
+    "SCHEMA",
+    "PhaseSpan",
+    "SwapTimeline",
+    "TimeSeriesSampler",
+    "TraceCollector",
+    "TraceEvent",
+    "category_histogram",
+    "instrument",
+    "load_trace",
+    "render_swap",
+    "series_csv",
+    "summarize",
+    "swap_ids",
+]

@@ -1,0 +1,102 @@
+"""Whole-run time series: windowed gauges on a fixed sim-time cadence.
+
+The :class:`TimeSeriesSampler` schedules itself on the simulator every
+``interval`` seconds and emits one ``sample/gauges`` event per firing:
+in-flight / completed swap counts, the engine's trailing-window commit
+rate and latency percentiles (:meth:`MetricsAccumulator.windowed`),
+per-chain mempool depth and height, and cumulative reorg counts.  The
+sampler only *reads* simulation state, so enabling it never changes a
+run's outcomes — it merely interleaves read-only callbacks.
+"""
+
+from __future__ import annotations
+
+from ..errors import TraceError
+from .trace import TraceCollector
+
+
+class TimeSeriesSampler:
+    """Emits ``sample`` events on a fixed sim-time cadence.
+
+    Args:
+        collector: sink for the gauge events (must want ``"sample"``).
+        env: the shared :class:`~repro.core.protocol.SwapEnvironment`.
+        engine: optional :class:`~repro.engine.SwapEngine` for swap-level
+            gauges; without one only chain/mempool gauges are sampled.
+        interval: sim-seconds between samples.
+        window: trailing window for the windowed metrics view
+            (default: four sample intervals).
+    """
+
+    def __init__(
+        self,
+        collector: TraceCollector,
+        env,
+        engine=None,
+        interval: float = 10.0,
+        window: float | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise TraceError(f"sample interval must be > 0, got {interval}")
+        self.collector = collector
+        self.env = env
+        self.engine = engine
+        self.interval = interval
+        self.window = window if window is not None else interval * 4
+        self.samples = 0
+        self._stopped = False
+        self._pending = None
+
+    def start(self) -> "TimeSeriesSampler":
+        """Arm the first sample, one interval from now."""
+        if self._pending is None and not self._stopped:
+            self._pending = self.env.simulator.schedule(
+                self.interval, self._fire, label="obs sample"
+            )
+        return self
+
+    def stop(self) -> None:
+        """Stop sampling; any armed sample event is cancelled."""
+        self._stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def _fire(self) -> None:
+        self._pending = None
+        if self._stopped:
+            return
+        self._emit_sample()
+        self.samples += 1
+        self._pending = self.env.simulator.schedule(
+            self.interval, self._fire, label="obs sample"
+        )
+
+    def _emit_sample(self) -> None:
+        gauges: dict = {
+            "mempool": {
+                chain_id: len(pool)
+                for chain_id, pool in sorted(self.env.mempools.items())
+            },
+            "height": {
+                chain_id: chain.height
+                for chain_id, chain in sorted(self.env.chains.items())
+            },
+        }
+        engine = self.engine
+        if engine is not None:
+            windowed = engine.metrics_window(self.window)
+            gauges.update(
+                submitted=len(engine.requests),
+                in_flight=engine.in_flight,
+                completed=engine.completed,
+                window_total=windowed.total,
+                commit_rate=windowed.commit_rate,
+                p50_latency=windowed.p50_latency,
+                p99_latency=windowed.p99_latency,
+                reorgs={
+                    chain_id: count
+                    for chain_id, count in sorted(engine.chain_reorgs.items())
+                },
+            )
+        self.collector.emit("sample", "gauges", **gauges)

@@ -1,0 +1,261 @@
+"""Per-swap span reconstruction over a recorded trace.
+
+A :class:`SwapTimeline` folds the flat event stream back into the shape
+an operator thinks in: *phase spans* (how long the swap sat in deploy /
+commit / settle, and how many blocks each involved chain produced while
+it waited), the per-contract deploy→confirm→settle milestones, the fee
+churn (bumps, evictions, priced-out transitions), and every attack the
+swap suffered.  Reorgs on the swap's chains during its lifetime are
+attached as context even though reorg events carry no swap attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import TraceError
+from .trace import TraceEvent
+
+
+@dataclass
+class PhaseSpan:
+    """One contiguous phase of a swap's state machine."""
+
+    name: str
+    start: float
+    end: float | None = None  # None: the run ended inside this phase
+    #: Blocks connected per involved chain while the span was open.
+    blocks: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        return None if self.end is None else self.end - self.start
+
+
+@dataclass
+class SwapTimeline:
+    """Everything the trace knows about one swap, folded into spans."""
+
+    swap_id: int
+    protocol: str | None = None
+    chains: tuple[str, ...] = ()
+    started_at: float | None = None
+    finished_at: float | None = None
+    decision: str | None = None
+    atomic: bool | None = None
+    priced_out: bool = False
+    fees_paid: int = 0
+    evictions: int = 0
+    fee_bumps: int = 0
+    spans: list[PhaseSpan] = field(default_factory=list)
+    #: Final contract milestones, keyed by edge key (from the outcome event).
+    contracts: dict[str, dict] = field(default_factory=dict)
+    #: Total blocks connected per involved chain during the swap's lifetime.
+    blocks_waited: dict[str, int] = field(default_factory=dict)
+    #: Events attributed to this swap (phase, fee, mempool, adversary...).
+    events: list[TraceEvent] = field(default_factory=list)
+    #: Adversary events targeting this swap (subset of :attr:`events`).
+    attacks: list[TraceEvent] = field(default_factory=list)
+    #: Reorgs on involved chains during the swap's lifetime (context:
+    #: reorg events carry no swap attribution of their own).
+    reorgs: list[TraceEvent] = field(default_factory=list)
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent], swap_id: int) -> "SwapTimeline":
+        """Fold a trace into the timeline of ``swap_id``.
+
+        Raises :class:`~repro.errors.TraceError` when the trace holds no
+        event for that swap (wrong id, or the ring buffer dropped it).
+        """
+        timeline = cls(swap_id=swap_id)
+        mine: list[TraceEvent] = []
+        chain_events: list[TraceEvent] = []
+        for event in events:
+            if event.swap_id == swap_id:
+                mine.append(event)
+            elif event.category == "chain":
+                chain_events.append(event)
+        if not mine:
+            raise TraceError(f"trace contains no events for swap {swap_id}")
+        timeline.events = mine
+
+        for event in mine:
+            if event.category == "swap" and event.kind == "launch":
+                timeline.protocol = event.payload.get("protocol")
+                timeline.chains = tuple(event.payload.get("chains", ()))
+                timeline.started_at = event.time
+            elif event.category == "swap" and event.kind == "phase":
+                if timeline.spans and timeline.spans[-1].end is None:
+                    timeline.spans[-1].end = event.time
+                timeline.spans.append(
+                    PhaseSpan(name=event.payload.get("phase", "?"), start=event.time)
+                )
+            elif event.category == "swap" and event.kind == "outcome":
+                data = event.payload
+                timeline.finished_at = event.time
+                timeline.decision = data.get("decision")
+                timeline.atomic = data.get("atomic")
+                timeline.priced_out = bool(data.get("priced_out", False))
+                timeline.fees_paid = int(data.get("fees_paid", 0))
+                timeline.evictions = int(data.get("evictions", 0))
+                timeline.fee_bumps = int(data.get("fee_bumps", 0))
+                timeline.contracts = dict(data.get("contracts", {}))
+            elif event.category == "adversary":
+                timeline.attacks.append(event)
+
+        if timeline.spans and timeline.spans[-1].end is None:
+            timeline.spans[-1].end = timeline.finished_at
+
+        # Blocks connected / reorgs suffered on involved chains while the
+        # swap was in flight — the "blocks waited" columns of the spans.
+        start = timeline.started_at
+        end = timeline.finished_at
+        context_end = end
+        if timeline.attacks:
+            # An attack can resolve (reorg adopt, exploit) after the
+            # swap's own outcome: keep the reorg-context window open.
+            last_attack = max(event.time for event in timeline.attacks)
+            context_end = (
+                last_attack if context_end is None else max(context_end, last_attack)
+            )
+        # Involved chains: the swap's asset chains, plus any chain an
+        # adversary attacked it on (the witness chain, for reorg
+        # attacks) — reorgs there are exactly the context that matters.
+        involved = set(timeline.chains) | {
+            event.chain_id for event in timeline.attacks if event.chain_id
+        }
+        for chain_id in timeline.chains:
+            timeline.blocks_waited[chain_id] = 0
+        for event in chain_events:
+            if involved and event.chain_id not in involved:
+                continue
+            if start is not None and event.time < start:
+                continue
+            if event.kind == "block":
+                if end is not None and event.time > end:
+                    continue
+                if event.chain_id is not None:
+                    counts = timeline.blocks_waited
+                    counts[event.chain_id] = counts.get(event.chain_id, 0) + 1
+                for span in timeline.spans:
+                    span_end = span.end if span.end is not None else float("inf")
+                    if span.start <= event.time <= span_end and event.chain_id:
+                        span.blocks[event.chain_id] = (
+                            span.blocks.get(event.chain_id, 0) + 1
+                        )
+                        break
+            elif event.kind == "reorg":
+                if context_end is not None and event.time > context_end:
+                    continue
+                timeline.reorgs.append(event)
+        return timeline
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        """Human-readable timeline (the ``repro trace --swap`` view)."""
+        lines: list[str] = []
+        protocol = self.protocol or "?"
+        decision = self.decision or "unfinished"
+        header = f"swap {self.swap_id} ({protocol}) — {decision}"
+        if self.started_at is not None and self.finished_at is not None:
+            header += f", latency {self.finished_at - self.started_at:.2f}s"
+        flags = []
+        if self.priced_out:
+            flags.append("priced-out")
+        if self.atomic is False:
+            flags.append("NON-ATOMIC")
+        if self.attacks:
+            # Count attack *instances* (launch/corrupt/eclipse), not the
+            # follow-up won/lost/exploit events of the same attack.
+            launched = sum(
+                1
+                for event in self.attacks
+                if event.kind in ("launch", "corrupt", "eclipse")
+            )
+            flags.append(f"attacked x{launched or len(self.attacks)}")
+        if flags:
+            header += "  [" + ", ".join(flags) + "]"
+        lines.append(header)
+        lines.append(
+            f"  fees={self.fees_paid} bumps={self.fee_bumps} "
+            f"evictions={self.evictions} chains={','.join(self.chains) or '?'}"
+        )
+        if self.spans:
+            lines.append("  phases:")
+            width = max(len(span.name) for span in self.spans)
+            for span in self.spans:
+                end = f"{span.end:10.3f}" if span.end is not None else "       ..."
+                duration = (
+                    f"{span.duration:9.3f}s" if span.duration is not None else "      open"
+                )
+                blocks = " ".join(
+                    f"{chain}={count}" for chain, count in sorted(span.blocks.items())
+                )
+                suffix = f"   blocks: {blocks}" if blocks else ""
+                lines.append(
+                    f"    {span.name:<{width}}  [{span.start:10.3f} → {end}] "
+                    f"{duration}{suffix}"
+                )
+        if self.contracts:
+            lines.append("  contracts:")
+            width = max(len(key) for key in self.contracts)
+            for key in sorted(self.contracts):
+                record = self.contracts[key]
+                milestones = " ".join(
+                    f"{stamp}={record[stamp]:.3f}"
+                    for stamp in ("deployed_at", "confirmed_at", "settled_at")
+                    if record.get(stamp) is not None
+                )
+                lines.append(
+                    f"    {key:<{width}}  state={record.get('state', '?')} {milestones}"
+                )
+        detail = [
+            event
+            for event in self.events
+            if not (event.category == "swap" and event.kind in ("launch", "phase"))
+        ]
+        context = self.reorgs
+        if detail or context:
+            lines.append("  events:")
+            for event in sorted(detail + context, key=lambda e: e.seq):
+                where = f" {event.chain_id}" if event.chain_id else ""
+                who = f" actor={event.actor}" if event.actor else ""
+                payload = format_payload(event.payload)
+                lines.append(
+                    f"    t={event.time:10.3f}  {event.category}/{event.kind}"
+                    f"{where}{who}  {payload}".rstrip()
+                )
+        return "\n".join(lines)
+
+
+def format_payload(payload: dict) -> str:
+    """Compact ``k=v`` rendering of an event payload (sorted, flat)."""
+    parts = []
+    for key in sorted(payload):
+        value = payload[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.3f}")
+        elif isinstance(value, dict):
+            parts.append(f"{key}={{{len(value)}}}")
+        elif isinstance(value, (list, tuple)):
+            parts.append(f"{key}={','.join(str(v) for v in value)}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def swap_ids(events: Iterable[TraceEvent]) -> list[int]:
+    """Every swap id that appears in the trace, ascending."""
+    seen = {e.swap_id for e in events if e.swap_id is not None}
+    return sorted(seen)
+
+
+def category_histogram(events: Iterable[TraceEvent]) -> dict[tuple[str, str], int]:
+    """Counts per (category, kind), the ``repro trace`` summary table."""
+    histogram: dict[tuple[str, str], int] = {}
+    for event in events:
+        key = (event.category, event.kind)
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram

@@ -1,0 +1,276 @@
+"""The flight recorder: structured trace events and their collector.
+
+A :class:`TraceCollector` is a passive sink.  Subsystems that hold a
+reference to one emit :class:`TraceEvent` records at interesting moments
+(swap phase changes, block connects, reorgs, mempool churn, crashes,
+attacks); when no collector is attached every emit site is a single
+``if collector is not None`` check, so disabled runs are byte- and
+time-identical to runs before this module existed.
+
+Events are ordered by a per-collector sequence number assigned at emit
+time.  Because the simulator fires events in deterministic (time, seq)
+order, two runs at the same seed produce identical traces.
+
+The JSONL surface (:meth:`TraceCollector.to_jsonl` /
+:meth:`TraceCollector.from_jsonl`) is strict in both directions: the
+writer emits a fixed key set with sorted keys, and the reader rejects
+unknown or missing keys, so a round-trip is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Iterable
+
+from ..errors import TraceError
+
+#: Every category an emit site may use.  ``ObsSpec.categories`` and the
+#: CLI validate against this tuple; keep it in sync with the emit sites.
+CATEGORIES: tuple[str, ...] = (
+    "swap",  # arrival / launch / phase transitions / outcome
+    "chain",  # block connects, reorg adopt/abandon depths
+    "mempool",  # submit / evict / replace-by-fee / fee rejections
+    "fee",  # driver fee bumps, priced-out transitions
+    "sim",  # node crash / recovery windows
+    "adversary",  # attack launch / won / lost / exploit, byzantine acts
+    "sample",  # windowed gauges from the TimeSeriesSampler
+)
+
+#: Trace file format identifier (bump on incompatible schema changes).
+SCHEMA = "repro-trace/1"
+
+_HEADER_KEYS = frozenset({"schema", "categories", "ring_size", "dropped", "events"})
+_EVENT_KEYS = frozenset({"seq", "t", "cat", "kind", "swap", "chain", "actor", "data"})
+
+
+class TraceEvent:
+    """One recorded moment.  Slotted: large runs emit tens of thousands."""
+
+    __slots__ = ("seq", "time", "category", "kind", "swap_id", "chain_id", "actor", "payload")
+
+    def __init__(
+        self,
+        seq: int,
+        time: float,
+        category: str,
+        kind: str,
+        swap_id: int | None = None,
+        chain_id: str | None = None,
+        actor: str | None = None,
+        payload: dict[str, Any] | None = None,
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self.category = category
+        self.kind = kind
+        self.swap_id = swap_id
+        self.chain_id = chain_id
+        self.actor = actor
+        self.payload = payload if payload is not None else {}
+
+    def to_dict(self) -> dict[str, Any]:
+        """Wire form used by the JSONL serde (short keys, fixed set)."""
+        return {
+            "seq": self.seq,
+            "t": self.time,
+            "cat": self.category,
+            "kind": self.kind,
+            "swap": self.swap_id,
+            "chain": self.chain_id,
+            "actor": self.actor,
+            "data": self.payload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        keys = set(data)
+        if keys != _EVENT_KEYS:
+            unknown = sorted(keys - _EVENT_KEYS)
+            missing = sorted(_EVENT_KEYS - keys)
+            raise TraceError(
+                f"malformed trace event: unknown keys {unknown}, missing keys {missing}"
+            )
+        if not isinstance(data["cat"], str) or data["cat"] not in CATEGORIES:
+            raise TraceError(f"unknown trace category {data['cat']!r}")
+        if not isinstance(data["data"], dict):
+            raise TraceError("trace event 'data' must be an object")
+        return cls(
+            seq=int(data["seq"]),
+            time=float(data["t"]),
+            category=data["cat"],
+            kind=str(data["kind"]),
+            swap_id=data["swap"],
+            chain_id=data["chain"],
+            actor=data["actor"],
+            payload=data["data"],
+        )
+
+    def __repr__(self) -> str:
+        who = f" swap={self.swap_id}" if self.swap_id is not None else ""
+        where = f" chain={self.chain_id}" if self.chain_id is not None else ""
+        return f"TraceEvent(#{self.seq} t={self.time:.3f} {self.category}/{self.kind}{who}{where})"
+
+
+class TraceCollector:
+    """Collects :class:`TraceEvent` records in emit order.
+
+    Args:
+        categories: categories to record; empty means *all*.  Filtering
+            happens inside :meth:`emit` (a frozenset lookup), and wiring
+            code additionally skips registering listeners for categories
+            the collector does not want.
+        ring_size: if set, keep only the most recent ``ring_size`` events
+            (bounded flight-recorder mode); older events are dropped and
+            counted in :attr:`dropped`.  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        categories: Iterable[str] = (),
+        ring_size: int | None = None,
+    ) -> None:
+        wanted = tuple(categories)
+        for category in wanted:
+            if category not in CATEGORIES:
+                raise TraceError(
+                    f"unknown trace category {category!r}; expected one of {CATEGORIES}"
+                )
+        self._categories: frozenset[str] = frozenset(wanted if wanted else CATEGORIES)
+        self.ring_size = ring_size
+        if ring_size is not None:
+            if ring_size < 1:
+                raise TraceError(f"ring_size must be >= 1, got {ring_size}")
+            self._events: deque[TraceEvent] | list[TraceEvent] = deque(maxlen=ring_size)
+        else:
+            self._events = []
+        self.dropped = 0
+        self._seq = 0
+        self._clock: Any = None  # anything with a ``now`` float attribute
+
+    # -- recording ---------------------------------------------------------
+
+    def bind(self, clock: Any) -> None:
+        """Attach a clock (typically a :class:`~repro.sim.Simulator`)."""
+        self._clock = clock
+
+    @property
+    def categories(self) -> frozenset[str]:
+        return self._categories
+
+    def wants(self, category: str) -> bool:
+        """True if ``category`` passes this collector's filter."""
+        return category in self._categories
+
+    def emit(
+        self,
+        category: str,
+        kind: str,
+        swap_id: int | None = None,
+        chain_id: str | None = None,
+        actor: str | None = None,
+        **payload: Any,
+    ) -> None:
+        """Record one event (no-op if ``category`` is filtered out)."""
+        if category not in self._categories:
+            return
+        events = self._events
+        if self.ring_size is not None and len(events) == self.ring_size:
+            self.dropped += 1
+        event = TraceEvent(
+            seq=self._seq,
+            time=self._clock.now if self._clock is not None else 0.0,
+            category=category,
+            kind=kind,
+            swap_id=swap_id,
+            chain_id=chain_id,
+            actor=actor,
+            payload=payload,
+        )
+        self._seq += 1
+        events.append(event)
+
+    # -- access ------------------------------------------------------------
+
+    def events(self) -> list[TraceEvent]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    # -- serde ---------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize as JSONL: one header line, then one line per event.
+
+        Deterministic (sorted keys, compact separators) so that
+        ``from_jsonl(to_jsonl(c)).to_jsonl() == to_jsonl(c)``.
+        """
+        header = {
+            "schema": SCHEMA,
+            "categories": sorted(self._categories),
+            "ring_size": self.ring_size,
+            "dropped": self.dropped,
+            "events": len(self._events),
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for event in self._events:
+            lines.append(json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":")))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceCollector":
+        """Parse a trace produced by :meth:`to_jsonl` (strict)."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
+            raise TraceError("empty trace file")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"malformed trace header: {exc}") from exc
+        if not isinstance(header, dict):
+            raise TraceError("trace header must be a JSON object")
+        keys = set(header)
+        if keys != _HEADER_KEYS:
+            unknown = sorted(keys - _HEADER_KEYS)
+            missing = sorted(_HEADER_KEYS - keys)
+            raise TraceError(
+                f"malformed trace header: unknown keys {unknown}, missing keys {missing}"
+            )
+        if header["schema"] != SCHEMA:
+            raise TraceError(
+                f"unsupported trace schema {header['schema']!r} (expected {SCHEMA!r})"
+            )
+        collector = cls(categories=header["categories"], ring_size=header["ring_size"])
+        collector.dropped = int(header["dropped"])
+        declared = int(header["events"])
+        if declared != len(lines) - 1:
+            raise TraceError(
+                f"trace header declares {declared} events but file has {len(lines) - 1}"
+            )
+        max_seq = -1
+        for index, line in enumerate(lines[1:], start=2):
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"malformed trace event on line {index}: {exc}") from exc
+            if not isinstance(raw, dict):
+                raise TraceError(f"trace event on line {index} must be a JSON object")
+            event = TraceEvent.from_dict(raw)
+            if event.seq <= max_seq:
+                raise TraceError(
+                    f"trace events out of order on line {index}: "
+                    f"seq {event.seq} after {max_seq}"
+                )
+            max_seq = event.seq
+            collector._events.append(event)
+        collector._seq = max_seq + 1
+        return collector
+
+    def __repr__(self) -> str:
+        mode = f"ring={self.ring_size}" if self.ring_size is not None else "unbounded"
+        return f"TraceCollector({len(self._events)} events, {mode}, dropped={self.dropped})"

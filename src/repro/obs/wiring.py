@@ -1,0 +1,60 @@
+"""Attaching a flight recorder to a live world.
+
+:func:`instrument` is the single place that knows where every emit site
+lives: chain block/reorg listeners, mempool collector slots, node
+crash/recovery slots, and the engine (which in turn threads the
+collector into every driver it launches).  Wiring is category-aware —
+listeners for categories the collector filters out are never even
+registered, so a ``categories=("swap",)`` recorder pays nothing for
+block traffic.
+"""
+
+from __future__ import annotations
+
+from .trace import TraceCollector
+
+
+def instrument(collector: TraceCollector, env, engine=None) -> TraceCollector:
+    """Wire ``collector`` into a world (and optionally its engine).
+
+    Safe to call before any swap is submitted; returns the collector for
+    chaining.  The wiring is additive — nothing about the simulation's
+    behaviour changes, only what gets observed.
+    """
+    collector.bind(env.simulator)
+
+    if collector.wants("chain"):
+        for chain_id, chain in sorted(env.chains.items()):
+
+            def on_block(block, chain_id=chain_id):
+                collector.emit(
+                    "chain",
+                    "block",
+                    chain_id=chain_id,
+                    height=block.header.height,
+                    messages=len(block.messages),
+                )
+
+            def on_reorg(abandoned, adopted, chain_id=chain_id):
+                collector.emit(
+                    "chain",
+                    "reorg",
+                    chain_id=chain_id,
+                    abandoned=abandoned,
+                    adopted=adopted,
+                )
+
+            chain.add_block_listener(on_block)
+            chain.add_reorg_listener(on_reorg)
+
+    if collector.wants("mempool"):
+        for pool in env.mempools.values():
+            pool.collector = collector
+
+    if collector.wants("sim"):
+        for participant in env.participants.values():
+            participant.collector = collector
+
+    if engine is not None:
+        engine.attach_collector(collector)
+    return collector

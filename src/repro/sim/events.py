@@ -72,8 +72,10 @@ class Event:
         """Prevent the event from firing (O(1); lazy deletion in the heap)."""
         if not self.cancelled:
             self.cancelled = True
-            if self._in_heap and self._queue is not None:
-                self._queue._note_cancelled()
+            if self._queue is not None:
+                self._queue.cancelled_total += 1
+                if self._in_heap:
+                    self._queue._note_cancelled()
 
     def __repr__(self) -> str:
         state = " cancelled" if self.cancelled else ""
@@ -88,9 +90,24 @@ class EventQueue:
         self._counter = itertools.count()
         self._cancelled_in_heap = 0
         self._pool: list[Event] = []
+        #: Lifetime observability counters (see :meth:`stats`).
+        self.cancelled_total = 0
+        self.pool_reuses = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
         return len(self._heap) - self._cancelled_in_heap
+
+    def stats(self) -> dict:
+        """Lifetime queue statistics, for the CLI's ``--profile`` report."""
+        return {
+            "pending": len(self),
+            "cancelled": self.cancelled_total,
+            "cancelled_in_heap": self._cancelled_in_heap,
+            "pool_reuses": self.pool_reuses,
+            "pool_size": len(self._pool),
+            "compactions": self.compactions,
+        }
 
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at absolute ``time`` and return its handle."""
@@ -98,6 +115,7 @@ class EventQueue:
             raise SchedulingError("event time must not be NaN")
         if self._pool:
             event = self._pool.pop()
+            self.pool_reuses += 1
             event.time = time
             event.seq = next(self._counter)
             event.action = action
@@ -152,6 +170,7 @@ class EventQueue:
             self._compact()
 
     def _compact(self) -> None:
+        self.compactions += 1
         live: list[Event] = []
         for event in self._heap:
             if event.cancelled:

@@ -23,7 +23,15 @@ class Node:
     their own ``__slots__`` simply regain a ``__dict__`` — that is fine.
     """
 
-    __slots__ = ("simulator", "name", "network", "crashed", "inbox_log", "_recovery_listeners")
+    __slots__ = (
+        "simulator",
+        "name",
+        "network",
+        "crashed",
+        "inbox_log",
+        "_recovery_listeners",
+        "collector",
+    )
 
     def __init__(self, simulator: Simulator, name: str, network: Network | None = None) -> None:
         self.simulator = simulator
@@ -32,6 +40,9 @@ class Node:
         self.crashed = False
         self.inbox_log: list[tuple[float, str, Any]] = []
         self._recovery_listeners: list[Callable[[], None]] = []
+        #: Optional flight recorder (set by :func:`repro.obs.instrument`);
+        #: crash/recovery windows are emitted when attached.
+        self.collector = None
         if network is not None:
             network.register(self)
 
@@ -70,6 +81,8 @@ class Node:
 
     def crash(self) -> None:
         """Crash the node: it stops receiving messages and firing timers."""
+        if self.collector is not None and not self.crashed:
+            self.collector.emit("sim", "crash", actor=self.name)
         self.crashed = True
 
     def recover(self) -> None:
@@ -79,6 +92,8 @@ class Node:
         drivers re-examine the world the moment their participant comes
         back, instead of polling for it.
         """
+        if self.collector is not None and self.crashed:
+            self.collector.emit("sim", "recover", actor=self.name)
         self.crashed = False
         for listener in list(self._recovery_listeners):
             listener()

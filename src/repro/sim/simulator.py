@@ -144,3 +144,8 @@ class Simulator:
     def events_processed(self) -> int:
         """Total events executed so far."""
         return self._events_processed
+
+    def queue_stats(self) -> dict:
+        """Event-loop statistics: processed count plus the queue's
+        lifetime counters (cancellations, pool reuse, compactions)."""
+        return {"events_processed": self._events_processed, **self._queue.stats()}

@@ -16,7 +16,11 @@ per-PR CI).
 
 When ``ENGINE_SCALE_JSON`` is set, every point appends its wall-clock
 timing to that JSON file — CI uploads it as the scale-smoke artifact so
-throughput is tracked across commits.
+throughput is tracked across commits.  When ``BENCH_STORE_DB`` is set,
+the same timing rows also append to an ``engine-scale`` campaign in
+that campaign database (one new campaign per benchmark run), so
+``repro compare DB`` diffs this run's throughput against the previous
+one.
 """
 
 import dataclasses
@@ -59,17 +63,43 @@ def _run_point(num_swaps: int):
     return result, wall
 
 
-def _record_timing(num_swaps: int, wall: float, result) -> None:
-    """Append this point's timing to the JSON artifact, if configured."""
-    path = os.environ.get("ENGINE_SCALE_JSON")
-    if not path:
+# One campaign per benchmark run: the first recorded point creates it,
+# later points (in this process) append to it, and successive runs of
+# the suite form the perf trajectory `repro compare` diffs.
+_STORE_STATE = {"campaign_id": None, "points": 0}
+
+
+def _record_store_timing(num_swaps: int, entry: dict) -> None:
+    """Append this point's timing row to the campaign database, if set."""
+    db = os.environ.get("BENCH_STORE_DB")
+    if not db:
         return
-    timings = {}
-    if os.path.exists(path):
-        with open(path) as fh:
-            timings = json.load(fh)
+    from repro.store import CampaignStore
+
+    os.makedirs(os.path.dirname(db) or ".", exist_ok=True)
+    with CampaignStore(db) as store:
+        if _STORE_STATE["campaign_id"] is None:
+            _STORE_STATE["campaign_id"] = store.create_campaign(
+                "engine-scale", kind="bench"
+            )
+        index = _STORE_STATE["points"]
+        _STORE_STATE["points"] += 1
+        store.append_point(
+            _STORE_STATE["campaign_id"],
+            index,
+            name=f"engine-scale[{num_swaps}]",
+            coords={"num_swaps": num_swaps},
+            row={"index": index, **entry},
+            artifact=json.dumps(entry, sort_keys=True),
+        )
+
+
+def _record_timing(num_swaps: int, wall: float, result) -> None:
+    """Append this point's timing to the configured artifacts (the
+    ``ENGINE_SCALE_JSON`` file and/or the ``BENCH_STORE_DB`` campaign
+    database), if any."""
     metrics = result.metrics
-    timings[str(num_swaps)] = {
+    entry = {
         "num_swaps": num_swaps,
         "wall_seconds": round(wall, 3),
         "swaps_per_second_wall": round(num_swaps / wall, 3),
@@ -80,10 +110,18 @@ def _record_timing(num_swaps: int, wall: float, result) -> None:
         "p50_latency": metrics.p50_latency,
         "p99_latency": metrics.p99_latency,
     }
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(timings, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    path = os.environ.get("ENGINE_SCALE_JSON")
+    if path:
+        timings = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                timings = json.load(fh)
+        timings[str(num_swaps)] = entry
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(timings, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    _record_store_timing(num_swaps, entry)
 
 
 def _check_and_report(num_swaps: int, result, wall, table_printer) -> None:

@@ -10,10 +10,16 @@ byte-level equality of the two aggregates.
 Speedup is reported, not asserted: CI machines (and this container) may
 expose a single core, where a pool can only break even.  The equality
 assertion is the load-bearing one.
+
+When ``BENCH_STORE_DB`` is set, the measured points/sec rows append to
+a ``sweep-scaling`` campaign in that campaign database (one campaign
+per run), joining the ``engine-scale`` campaign in the tracked perf
+trajectory.
 """
 
 import dataclasses
 import multiprocessing
+import os
 import time
 
 from repro.experiment import apply_overrides
@@ -44,6 +50,32 @@ def _smoke_sweep():
     )
 
 
+def _record_store_timing(points: int, rows) -> None:
+    """Append (workers, wall, points/s) rows to the campaign DB, if set."""
+    db = os.environ.get("BENCH_STORE_DB")
+    if not db:
+        return
+    from repro.store import CampaignStore
+
+    os.makedirs(os.path.dirname(db) or ".", exist_ok=True)
+    with CampaignStore(db) as store:
+        campaign_id = store.create_campaign("sweep-scaling", kind="bench")
+        for index, (workers, wall) in enumerate(rows):
+            store.append_point(
+                campaign_id,
+                index,
+                name=f"sweep-scaling[workers={workers}]",
+                coords={"workers": workers},
+                row={
+                    "index": index,
+                    "workers": workers,
+                    "num_points": points,
+                    "wall_seconds": round(wall, 3),
+                    "points_per_second": round(points / wall, 3),
+                },
+            )
+
+
 def test_sweep_scaling(table_printer):
     """1 worker vs a pool: identical bytes, measured points/sec."""
     spec = _smoke_sweep()
@@ -56,6 +88,8 @@ def test_sweep_scaling(table_printer):
     t0 = time.perf_counter()
     pooled = SweepRunner(spec, workers=POOL_WORKERS).run()
     pooled_s = time.perf_counter() - t0
+
+    _record_store_timing(points, [(1, serial_s), (POOL_WORKERS, pooled_s)])
 
     table_printer(
         f"Sweep scaling: {points}-point congestion campaign "

@@ -11,8 +11,14 @@
     python -m repro trace out.jsonl --series series.csv
     python -m repro sweep --preset figure10 --workers 4 --csv out.csv
     python -m repro sweep --preset security-matrix --workers 4 --resume runs/sec
+    python -m repro sweep --preset security-smoke --workers 2 --store camp.db
     python -m repro sweep --spec my_sweep.json --workers 2 --json out.json
     python -m repro sweep --list-presets [--json]
+    python -m repro query "commit_rate < 0.5 AND protocol='nolan'" --db camp.db
+    python -m repro compare camp_old.db camp_new.db --threshold 0.05
+    python -m repro store ingest --db camp.db runs/security bench-timings.json
+    python -m repro store list --db camp.db
+    python -m repro store artifact --db camp.db --point 3 -o point3.json
     python -m repro swap --protocol ac3wn --diameter 3
     python -m repro engine --swaps 50 --rate 10
     python -m repro congestion --fee-shock 32
@@ -30,7 +36,12 @@ as JSON.  ``sweep`` is its multi-point sibling: a named sweep campaign
 (or a ``SweepSpec`` JSON file) expands into N experiment points,
 executes them across ``--workers`` processes, prints the joined summary
 table, and exports the campaign as CSV and/or JSON — one command per
-paper figure.  The legacy scenario subcommands (``swap``, ``engine``,
+paper figure.  The datastore commands sit on top of the campaign
+database (:mod:`repro.store`): ``sweep --store`` archives every point
+durably, ``query`` evaluates an indexed predicate over stored points,
+``compare`` joins two campaigns and flags metric regressions, and
+``store ingest|list|artifact`` import and inspect existing artifacts.
+The legacy scenario subcommands (``swap``, ``engine``,
 ``congestion``, ``crash-sweep``) are thin aliases that translate their
 flags into preset overrides and call the same pipeline; the analytic
 printouts (``figure10``, ``table1``, ``witness-depth``) need no
@@ -47,7 +58,7 @@ import sys
 from .analysis.latency import figure10_series
 from .analysis.security import PAPER_WITNESS_CANDIDATES
 from .analysis.throughput import TABLE1_ROWS, ac2t_throughput
-from .errors import SpecError, TraceError
+from .errors import SpecError, StoreError, TraceError
 from .experiment import (
     ExperimentResult,
     ExperimentSpec,
@@ -466,6 +477,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.list_presets:
         _print_catalog(sweep_names(), sweep_description, args.json is not None)
         return 0
+    if args.resume and args.store:
+        print(
+            "repro sweep: --resume DIR and --store DB are mutually "
+            "exclusive: both archive the campaign's per-point artifacts, "
+            "so pick one backend ('repro store ingest' migrates a resume "
+            "directory into a database)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         spec = _load_sweep(args)
 
@@ -487,6 +507,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             on_point=progress if args.progress else None,
             resume_dir=args.resume,
+            store=args.store,
         )
         print(
             f"sweep {spec.name!r}: {spec.num_points()} points, "
@@ -494,12 +515,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=narrate,
         )
         result = _profiled(args.profile, runner.run)
-        if args.resume:
+        if args.resume or args.store:
+            source = args.resume or args.store
             print(
-                f"resumed {len(runner.resumed)} point(s) from {args.resume}",
+                f"resumed {len(runner.resumed)} point(s) from {source}",
                 file=narrate,
             )
-    except (SpecError, OSError) as exc:
+    except (SpecError, StoreError, OSError) as exc:
         print(f"repro sweep: {exc}", file=sys.stderr)
         return 2
     with contextlib.redirect_stdout(narrate):
@@ -708,6 +730,239 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 PROTOCOL_CHOICES = ["nolan", "herlihy", "ac3tw", "ac3wn", "mixed"]
 
 
+# ---------------------------------------------------------------------------
+# Campaign datastore subcommands
+# ---------------------------------------------------------------------------
+
+
+def _query_columns(rows: list[dict]) -> list[str]:
+    """Identity columns first, then every other key in first-seen order."""
+    columns = ["campaign", "campaign_id", "index"]
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def _query_cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _query_csv(rows: list[dict]) -> str:
+    columns = _query_columns(rows)
+    lines = [",".join(columns)]
+    for row in rows:
+        cells = []
+        for column in columns:
+            cell = _query_cell(row.get(column))
+            if any(ch in cell for ch in ',"\n'):
+                cell = '"' + cell.replace('"', '""') + '"'
+            cells.append(cell)
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def _query_table(rows: list[dict]) -> str:
+    columns = _query_columns(rows)
+    grid = [columns] + [
+        [_query_cell(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [max(len(line[i]) for line in grid) for i in range(len(columns))]
+    return (
+        "\n".join(
+            " | ".join(cell.rjust(width) for cell, width in zip(line, widths))
+            for line in grid
+        )
+        + "\n"
+    )
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    """Evaluate one predicate expression over a campaign database."""
+    from .store import CampaignStore
+
+    try:
+        with CampaignStore(args.db) as store:
+            rows = store.query(args.expr, campaign=args.campaign)
+    except StoreError as exc:
+        print(f"repro query: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        text = _json.dumps(rows, indent=2, sort_keys=True) + "\n"
+    elif args.format == "csv":
+        text = _query_csv(rows)
+    else:
+        text = _query_table(rows)
+    if args.output and args.output != "-":
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        except OSError as exc:
+            print(
+                f"repro query: cannot write {args.output}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    # A query that matches nothing is still a successful query.
+    print(f"{len(rows)} matching point(s)", file=sys.stderr)
+    return 0
+
+
+def _print_compare_report(report) -> None:
+    a, b = report.campaign_a, report.campaign_b
+    print(
+        f"A: campaign {a.campaign_id} {a.name!r} ({a.kind}, {a.points} points)"
+    )
+    print(
+        f"B: campaign {b.campaign_id} {b.name!r} ({b.kind}, {b.points} points)"
+    )
+    print(
+        f"joined {report.joined_points} point pair(s) by coordinates; "
+        f"threshold {report.threshold:.0%} relative change"
+    )
+    for label, deltas in (
+        ("REGRESSION", report.regressions),
+        ("improvement", report.improvements),
+        ("changed", report.changes),
+    ):
+        for d in deltas:
+            coords = ",".join(f"{k}={v}" for k, v in d.coords.items())
+            rel = (
+                "new" if d.rel_change == float("inf") else f"{d.rel_change:+.1%}"
+            )
+            print(
+                f"  {label:>11} [{coords}] {d.metric}: "
+                f"{d.a:g} -> {d.b:g} ({rel})"
+            )
+    for coords in report.only_in_a:
+        print(f"  only in A: {coords}")
+    for coords in report.only_in_b:
+        print(f"  only in B: {coords}")
+    print(
+        f"{len(report.regressions)} regression(s), "
+        f"{len(report.improvements)} improvement(s), "
+        f"{len(report.changes)} neutral change(s)"
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Join two campaigns by coordinates and flag metric regressions."""
+    from .store import CampaignStore, compare_campaigns
+
+    store_a = store_b = None
+    try:
+        store_a = CampaignStore(args.db_a)
+        if args.db_b is not None:
+            store_b = CampaignStore(args.db_b)
+            campaign_a = store_a.resolve_campaign(args.a)
+            campaign_b = store_b.resolve_campaign(args.b)
+        else:
+            # One database: B is the (latest) candidate campaign and A
+            # defaults to the previous same-name campaign — the perf
+            # trajectory "did this run regress vs the last one" shape.
+            store_b = store_a
+            campaign_b = store_b.resolve_campaign(args.b)
+            if args.a is not None:
+                campaign_a = store_a.resolve_campaign(args.a)
+            else:
+                campaign_a = (
+                    store_a.previous_campaign(campaign_b) or campaign_b
+                )
+        report = compare_campaigns(
+            store_a, campaign_a, store_b, campaign_b, threshold=args.threshold
+        )
+    except StoreError as exc:
+        print(f"repro compare: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if store_a is not None:
+            store_a.close()
+        if store_b is not None and store_b is not store_a:
+            store_b.close()
+    streaming = "-" in (args.csv, args.json)
+    narrate = sys.stderr if streaming else sys.stdout
+    with contextlib.redirect_stdout(narrate):
+        _print_compare_report(report)
+    exports = (
+        (args.csv, report.to_csv),
+        (args.json, lambda: _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"),
+    )
+    for path, render in exports:
+        if not path:
+            continue
+        if path == "-":
+            sys.stdout.write(render())
+            continue
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render())
+        except OSError as exc:
+            print(f"repro compare: cannot write {path}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {path}", file=narrate)
+    return 1 if report.regressions else 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """Import and inspect campaign databases (ingest / list / artifact)."""
+    from .store import CampaignStore, ingest_path
+
+    try:
+        with CampaignStore(args.db) as store:
+            if args.action == "ingest":
+                for path in args.paths:
+                    report = ingest_path(store, path, campaign=args.campaign)
+                    print(
+                        f"ingested {path} -> campaign {report.campaign_id} "
+                        f"{report.campaign!r} ({report.kind}, "
+                        f"{report.points} point(s))"
+                    )
+            elif args.action == "list":
+                infos = store.campaigns()
+                if args.json:
+                    print(
+                        _json.dumps(
+                            [info.to_dict() for info in infos],
+                            indent=2,
+                            sort_keys=True,
+                        )
+                    )
+                else:
+                    print(
+                        f"{args.db}: schema v{store.schema_version}, "
+                        f"{len(infos)} campaign(s)"
+                    )
+                    for info in infos:
+                        print(
+                            f"  [{info.campaign_id:03d}] {info.name!r} "
+                            f"({info.kind}) {info.points} point(s), "
+                            f"{info.skipped} skipped, {info.created_at}"
+                        )
+            else:  # artifact
+                info = store.resolve_campaign(args.campaign)
+                text = store.get_artifact(info.campaign_id, args.point)
+                if args.output and args.output != "-":
+                    with open(args.output, "w", encoding="utf-8") as handle:
+                        handle.write(text)
+                    print(f"wrote {args.output}")
+                else:
+                    # Byte-exact on stdout too: no trailing newline is
+                    # appended, so `repro store artifact > f` == the blob.
+                    sys.stdout.write(text)
+    except (StoreError, OSError) as exc:
+        print(f"repro store: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _add_common_scenario_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -814,6 +1069,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point artifact directory: points whose artifact already "
         "exists there are merged from disk instead of re-executed, and "
         "every fresh point is stored for the next resume",
+    )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="campaign database (SQLite): the durable sibling of --resume "
+        "with identical per-point resume semantics, plus indexed metrics "
+        "for 'repro query' and 'repro compare' (mutually exclusive with "
+        "--resume)",
     )
     sweep.add_argument(
         "--csv", default=None, metavar="PATH",
@@ -952,6 +1216,140 @@ def build_parser() -> argparse.ArgumentParser:
 
     table1 = sub.add_parser("table1", help="Table 1 + Section 6.4 example")
     table1.set_defaults(func=_cmd_table1)
+
+    query = sub.add_parser(
+        "query",
+        help="evaluate a predicate over a campaign database",
+        description="Evaluate a predicate expression over the points of a "
+        "campaign database, e.g. \"commit_rate < 0.5 AND protocol='nolan'\". "
+        "Comparisons hit the indexed metric columns; AND/OR/NOT and "
+        "parentheses compose them.",
+    )
+    query.add_argument(
+        "expr",
+        help="predicate expression, e.g. \"violation_rate > 0 AND "
+        "protocol='nolan'\"",
+    )
+    query.add_argument(
+        "--db", default="repro.db", metavar="DB",
+        help="campaign database to query (default: %(default)s)",
+    )
+    query.add_argument(
+        "--campaign",
+        default=None,
+        metavar="ID|NAME",
+        help="pin one campaign (id or name, latest wins); default: all",
+    )
+    query.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output shape (default: %(default)s)",
+    )
+    query.add_argument(
+        "--output", "-o", default="-", metavar="PATH",
+        help="write the rendered rows here ('-' for stdout)",
+    )
+    query.set_defaults(func=_cmd_query)
+
+    compare = sub.add_parser(
+        "compare",
+        help="join two campaigns and flag metric regressions",
+        description="Join the points of campaign A (baseline) and campaign B "
+        "(candidate) by their expansion coordinates and diff every shared "
+        "numeric metric.  Exits 1 when any directed metric regressed beyond "
+        "the threshold.  With one database and no selectors, compares the "
+        "latest campaign against the previous campaign of the same name.",
+    )
+    compare.add_argument("db_a", help="baseline campaign database")
+    compare.add_argument(
+        "db_b",
+        nargs="?",
+        default=None,
+        help="candidate campaign database (default: compare within db_a)",
+    )
+    compare.add_argument(
+        "--a", default=None, metavar="ID|NAME",
+        help="baseline campaign selector (default: latest, or the previous "
+        "same-name campaign when comparing within one database)",
+    )
+    compare.add_argument(
+        "--b", default=None, metavar="ID|NAME",
+        help="candidate campaign selector (default: latest)",
+    )
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative change a directed metric must exceed to count as a "
+        "regression/improvement (default: %(default)s)",
+    )
+    compare.add_argument(
+        "--csv", default=None, metavar="PATH",
+        help="write every metric delta as CSV ('-' for stdout)",
+    )
+    compare.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full comparison report as JSON ('-' for stdout)",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    store = sub.add_parser(
+        "store",
+        help="import and inspect campaign databases",
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+    ingest = store_sub.add_parser(
+        "ingest",
+        help="import resume directories, result JSONs, or bench timing "
+        "JSONs into a campaign database",
+    )
+    ingest.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="point-NNNNN.json directory, ExperimentResult JSON, or bench "
+        "timing JSON",
+    )
+    ingest.add_argument(
+        "--db", default="repro.db", metavar="DB",
+        help="campaign database to ingest into (default: %(default)s)",
+    )
+    ingest.add_argument(
+        "--campaign", default=None, metavar="NAME",
+        help="campaign name (default: each path's basename)",
+    )
+    ingest.set_defaults(func=_cmd_store)
+    store_list = store_sub.add_parser(
+        "list", help="list the campaigns a database holds"
+    )
+    store_list.add_argument(
+        "--db", default="repro.db", metavar="DB",
+        help="campaign database to list (default: %(default)s)",
+    )
+    store_list.add_argument(
+        "--json", action="store_true", help="emit the campaign list as JSON"
+    )
+    store_list.set_defaults(func=_cmd_store)
+    artifact = store_sub.add_parser(
+        "artifact",
+        help="recover one point's byte-exact ExperimentResult JSON",
+    )
+    artifact.add_argument(
+        "--db", default="repro.db", metavar="DB",
+        help="campaign database to read (default: %(default)s)",
+    )
+    artifact.add_argument(
+        "--campaign", default=None, metavar="ID|NAME",
+        help="campaign (id or name, latest wins); default: latest",
+    )
+    artifact.add_argument(
+        "--point", type=int, required=True, metavar="INDEX",
+        help="point index within the campaign",
+    )
+    artifact.add_argument(
+        "--output", "-o", default="-", metavar="PATH",
+        help="write the artifact bytes here ('-' for stdout)",
+    )
+    artifact.set_defaults(func=_cmd_store)
     return parser
 
 

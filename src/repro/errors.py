@@ -155,3 +155,19 @@ class AtomicityViolation(ProtocolError):
 
 class WitnessError(ProtocolError):
     """The witness (Trent or the witness network) rejected a request."""
+
+
+# ---------------------------------------------------------------------------
+# Campaign datastore
+# ---------------------------------------------------------------------------
+
+
+class StoreError(ReproError):
+    """A campaign datastore operation failed (bad schema version,
+    unknown campaign/point, unreadable database, ingest of a file whose
+    shape the importer does not recognize)."""
+
+
+class QueryError(StoreError):
+    """A ``repro query`` predicate expression is malformed (syntax
+    error, unknown operator, or an ill-typed comparison)."""

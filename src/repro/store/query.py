@@ -1,0 +1,284 @@
+"""The ``repro query`` predicate grammar, compiled to indexed SQL.
+
+A query expression filters campaign points by their flat summary
+columns — metric values (``commit_rate < 0.5``), sweep coordinates
+(``protocol = 'nolan'``), and the point identity fields::
+
+    commit_rate < 0.5 AND protocol = 'nolan'
+    violation_rate > 0 OR priced_out >= 3
+    NOT (depth >= 4) AND hashpower = 6.0
+
+Grammar (keywords case-insensitive)::
+
+    expr        := or_expr
+    or_expr     := and_expr ( "OR" and_expr )*
+    and_expr    := unary ( "AND" unary )*
+    unary       := "NOT" unary | "(" expr ")" | comparison
+    comparison  := IDENT op literal
+    op          := "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    literal     := NUMBER | STRING ('…' or "…") | "true" | "false"
+
+Identifiers resolve against the point's stored key/value metric rows;
+the handful of identity fields (``index``, ``name``, ``seed``,
+``status``, ``campaign``) compile straight to their table columns.
+Numeric literals compare against the indexed ``metrics.value`` column
+and strings against ``metrics.text_value``, so every comparison is an
+index probe, not a table scan.  ``!=`` matches points where the key is
+*present* and differs (a point with no ``depth`` coordinate never
+matches ``depth != 4``).
+
+The compiler emits a parameterized SQL fragment over the ``points``
+(alias ``p``) and ``campaigns`` (alias ``c``) tables; values travel as
+bound parameters, never interpolated text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Union
+
+from ..errors import QueryError
+
+#: Identity fields compiled straight to table columns (text columns
+#: compare as text, the rest numerically).
+_IDENTITY_COLUMNS = {
+    "index": ("p.point_index", False),
+    "seed": ("p.seed", False),
+    "name": ("p.name", True),
+    "status": ("p.status", True),
+    "campaign": ("c.name", True),
+}
+
+_OPERATORS = {"=": "=", "==": "=", "!=": "!=", "<>": "!=",
+              "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op><=|>=|==|!=|<>|=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    pos: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QueryError(
+                f"bad query: unexpected character {text[pos]!r} at column {pos}"
+            )
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append(_Token(kind=kind, text=match.group(), pos=pos))
+        pos = match.end()
+    return tokens
+
+
+# -- AST --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    key: str
+    op: str
+    value: Any  # float | str | bool
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Node"
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    op: str  # "AND" | "OR"
+    operands: tuple["Node", ...]
+
+
+Node = Union[Comparison, Not, BoolOp]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.at = 0
+
+    def parse(self) -> Node:
+        if not self.tokens:
+            raise QueryError("bad query: empty expression")
+        node = self._or()
+        if self.at < len(self.tokens):
+            tok = self.tokens[self.at]
+            raise QueryError(
+                f"bad query: unexpected {tok.text!r} at column {tok.pos}"
+            )
+        return node
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.at] if self.at < len(self.tokens) else None
+
+    def _take(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            raise QueryError("bad query: unexpected end of expression")
+        self.at += 1
+        return tok
+
+    def _keyword(self, word: str) -> bool:
+        tok = self._peek()
+        if tok is not None and tok.kind == "ident" and tok.text.upper() == word:
+            self.at += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def _or(self) -> Node:
+        operands = [self._and()]
+        while self._keyword("OR"):
+            operands.append(self._and())
+        return operands[0] if len(operands) == 1 else BoolOp("OR", tuple(operands))
+
+    def _and(self) -> Node:
+        operands = [self._unary()]
+        while self._keyword("AND"):
+            operands.append(self._unary())
+        return operands[0] if len(operands) == 1 else BoolOp("AND", tuple(operands))
+
+    def _unary(self) -> Node:
+        if self._keyword("NOT"):
+            return Not(self._unary())
+        tok = self._peek()
+        if tok is not None and tok.kind == "lparen":
+            self.at += 1
+            node = self._or()
+            closer = self._peek()
+            if closer is None or closer.kind != "rparen":
+                raise QueryError("bad query: missing closing parenthesis")
+            self.at += 1
+            return node
+        return self._comparison()
+
+    def _comparison(self) -> Comparison:
+        tok = self._take()
+        if tok.kind != "ident":
+            raise QueryError(
+                f"bad query: expected a metric name at column {tok.pos}, "
+                f"got {tok.text!r}"
+            )
+        if tok.text.upper() in ("AND", "OR", "NOT"):
+            raise QueryError(
+                f"bad query: {tok.text!r} at column {tok.pos} is a keyword, "
+                f"not a metric name"
+            )
+        key = tok.text
+        op_tok = self._take()
+        if op_tok.kind != "op":
+            raise QueryError(
+                f"bad query: expected an operator after {key!r}, got "
+                f"{op_tok.text!r} at column {op_tok.pos}"
+            )
+        op = _OPERATORS[op_tok.text]
+        value = self._literal(key)
+        return Comparison(key=key, op=op, value=value)
+
+    def _literal(self, key: str) -> Any:
+        tok = self._take()
+        if tok.kind == "number":
+            return float(tok.text)
+        if tok.kind == "string":
+            quote = tok.text[0]
+            return tok.text[1:-1].replace(quote * 2, quote)
+        if tok.kind == "ident" and tok.text.lower() in ("true", "false"):
+            return tok.text.lower() == "true"
+        raise QueryError(
+            f"bad query: expected a number, 'string', true, or false after "
+            f"{key!r}, got {tok.text!r} at column {tok.pos} (quote strings: "
+            f"{key} = '{tok.text}')"
+        )
+
+
+def parse_query(text: str) -> Node:
+    """Parse a predicate expression into its AST (raises QueryError)."""
+    return _Parser(text).parse()
+
+
+def query_identifiers(node: Node) -> set[str]:
+    """Every identifier the expression compares (for default filters)."""
+    if isinstance(node, Comparison):
+        return {node.key}
+    if isinstance(node, Not):
+        return query_identifiers(node.operand)
+    out: set[str] = set()
+    for operand in node.operands:
+        out |= query_identifiers(operand)
+    return out
+
+
+# -- compilation ------------------------------------------------------------
+
+
+def _compile_node(node: Node, params: list) -> str:
+    if isinstance(node, Comparison):
+        return _compile_comparison(node, params)
+    if isinstance(node, Not):
+        return f"NOT ({_compile_node(node.operand, params)})"
+    joined = f" {node.op} ".join(
+        f"({_compile_node(operand, params)})" for operand in node.operands
+    )
+    return joined
+
+
+def _compile_comparison(node: Comparison, params: list) -> str:
+    value = node.value
+    if isinstance(value, bool):
+        # Booleans are stored numerically (0/1) like every other number.
+        value = float(value)
+    if node.key in _IDENTITY_COLUMNS:
+        column, is_text = _IDENTITY_COLUMNS[node.key]
+        if is_text != isinstance(value, str):
+            want = "a string" if is_text else "a number"
+            raise QueryError(
+                f"bad query: {node.key!r} compares as {want} "
+                f"(got {node.value!r})"
+            )
+        params.append(value)
+        return f"{column} {node.op} ?"
+    column = "text_value" if isinstance(value, str) else "value"
+    params.append(node.key)
+    params.append(value)
+    return (
+        "EXISTS (SELECT 1 FROM metrics m WHERE m.point_id = p.point_id "
+        f"AND m.name = ? AND m.{column} {node.op} ?)"
+    )
+
+
+def compile_query(text: str) -> tuple[str, list, set[str]]:
+    """Compile a predicate into ``(sql_fragment, params, identifiers)``.
+
+    The fragment references ``points`` as ``p`` and ``campaigns`` as
+    ``c``; callers embed it in their own ``WHERE`` clause.
+    """
+    node = parse_query(text)
+    params: list = []
+    sql = _compile_node(node, params)
+    return sql, params, query_identifiers(node)

@@ -1,0 +1,173 @@
+"""The campaign datastore's versioned SQLite schema.
+
+One database holds any number of *campaigns* (sweep runs, benchmark
+runs, ingested artifact directories).  Each campaign owns *points* —
+one executed (or skipped) experiment each — and every point carries its
+flat summary metrics twice: once as an indexed ``metrics`` key/value
+table (what ``repro query`` predicates compile against) and once as the
+exact row JSON (what results are rendered from), plus the byte-exact
+serialized ``ExperimentResult`` artifact in ``artifacts``.
+
+Layout::
+
+    campaigns (1) ──── (N) points
+                            ├── (N) metrics    (indexed key/value)
+                            └── (1) artifacts  (byte-exact result JSON)
+
+Connections are configured for concurrent multi-process appends, the
+mode the distributed-execution road map needs (several workers, one
+campaign id):
+
+==================  ========  ==========================================
+pragma              value     purpose
+==================  ========  ==========================================
+``journal_mode``    WAL       concurrent readers during appends
+``foreign_keys``    ON        points/metrics/artifacts never orphan
+``synchronous``     NORMAL    durability/throughput balance under WAL
+``busy_timeout``    30000 ms  writers queue instead of failing fast
+==================  ========  ==========================================
+
+The schema is versioned through ``schema_migrations``: every migration
+that ever ran is recorded with its version and description, and opening
+a database created by a *newer* code version raises
+:class:`~repro.errors.StoreError` instead of guessing.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from ..errors import StoreError
+
+#: Ordered migrations — ``(description, statements)``; index + 1 is the
+#: schema version each produces.  Append-only: never edit a shipped
+#: migration, add a new one.  Statements are individual (not a script)
+#: so each migration runs inside one explicit transaction.
+MIGRATIONS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    (
+        "initial schema: campaigns, points, metrics, artifacts",
+        (
+            """
+            CREATE TABLE campaigns (
+                campaign_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                name        TEXT NOT NULL,
+                kind        TEXT NOT NULL DEFAULT 'sweep',
+                spec_json   TEXT,
+                created_at  TEXT NOT NULL
+            )
+            """,
+            "CREATE INDEX idx_campaigns_name ON campaigns(name, campaign_id)",
+            """
+            CREATE TABLE points (
+                point_id    INTEGER PRIMARY KEY AUTOINCREMENT,
+                campaign_id INTEGER NOT NULL
+                            REFERENCES campaigns(campaign_id) ON DELETE CASCADE,
+                point_index INTEGER NOT NULL,
+                name        TEXT NOT NULL DEFAULT '',
+                status      TEXT NOT NULL DEFAULT 'ok',
+                coords_json TEXT NOT NULL DEFAULT '{}',
+                seed        INTEGER,
+                spec_json   TEXT,
+                row_json    TEXT NOT NULL DEFAULT '{}',
+                skip_reason TEXT,
+                UNIQUE (campaign_id, point_index)
+            )
+            """,
+            """
+            CREATE TABLE metrics (
+                point_id   INTEGER NOT NULL
+                           REFERENCES points(point_id) ON DELETE CASCADE,
+                name       TEXT NOT NULL,
+                value      REAL,
+                text_value TEXT,
+                PRIMARY KEY (point_id, name)
+            ) WITHOUT ROWID
+            """,
+            "CREATE INDEX idx_metrics_value ON metrics(name, value)",
+            "CREATE INDEX idx_metrics_text  ON metrics(name, text_value)",
+            """
+            CREATE TABLE artifacts (
+                point_id INTEGER PRIMARY KEY
+                         REFERENCES points(point_id) ON DELETE CASCADE,
+                body     BLOB NOT NULL,
+                sha256   TEXT NOT NULL
+            )
+            """,
+        ),
+    ),
+)
+
+SCHEMA_VERSION = len(MIGRATIONS)
+
+
+def connect(path: str) -> sqlite3.Connection:
+    """Open (creating if needed) a campaign database at ``path``.
+
+    Applies the connection pragmas, creates the ``schema_migrations``
+    table, runs any migration the database has not seen yet, and
+    rejects databases written by a newer schema version.
+    """
+    try:
+        conn = sqlite3.connect(path, timeout=30.0, isolation_level=None)
+    except sqlite3.Error as exc:  # pragma: no cover - e.g. unreadable path
+        raise StoreError(f"cannot open campaign database {path!r}: {exc}") from exc
+    conn.row_factory = sqlite3.Row
+    try:
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA foreign_keys=ON")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        _migrate(conn, path)
+    except StoreError:
+        conn.close()
+        raise
+    except sqlite3.DatabaseError as exc:
+        conn.close()
+        raise StoreError(f"{path!r} is not a campaign database: {exc}") from exc
+    return conn
+
+
+def schema_version(conn: sqlite3.Connection) -> int:
+    """The version the connected database is migrated to."""
+    row = conn.execute(
+        "SELECT MAX(version) AS version FROM schema_migrations"
+    ).fetchone()
+    return row["version"] or 0
+
+
+def _migrate(conn: sqlite3.Connection, path: str) -> None:
+    conn.execute(
+        """
+        CREATE TABLE IF NOT EXISTS schema_migrations (
+            version     INTEGER PRIMARY KEY,
+            description TEXT NOT NULL,
+            applied_at  TEXT NOT NULL
+        )
+        """
+    )
+    current = schema_version(conn)
+    if current > SCHEMA_VERSION:
+        raise StoreError(
+            f"campaign database {path!r} is schema version {current}, newer "
+            f"than this code's {SCHEMA_VERSION}; upgrade the repro package"
+        )
+    for version in range(current + 1, SCHEMA_VERSION + 1):
+        description, statements = MIGRATIONS[version - 1]
+        # BEGIN IMMEDIATE serializes concurrent first-open races: the
+        # loser blocks on busy_timeout, then sees the version applied.
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            if schema_version(conn) >= version:
+                conn.execute("ROLLBACK")
+                continue
+            for statement in statements:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT INTO schema_migrations (version, description, applied_at)"
+                " VALUES (?, ?, datetime('now'))",
+                (version, description),
+            )
+            conn.execute("COMMIT")
+        except sqlite3.DatabaseError:
+            conn.execute("ROLLBACK")
+            raise

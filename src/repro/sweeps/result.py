@@ -159,21 +159,48 @@ class SweepResult:
             handle.write("\n")
 
     def csv_columns(self) -> list[str]:
-        """CSV header: identity, one column per axis, then the metrics."""
+        """The pinned CSV header, in order: ``index``, ``name``,
+        ``status``, one column per axis (declaration order), ``seed``,
+        the :data:`ROW_METRICS` in their declared order, and
+        ``skip_reason``.
+
+        The order is part of the artifact contract — it depends only on
+        the sweep spec (never on dict iteration, locale, or Python
+        version), so ``repro compare --csv`` diffs and CI ``cmp`` checks
+        stay stable across runs and interpreter upgrades.
+        """
         return (
-            ["index", "name"]
+            ["index", "name", "status"]
             + [axis.name for axis in self.spec.axes]
             + ["seed"]
             + list(ROW_METRICS)
+            + ["skip_reason"]
         )
 
     def to_csv(self) -> str:
-        """The summary table as CSV (deterministic: index order, fixed
-        columns, repr-style floats)."""
+        """The summary table as CSV (deterministic: executed *and*
+        skipped points merged in index order, the pinned
+        :meth:`csv_columns` order, repr-style floats).
+
+        Skipped combinations appear as ``status=skipped`` rows carrying
+        their coordinates and reason with empty metric cells, so the
+        table covers every enumerated grid cell and coverage gaps are
+        visible in the export itself.
+        """
         buffer = io.StringIO()
         columns = self.csv_columns()
         buffer.write(",".join(columns) + "\n")
-        for row in self.rows():
+        merged: list[dict] = [dict(row, status="ok") for row in self.rows()]
+        merged += [
+            {
+                "index": skip.index,
+                "status": "skipped",
+                **skip.coords,
+                "skip_reason": skip.reason,
+            }
+            for skip in self.skipped
+        ]
+        for row in sorted(merged, key=lambda r: r["index"]):
             cells = []
             for column in columns:
                 value = row.get(column, "")

@@ -14,19 +14,30 @@ no pickling — the debugging mode, and the reference the parallel path
 is pinned against.  Worker processes are forked where the platform
 allows it, so plug-in protocols and traffic generators registered by
 the parent are visible to the children.
+
+Campaigns archive to exactly one of two durable backends, with the
+same per-point resume semantics: ``resume_dir`` (one ``point-NNNNN.json``
+file per point) or ``store`` (a :class:`~repro.store.CampaignStore`
+SQLite database, which additionally indexes every point's metrics for
+``repro query`` / ``repro compare``).  Both validate the stored spec
+echo before reusing a point, so editing the sweep invalidates exactly
+the stale points either way.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..errors import SpecError
 from ..experiment.runner import run_experiment
 from ..experiment.spec import ExperimentSpec
 from .result import PointResult, SweepResult
 from .spec import SweepPoint, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..store import CampaignStore
 
 
 def run_point_payload(payload: tuple[int, str]) -> tuple[int, str]:
@@ -59,6 +70,12 @@ class SweepRunner:
             loaded from disk instead of executed — the merged
             :class:`SweepResult` is byte-identical to a fresh run
             because the stored bytes *are* the worker payloads.
+        store: path to (or an open) :class:`~repro.store.CampaignStore`
+            campaign database — the SQLite sibling of ``resume_dir``,
+            with identical resume semantics (stored artifacts reused
+            only when their spec echo matches the freshly expanded
+            point) plus indexed metrics for ``repro query`` and
+            ``repro compare``.  Mutually exclusive with ``resume_dir``.
     """
 
     def __init__(
@@ -67,14 +84,23 @@ class SweepRunner:
         workers: int = 1,
         on_point: Callable[[PointResult], None] | None = None,
         resume_dir: str | None = None,
+        store: "str | CampaignStore | None" = None,
     ) -> None:
         if workers < 1:
             raise SpecError(f"workers must be at least 1, got {workers}")
+        if resume_dir is not None and store is not None:
+            raise SpecError(
+                "--resume DIR and --store DB are mutually exclusive: both "
+                "archive the campaign's per-point artifacts, so pick one "
+                "backend (ingest the directory with 'repro store ingest' "
+                "to migrate it into a database)"
+            )
         self.spec = spec
         self.workers = workers
         self.on_point = on_point
         self.resume_dir = resume_dir
-        #: Point indices loaded from ``resume_dir`` on the last run.
+        self.store = store
+        #: Point indices loaded from the archive on the last run.
         self.resumed: list[int] = []
 
     def run(self) -> SweepResult:
@@ -89,46 +115,116 @@ class SweepRunner:
         finished: dict[int, PointResult] = {}
         self.resumed = []
         resumed_set: set[int] = set()
+        store, campaign_id, own_store = self._open_store()
+        try:
+            if store is not None:
+                for skip in expansion.skipped:
+                    store.append_point(
+                        campaign_id,
+                        skip.index,
+                        status="skipped",
+                        coords=dict(skip.coords),
+                        skip_reason=skip.reason,
+                    )
 
-        def collect(item: tuple[int, str]) -> None:
-            index, result_json = item
-            if self.resume_dir is not None and index not in resumed_set:
-                self._store_artifact(index, result_json)
-            joined = self._join(by_index[index], result_json)
-            finished[index] = joined
-            if self.on_point is not None:
-                self.on_point(joined)
+            def collect(item: tuple[int, str]) -> None:
+                index, result_json = item
+                if index not in resumed_set:
+                    if self.resume_dir is not None:
+                        self._store_artifact(index, result_json)
+                    if store is not None:
+                        self._store_point(
+                            store, campaign_id, by_index[index], result_json
+                        )
+                joined = self._join(by_index[index], result_json)
+                finished[index] = joined
+                if self.on_point is not None:
+                    self.on_point(joined)
 
-        payloads = []
-        for point in expansion.points:
-            spec_json = point.spec.to_json(indent=None)
-            cached = self._load_artifact(point)
-            if cached is not None:
-                self.resumed.append(point.index)
-                resumed_set.add(point.index)
-                collect((point.index, cached))
+            payloads = []
+            for point in expansion.points:
+                spec_json = point.spec.to_json(indent=None)
+                if store is not None:
+                    cached = store.stored_artifact(
+                        campaign_id, point.index, point.spec.to_dict()
+                    )
+                else:
+                    cached = self._load_artifact(point)
+                if cached is not None:
+                    self.resumed.append(point.index)
+                    resumed_set.add(point.index)
+                    collect((point.index, cached))
+                else:
+                    payloads.append((point.index, spec_json))
+
+            if self.workers == 1 or len(payloads) <= 1:
+                for payload in payloads:
+                    collect(run_point_payload(payload))
             else:
-                payloads.append((point.index, spec_json))
+                import multiprocessing
 
-        if self.workers == 1 or len(payloads) <= 1:
-            for payload in payloads:
-                collect(run_point_payload(payload))
-        else:
-            import multiprocessing
-
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context("spawn")
-            workers = min(self.workers, len(payloads))
-            with context.Pool(processes=workers) as pool:
-                for item in pool.imap_unordered(
-                    run_point_payload, payloads, chunksize=1
-                ):
-                    collect(item)
+                try:
+                    context = multiprocessing.get_context("fork")
+                except ValueError:  # pragma: no cover - non-POSIX platforms
+                    context = multiprocessing.get_context("spawn")
+                workers = min(self.workers, len(payloads))
+                with context.Pool(processes=workers) as pool:
+                    for item in pool.imap_unordered(
+                        run_point_payload, payloads, chunksize=1
+                    ):
+                        collect(item)
+        finally:
+            if own_store and store is not None:
+                store.close()
         points = [finished[point.index] for point in expansion.points]
         return SweepResult(
             spec=self.spec, points=points, skipped=list(expansion.skipped)
+        )
+
+    # -- store-backed campaigns --------------------------------------------
+
+    def _open_store(self):
+        """(store, campaign_id, owned) — the campaign database, if any.
+
+        Accepts either a path (opened here, closed by ``run``) or an
+        already-open :class:`~repro.store.CampaignStore` (left open for
+        the caller).  The campaign identity is the sweep's name, so
+        re-running the same sweep resumes its points; the sweep-spec
+        echo stored on the campaign is refreshed every run.
+        """
+        if self.store is None:
+            return None, None, False
+        from ..store import CampaignStore
+
+        if isinstance(self.store, CampaignStore):
+            store, owned = self.store, False
+        else:
+            store, owned = CampaignStore(self.store), True
+        campaign_id = store.ensure_campaign(
+            self.spec.name,
+            kind="sweep",
+            spec_json=self.spec.to_json(indent=None),
+        )
+        return store, campaign_id, owned
+
+    def _store_point(
+        self,
+        store: "CampaignStore",
+        campaign_id: int,
+        point: SweepPoint,
+        result_json: str,
+    ) -> None:
+        """File one executed point: identity, indexed row, exact bytes."""
+        joined = self._join(point, result_json)
+        store.append_point(
+            campaign_id,
+            point.index,
+            name=point.name,
+            coords=dict(point.coords),
+            seed=point.spec.seed,
+            spec=point.spec.to_dict(),
+            row=joined.row(),
+            artifact=result_json,
         )
 
     # -- resumable campaigns -----------------------------------------------
@@ -179,8 +275,13 @@ def run_sweep(
     workers: int = 1,
     on_point: Callable[[PointResult], None] | None = None,
     resume_dir: str | None = None,
+    store: "str | CampaignStore | None" = None,
 ) -> SweepResult:
     """Convenience wrapper: ``SweepRunner(spec, workers).run()``."""
     return SweepRunner(
-        spec, workers=workers, on_point=on_point, resume_dir=resume_dir
+        spec,
+        workers=workers,
+        on_point=on_point,
+        resume_dir=resume_dir,
+        store=store,
     ).run()

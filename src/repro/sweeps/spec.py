@@ -177,7 +177,9 @@ class SweepSpec:
         # spec's seed (name == path == "seed") matches its row column.
         from .result import ROW_METRICS
 
-        reserved = {"index", "name", "seed"} | set(ROW_METRICS)
+        reserved = {"index", "name", "seed", "status", "skip_reason"} | set(
+            ROW_METRICS
+        )
         for axis in self.axes:
             if axis.name in reserved and not (
                 axis.name == "seed" and axis.path == "seed"

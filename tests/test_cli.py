@@ -217,7 +217,8 @@ class TestSweep:
         assert "sweep 'cli-tiny': 2 points" in out
         assert "0 atomicity violations" in out
         header = csv_path.read_text().splitlines()[0]
-        assert header.startswith("index,name,protocol,seed,")
+        assert header.startswith("index,name,status,protocol,seed,")
+        assert header.endswith(",skip_reason")
         data = json.loads(json_path.read_text())
         assert len(data["points"]) == 2
         assert data["sweep"]["name"] == "cli-tiny"
@@ -414,3 +415,163 @@ class TestAdversaryCli:
         data = json.loads(json_path.read_text())
         assert data["reports"]["adversary"]["reorg"]["attacks_launched"] >= 1
         assert "chain_reorgs" in data
+
+
+class TestStoreCli:
+    """The campaign-datastore surfaces: sweep --store, query, compare,
+    and the store ingest/list/artifact actions."""
+
+    def _tiny_spec(self, tmp_path):
+        from repro.experiment import preset_spec
+        from repro.sweeps import SweepAxis, SweepSpec
+
+        spec = SweepSpec(
+            name="cli-store",
+            base=preset_spec("swap"),
+            axes=(
+                SweepAxis(
+                    name="protocol", path="protocol", values=("ac3wn", "herlihy")
+                ),
+            ),
+        )
+        path = tmp_path / "sweep.json"
+        path.write_text(spec.to_json())
+        return path
+
+    def _run_store_sweep(self, tmp_path, db=None):
+        spec_path = self._tiny_spec(tmp_path)
+        db = db or str(tmp_path / "camp.db")
+        assert (
+            main(
+                ["sweep", "--spec", str(spec_path), "--no-progress",
+                 "--store", db]
+            )
+            == 0
+        )
+        return db
+
+    def test_store_and_resume_flags_mutually_exclusive(self, tmp_path, capsys):
+        spec_path = self._tiny_spec(tmp_path)
+        assert (
+            main(
+                ["sweep", "--spec", str(spec_path),
+                 "--resume", str(tmp_path / "dir"),
+                 "--store", str(tmp_path / "camp.db")]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_store_roundtrip_and_resume(self, tmp_path, capsys):
+        spec_path = self._tiny_spec(tmp_path)
+        db = str(tmp_path / "camp.db")
+        fresh_json = tmp_path / "fresh.json"
+        resumed_json = tmp_path / "resumed.json"
+        args = ["sweep", "--spec", str(spec_path), "--no-progress",
+                "--store", db]
+        assert main(args + ["--json", str(fresh_json)]) == 0
+        assert "resumed 0 point(s)" in capsys.readouterr().out
+        assert main(args + ["--json", str(resumed_json)]) == 0
+        assert "resumed 2 point(s)" in capsys.readouterr().out
+        assert fresh_json.read_bytes() == resumed_json.read_bytes()
+
+    def test_query_formats_and_empty_match(self, tmp_path, capsys):
+        db = self._run_store_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["query", "commit_rate >= 0", "--db", db]) == 0
+        captured = capsys.readouterr()
+        assert "cli-store" in captured.out
+        assert "2 matching point(s)" in captured.err
+        assert (
+            main(["query", "protocol = 'herlihy'", "--db", db,
+                  "--format", "csv"])
+            == 0
+        )
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header.startswith("campaign,campaign_id,index,")
+        assert main(["query", "commit_rate >= 0", "--db", db,
+                     "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["index"] for row in rows] == [0, 1]
+        # Matching nothing is still success.
+        assert main(["query", "commit_rate > 2", "--db", db]) == 0
+        assert "0 matching point(s)" in capsys.readouterr().err
+
+    def test_query_errors_exit_2(self, tmp_path, capsys):
+        db = self._run_store_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["query", "commit_rate <", "--db", db]) == 2
+        assert "repro query:" in capsys.readouterr().err
+        # A directory is not a database: clean error, not a traceback.
+        assert main(["query", "x > 1", "--db", str(tmp_path)]) == 2
+        assert "repro query:" in capsys.readouterr().err
+
+    def test_compare_self_is_clean(self, tmp_path, capsys):
+        db = self._run_store_sweep(tmp_path)
+        capsys.readouterr()
+        csv_path = tmp_path / "diff.csv"
+        assert main(["compare", db, db, "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+        header = csv_path.read_text().splitlines()[0]
+        assert header == "coords,metric,a,b,delta,rel_change,direction,regression"
+
+    def test_compare_flags_regressions_with_exit_1(self, tmp_path, capsys):
+        from repro.store import CampaignStore
+
+        db = str(tmp_path / "camp.db")
+        with CampaignStore(db) as store:
+            for name, rate in (("a", 0.9), ("b", 0.4)):
+                cid = store.create_campaign(name)
+                store.append_point(
+                    cid, 0, coords={"protocol": "ac3wn"},
+                    row={"index": 0, "total": 10, "commit_rate": rate},
+                )
+        assert main(["compare", db, "--a", "a", "--b", "b"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "commit_rate" in out
+        # The latest-vs-previous default: campaigns share a name.
+        with CampaignStore(db) as store:
+            for rate in (0.9, 0.4):
+                cid = store.create_campaign("bench", kind="sweep")
+                store.append_point(
+                    cid, 0, coords={"protocol": "ac3wn"},
+                    row={"index": 0, "total": 10, "commit_rate": rate},
+                )
+        assert main(["compare", db, "--b", "bench"]) == 1
+
+    def test_store_list_and_artifact(self, tmp_path, capsys):
+        db = self._run_store_sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "list", "--db", db]) == 0
+        out = capsys.readouterr().out
+        assert "cli-store" in out and "2 point(s)" in out
+        assert main(["store", "list", "--db", db, "--json"]) == 0
+        infos = json.loads(capsys.readouterr().out)
+        assert infos[0]["points"] == 2
+        # Recovered artifact bytes equal the stored blob exactly.
+        from repro.store import CampaignStore
+
+        out_path = tmp_path / "p0.json"
+        assert main(["store", "artifact", "--db", db, "--point", "0",
+                     "-o", str(out_path)]) == 0
+        artifact = json.loads(out_path.read_text())
+        assert artifact["spec"]["protocol"] == "ac3wn"
+        with CampaignStore(db) as store:
+            cid = store.campaigns()[0].campaign_id
+            assert out_path.read_text() == store.get_artifact(cid, 0)
+        assert main(["store", "artifact", "--db", db, "--point", "9"]) == 2
+
+    def test_store_ingest_directory(self, tmp_path, capsys):
+        spec_path = self._tiny_spec(tmp_path)
+        resume = tmp_path / "campaign"
+        assert main(["sweep", "--spec", str(spec_path), "--no-progress",
+                     "--resume", str(resume)]) == 0
+        capsys.readouterr()
+        db = str(tmp_path / "ingested.db")
+        assert main(["store", "ingest", str(resume), "--db", db,
+                     "--campaign", "imported"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and "2 point(s)" in out
+        assert main(["query", "commit_rate >= 0", "--db", db]) == 0
+        assert main(["store", "ingest", str(tmp_path / "nope"), "--db", db]) == 2

@@ -322,8 +322,45 @@ class TestRunner:
         assert all(set(ROW_METRICS) <= set(row) for row in rows)
         csv = result.to_csv()
         header, *lines = csv.strip().splitlines()
-        assert header.startswith("index,name,rate,protocol,seed,total,")
+        assert header.startswith("index,name,status,rate,protocol,seed,total,")
+        assert header.endswith(",skip_reason")
         assert len(lines) == 4
+        import csv as csv_mod
+
+        parsed = list(csv_mod.reader(lines))
+        assert all(cells[2] == "ok" for cells in parsed)
+
+    def test_csv_includes_skipped_rows(self):
+        """Skipped grid cells export as status=skipped rows merged in
+        index order, so the table covers every enumerated cell."""
+        sweep = tiny_sweep(
+            axes=(
+                SweepAxis(
+                    name="protocol", path="protocol", values=("nolan", "ac3wn")
+                ),
+                SweepAxis(
+                    name="diameter",
+                    values=(
+                        {"chains.ids": ["c0", "c1"], "traffic.participants_per_swap": 2},
+                        {"chains.ids": ["c0", "c1", "c2"], "traffic.participants_per_swap": 3},
+                    ),
+                    labels=("2", "3"),
+                ),
+            ),
+            drop_invalid=True,
+        )
+        import csv as csv_mod
+
+        result = run_sweep(sweep)
+        header, *lines = list(csv_mod.reader(result.to_csv().splitlines()))
+        assert len(lines) == 4  # 3 executed + 1 skipped, no gaps
+        skipped = lines[1]
+        assert skipped[header.index("index")] == "1"
+        assert skipped[header.index("status")] == "skipped"
+        assert skipped[header.index("protocol")] == "nolan"
+        assert skipped[header.index("total")] == ""  # empty metric cells
+        assert "two-party" in skipped[header.index("skip_reason")]
+        assert all(line[2] == "ok" for line in (lines[0], lines[2], lines[3]))
 
     def test_series_helper(self):
         result = run_sweep(tiny_sweep())

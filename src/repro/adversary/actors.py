@@ -696,6 +696,7 @@ class AdversaryRoster:
 
     def __init__(self, spec: AdversarySpec) -> None:
         self.spec = spec
+        self._violations_emitted: set[int] = set()
         self.reorg: ReorgAttacker | None = None
         self.censor: CensoringMiner | None = None
         self.byzantine: ByzantineParticipant | None = None
@@ -787,10 +788,13 @@ class AdversaryRoster:
         if self.reorg is None or not any(r.won for r in self.reorg.records):
             return
         env = self.reorg.env
+        collector = self.reorg.engine.collector
         for request in requests:
             outcome = request.outcome
             if outcome is None:
                 continue
+            was_atomic = outcome.is_atomic
+            rewritten = 0
             for key, record in outcome.contracts.items():
                 if not record.contract_id:
                     continue
@@ -807,6 +811,26 @@ class AdversaryRoster:
                         f"{record.final_state!r}, chain says {truth!r}"
                     )
                     record.final_state = truth
+                    rewritten += 1
+            # The outcome event already went out (with the snapshot the
+            # drivers observed); a flip discovered here is a *new* fact
+            # the live monitor must see, so emit it as its own event —
+            # once per swap, since the audit is idempotent.
+            if (
+                rewritten
+                and was_atomic
+                and not outcome.is_atomic
+                and collector is not None
+                and request.swap_id not in self._violations_emitted
+            ):
+                self._violations_emitted.add(request.swap_id)
+                collector.emit(
+                    "swap",
+                    "violation",
+                    swap_id=request.swap_id,
+                    decision=outcome.decision,
+                    rewritten=rewritten,
+                )
 
     def report(self) -> dict:
         """A JSON-able summary of everything the adversary did."""

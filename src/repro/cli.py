@@ -5,10 +5,12 @@
     python -m repro run --preset congestion --set traffic.num_swaps=60 --json out.json
     python -m repro run --spec my_experiment.json --set engine.eager=false
     python -m repro run --preset security --trace out.jsonl
+    python -m repro run --preset security --metrics out.prom --alert-stderr
     python -m repro run --list-presets [--json]
     python -m repro trace out.jsonl
     python -m repro trace out.jsonl --swap 3
     python -m repro trace out.jsonl --series series.csv
+    python -m repro alerts out.jsonl
     python -m repro sweep --preset figure10 --workers 4 --csv out.csv
     python -m repro sweep --preset security-matrix --workers 4 --resume runs/sec
     python -m repro sweep --preset security-smoke --workers 2 --store camp.db
@@ -235,6 +237,26 @@ def _finish_run(result: ExperimentResult, json_path: str | None) -> int:
     return 0 if result.metrics.atomicity_violations == 0 else 1
 
 
+class _StderrDiagnostics:
+    """The single writer every diagnostic goes through.
+
+    Progress lines, cProfile tables, event-queue stats, and live alert
+    lines can all target stderr in the same run; writing each block via
+    one buffered ``write`` + ``flush`` means producers interleave only
+    at block boundaries, never mid-line (the ``--profile`` +
+    ``--progress`` race this fixes).
+    """
+
+    def write(self, text: str) -> None:
+        if not text.endswith("\n"):
+            text += "\n"
+        sys.stderr.write(text)
+        sys.stderr.flush()
+
+
+_diagnostics = _StderrDiagnostics()
+
+
 def _profiled(destination: str | None, fn):
     """Run ``fn`` under cProfile when ``--profile`` was passed.
 
@@ -257,10 +279,11 @@ def _profiled(destination: str | None, fn):
         profiler.disable()
         stream = io.StringIO()
         pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(25)
-        print(stream.getvalue(), file=sys.stderr)
+        block = stream.getvalue()
         if destination != "-":
             profiler.dump_stats(destination)
-            print(f"wrote profile data to {destination}", file=sys.stderr)
+            block += f"wrote profile data to {destination}\n"
+        _diagnostics.write(block)
     return result
 
 
@@ -304,12 +327,14 @@ def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
 def _print_queue_stats(result: ExperimentResult) -> None:
     """The event-loop's own counters, alongside the cProfile table."""
     stats = result.env.simulator.queue_stats()
-    print(
+    peak = (
+        f", peak {stats['max_pending']}" if "max_pending" in stats else ""
+    )
+    _diagnostics.write(
         f"event queue: {stats['events_processed']} events processed, "
         f"{stats['cancelled']} cancelled, {stats['pool_reuses']} pool "
         f"reuses, {stats['compactions']} compactions, "
-        f"{stats['pending']} still pending",
-        file=sys.stderr,
+        f"{stats['pending']} still pending{peak}"
     )
 
 
@@ -336,6 +361,42 @@ def _write_trace(result: ExperimentResult, path: str) -> int:
     return 0
 
 
+def _write_metrics(result: ExperimentResult, path: str) -> int:
+    registry = result.metrics_registry
+    if registry is None:  # pragma: no cover - --metrics forces it on
+        print("repro run: no metrics were collected", file=sys.stderr)
+        return 2
+    # Format by extension: .prom -> Prometheus text exposition, anything
+    # else (and stdout) -> the strict-serde JSON snapshot.
+    text = (
+        registry.to_prometheus()
+        if path.endswith(".prom")
+        else registry.to_json() + "\n"
+    )
+    try:
+        if path == "-":
+            sys.stdout.write(text)
+        else:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+    except OSError as exc:
+        print(f"repro run: cannot write {path}: {exc}", file=sys.stderr)
+        return 2
+    if path != "-":
+        print(f"wrote metrics snapshot to {path}")
+    return 0
+
+
+def _print_alerts(result: ExperimentResult) -> None:
+    alerts = result.alerts or []
+    if not alerts:
+        print("\nmonitor: no alerts")
+        return
+    print(f"\nmonitor: {len(alerts)} alert(s)")
+    for alert in alerts:
+        print(f"  {alert.render()}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list_presets:
         _print_catalog(preset_names(), preset_description, args.json is not None)
@@ -346,22 +407,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
             # --trace is the switch: it arms the recorder even when the
             # preset/spec left obs off, without editing the spec file.
             spec = apply_overrides(spec, {"obs.enabled": True})
+        if args.metrics:
+            # --metrics arms the registry and the invariant monitor the
+            # same way; --alert-stderr additionally streams each firing
+            # to stderr as it happens.
+            overrides: dict = {
+                "obs.metrics.enabled": True,
+                "obs.monitor.enabled": True,
+            }
+            if args.alert_stderr:
+                overrides["obs.monitor.stderr"] = True
+            spec = apply_overrides(spec, overrides)
         result = _profiled(args.profile, lambda: run_experiment(spec))
     except (SpecError, OSError) as exc:
         print(f"repro run: {exc}", file=sys.stderr)
         return 2
     if args.profile is not None:
         _print_queue_stats(result)
-    streaming = args.json == "-" or args.trace == "-"
+    streaming = args.json == "-" or args.trace == "-" or args.metrics == "-"
     if streaming:
         # Streaming an artifact to stdout: keep it parseable by moving
         # the human-readable tables to stderr.
         with contextlib.redirect_stdout(sys.stderr):
             print_result(result)
+            if args.metrics:
+                _print_alerts(result)
     else:
         print_result(result)
+        if args.metrics:
+            _print_alerts(result)
     if args.trace:
         status = _write_trace(result, args.trace)
+        if status:
+            return status
+    if args.metrics:
+        status = _write_metrics(result, args.metrics)
         if status:
             return status
     return _finish_run(result, args.json)
@@ -401,6 +481,18 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             print(f"wrote {args.series}")
         return 0
     print(summarize(collector))
+    return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    from .obs import load_trace, render_alerts
+
+    try:
+        collector = load_trace(args.file)
+    except (TraceError, OSError, ValueError) as exc:
+        print(f"repro alerts: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(render_alerts(collector))
     return 0
 
 
@@ -489,14 +581,45 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     try:
         spec = _load_sweep(args)
 
-        def progress(point) -> None:
+        import time as _time
+
+        started = _time.monotonic()
+        worker_walls: dict[int, list[float]] = {}
+
+        def progress(point, beat: dict) -> None:
             m = point.metrics
-            print(
-                f"  [{point.index:03d}] {point.name}: "
+            completed, total = beat["completed"], beat["total"]
+            line = (
+                f"  [{completed:03d}/{total:03d}] {point.name}: "
                 f"commit {m['commit_rate']:.1%}, "
-                f"{m['atomicity_violations']} violations",
-                file=sys.stderr,
+                f"{m['atomicity_violations']} violations"
             )
+            if beat["wall"] is not None:
+                worker_walls.setdefault(beat["pid"], []).append(beat["wall"])
+                executed = sum(len(w) for w in worker_walls.values())
+                elapsed = _time.monotonic() - started
+                remaining = total - completed
+                if remaining and executed and elapsed > 0:
+                    rate = executed / elapsed
+                    line += (
+                        f" | {beat['wall']:.2f}s, running {beat['running']}, "
+                        f"ETA {remaining / rate:.1f}s"
+                    )
+                else:
+                    line += f" | {beat['wall']:.2f}s"
+            else:
+                line += " | resumed"
+            _diagnostics.write(line)
+
+        def throughput_summary() -> None:
+            for pid in sorted(worker_walls):
+                walls = worker_walls[pid]
+                busy = sum(walls)
+                rate = len(walls) / busy if busy > 0 else 0.0
+                _diagnostics.write(
+                    f"  worker {pid}: {len(walls)} point(s) in {busy:.2f}s "
+                    f"({rate:.2f} pts/s)"
+                )
 
         # Streaming an export to stdout: keep it parseable by moving the
         # narration and the human-readable table to stderr.
@@ -505,7 +628,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         runner = SweepRunner(
             spec,
             workers=args.workers,
-            on_point=progress if args.progress else None,
+            on_progress=progress if args.progress else None,
             resume_dir=args.resume,
             store=args.store,
         )
@@ -515,6 +638,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=narrate,
         )
         result = _profiled(args.profile, runner.run)
+        if args.progress and worker_walls:
+            throughput_summary()
         if args.resume or args.store:
             source = args.resume or args.store
             print(
@@ -1018,6 +1143,21 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro trace PATH'",
     )
     run.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="arm the metrics registry and the invariant monitor "
+        "(obs.metrics.enabled / obs.monitor.enabled) and write the final "
+        "registry snapshot here: *.prom gets Prometheus text exposition, "
+        "anything else the strict JSON snapshot ('-' for stdout)",
+    )
+    run.add_argument(
+        "--alert-stderr",
+        action="store_true",
+        help="with --metrics: stream each monitor alert to stderr the "
+        "moment it fires",
+    )
+    run.add_argument(
         "--list-presets", action="store_true", help="list the preset catalog and exit"
     )
     run.set_defaults(func=_cmd_run)
@@ -1041,6 +1181,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sampled time-series gauges as CSV ('-' for stdout)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="list the invariant-monitor alerts recorded in a trace",
+    )
+    alerts.add_argument("file", help="trace JSONL file written by run --trace")
+    alerts.set_defaults(func=_cmd_alerts)
 
     sweep = sub.add_parser(
         "sweep",

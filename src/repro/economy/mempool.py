@@ -248,11 +248,15 @@ class PriorityMempool(Mempool):
             self._remove(mid)
             self.evicted += 1
             if self.collector is not None:
+                # ``pending`` rides along so depth-watching sinks (the
+                # saturation alert rule's hysteresis) see the pool drain
+                # without waiting for the next submit.
                 self.collector.emit(
                     "mempool",
                     "evict",
                     chain_id=self.chain.params.chain_id,
                     evicted=mid.hex()[:16],
+                    pending=len(self._pending),
                 )
             self._notify_eviction(mid)
 

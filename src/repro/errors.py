@@ -119,6 +119,11 @@ class TraceError(SimulationError):
     """A flight-recorder trace is malformed (bad schema, unknown keys)."""
 
 
+class MetricsError(TraceError):
+    """A metrics registry was misused (type clash, bad buckets) or a
+    serialized snapshot is malformed."""
+
+
 # ---------------------------------------------------------------------------
 # Protocol
 # ---------------------------------------------------------------------------

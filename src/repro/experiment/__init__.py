@@ -30,6 +30,7 @@ from .registry import (
 from .runner import ExperimentResult, build_environment, run_experiment
 from .spec import (
     ChainOverride,
+    AlertRulesSpec,
     ChainsSpec,
     CrashSpec,
     EngineSpec,
@@ -38,6 +39,8 @@ from .spec import (
     FeeMarketSpec,
     FeeShockSpec,
     LatencySpec,
+    MetricsSpec,
+    MonitorSpec,
     ObsSpec,
     TrafficSpec,
     apply_overrides,
@@ -48,6 +51,7 @@ from .spec import (
 
 __all__ = [
     "ChainOverride",
+    "AlertRulesSpec",
     "ChainsSpec",
     "CrashSpec",
     "EngineSpec",
@@ -57,6 +61,8 @@ __all__ = [
     "FeeMarketSpec",
     "FeeShockSpec",
     "LatencySpec",
+    "MetricsSpec",
+    "MonitorSpec",
     "ObsSpec",
     "TrafficSpec",
     "apply_overrides",

@@ -25,7 +25,21 @@ from ..crypto.signatures import clear_verify_cache as clear_multisig_cache
 from ..crypto.signatures import verify_cache_info as multisig_cache_info
 from ..engine import PROTOCOLS, EngineResult, SwapEngine
 from ..engine.metrics import EngineMetrics
-from ..obs import TimeSeriesSampler, TraceCollector, instrument
+from ..obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Alert,
+    AtomicityRule,
+    InvariantMonitor,
+    MempoolSaturationRule,
+    MetricsRegistry,
+    MetricsTap,
+    PricedOutSpikeRule,
+    ReorgDepthRule,
+    StallRule,
+    TimeSeriesSampler,
+    TraceCollector,
+    instrument,
+)
 from ..workloads.scenarios import (
     ScenarioEnvironment,
     build_multi_scenario,
@@ -80,6 +94,13 @@ class ExperimentResult:
             memo) — how much the PR 5/6 caches actually saved this run.
         trace_collector: the flight recorder, when ``spec.obs.enabled``
             (not exported into ``to_dict``; see ``to_jsonl``).
+        metrics_registry: the live metrics registry, when
+            ``spec.obs.metrics.enabled`` (exported as
+            ``reports.metrics`` — only then, so disabled artifacts stay
+            byte-identical to pre-metrics ones).
+        alerts: the invariant monitor's ordered firings, when
+            ``spec.obs.monitor.enabled`` (exported as ``reports.alerts``
+            under the same only-when-enabled contract).
     """
 
     spec: ExperimentSpec
@@ -92,6 +113,8 @@ class ExperimentResult:
     env: ScenarioEnvironment = field(repr=False)
     caches: dict | None = None
     trace_collector: TraceCollector | None = field(default=None, repr=False)
+    metrics_registry: MetricsRegistry | None = field(default=None, repr=False)
+    alerts: list[Alert] | None = field(default=None, repr=False)
 
     def trace(self) -> list[tuple[int, str, str, float, float]]:
         """The engine's deterministic run fingerprint (for tests)."""
@@ -99,6 +122,29 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         requests = self.engine_result.requests
+        reports: dict = {
+            "adversary": self.engine_result.adversary,
+            "caches": self.caches,
+            "throughput": [asdict(row) for row in self.throughput],
+            "congestion_cost": (
+                None
+                if self.congestion_cost is None
+                else [
+                    {
+                        **asdict(row),
+                        "congestion_premium": row.congestion_premium,
+                        "priced_out_rate": row.priced_out_rate,
+                    }
+                    for row in self.congestion_cost
+                ]
+            ),
+        }
+        # Observability keys appear only when their feature was armed,
+        # so disabled artifacts stay byte-identical to the goldens.
+        if self.metrics_registry is not None:
+            reports["metrics"] = self.metrics_registry.to_dict()
+        if self.alerts is not None:
+            reports["alerts"] = [alert.to_dict() for alert in self.alerts]
         return {
             "spec": self.spec.to_dict(),
             "metrics": asdict(self.metrics),
@@ -111,23 +157,7 @@ class ExperimentResult:
                 if r.outcome is not None
             ],
             "chain_reorgs": dict(self.engine_result.chain_reorgs),
-            "reports": {
-                "adversary": self.engine_result.adversary,
-                "caches": self.caches,
-                "throughput": [asdict(row) for row in self.throughput],
-                "congestion_cost": (
-                    None
-                    if self.congestion_cost is None
-                    else [
-                        {
-                            **asdict(row),
-                            "congestion_premium": row.congestion_premium,
-                            "priced_out_rate": row.priced_out_rate,
-                        }
-                        for row in self.congestion_cost
-                    ]
-                ),
-            },
+            "reports": reports,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -209,6 +239,47 @@ def _caches_report() -> dict:
     return report
 
 
+def _monitor_rules(spec: ExperimentSpec) -> list:
+    """Materialize the monitor's rule set, resolving spec-relative
+    defaults: the reorg policy depth falls back to the confirmation
+    depth (an adopted fork at least that deep means the depth-d defense
+    was breached), and the stall budget is the slowest chain's
+    block interval × confirmation depth × the configured multiple."""
+    rules = spec.obs.monitor.rules
+    out: list = []
+    if rules.atomicity:
+        out.append(AtomicityRule())
+    depth = rules.reorg_depth
+    if depth is None:
+        depth = spec.chains.confirmation_depth
+    if depth:
+        out.append(ReorgDepthRule(depth))
+    if rules.stall_multiple is not None:
+        intervals = [spec.chains.block_interval] + [
+            o.block_interval
+            for o in spec.chains.overrides.values()
+            if o.block_interval is not None
+        ]
+        depths = [spec.chains.confirmation_depth] + [
+            o.confirmation_depth
+            for o in spec.chains.overrides.values()
+            if o.confirmation_depth is not None
+        ]
+        base = max(intervals) * max(depths)
+        out.append(StallRule(rules.stall_multiple * base))
+    if rules.mempool_saturation is not None:
+        out.append(MempoolSaturationRule(rules.mempool_saturation))
+    if rules.priced_out_rate is not None:
+        out.append(
+            PricedOutSpikeRule(
+                rules.priced_out_rate,
+                rules.priced_out_window,
+                rules.priced_out_min,
+            )
+        )
+    return out
+
+
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Validate and execute one spec end to end; never mutates ``spec``."""
     spec.validate()
@@ -234,21 +305,53 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         jitter_span=spec.engine.jitter,
     )
     # Attach the flight recorder before anything can emit (a no-op when
-    # obs is off: no collector ⇒ every emit-site guard stays False).
+    # all of obs is off: no collector ⇒ every emit-site guard stays
+    # False).  Metrics and the monitor ride the same event stream as
+    # sinks; when only they are armed the collector retains nothing —
+    # it dispatches each event and lets it go.
+    obs = spec.obs
     collector = None
     sampler = None
-    if spec.obs.enabled:
+    registry = None
+    monitor = None
+    if obs.enabled or obs.metrics.enabled or obs.monitor.enabled:
         collector = TraceCollector(
-            categories=spec.obs.categories, ring_size=spec.obs.ring_size
+            categories=obs.categories,
+            ring_size=obs.ring_size,
+            retain=obs.enabled,
         )
+        if obs.metrics.enabled:
+            registry = MetricsRegistry()
+            tap = MetricsTap(
+                registry,
+                latency_buckets=obs.metrics.latency_buckets
+                or DEFAULT_LATENCY_BUCKETS,
+            )
+            collector.add_sink(tap.observe)
+        if obs.monitor.enabled:
+            stream = None
+            if obs.monitor.stderr:
+                import sys
+
+                def stream(line: str) -> None:
+                    # One buffered write + flush per alert, so live
+                    # alert lines never interleave mid-line with other
+                    # stderr diagnostics (progress, profiles).
+                    sys.stderr.write(line + "\n")
+                    sys.stderr.flush()
+
+            monitor = InvariantMonitor(
+                collector, rules=_monitor_rules(spec), stream=stream
+            )
+            collector.add_sink(monitor.observe)
         instrument(collector, env, engine)
-        if collector.wants("sample"):
+        if collector.wants("sample") and (obs.enabled or obs.metrics.enabled):
             sampler = TimeSeriesSampler(
                 collector,
                 env,
                 engine,
-                interval=spec.obs.sample_interval,
-                window=spec.obs.sample_window,
+                interval=obs.sample_interval,
+                window=obs.sample_window,
             ).start()
     # Arm the adversarial roster (a no-op when every actor is disabled).
     build_roster(spec, env, engine)
@@ -286,5 +389,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         engine_result=raw,
         env=env,
         caches=_caches_report(),
-        trace_collector=collector,
+        trace_collector=collector if spec.obs.enabled else None,
+        metrics_registry=registry,
+        alerts=monitor.alerts if monitor is not None else None,
     )

@@ -396,6 +396,78 @@ class EngineSpec:
 
 
 @dataclass(frozen=True)
+class MetricsSpec:
+    """The live :class:`~repro.obs.MetricsRegistry` (off by default).
+
+    Attributes:
+        enabled: fold the trace event stream into a label-aware metrics
+            registry, exported into ``reports.metrics`` and via
+            ``repro run --metrics OUT``.  Arms the event stream even
+            when ``obs.enabled`` is off (the collector then retains
+            nothing — it only dispatches to the registry tap).
+        latency_buckets: swap-latency histogram boundaries in
+            sim-seconds, strictly increasing; empty = the stock
+            :data:`~repro.obs.DEFAULT_LATENCY_BUCKETS`.  Fixed at
+            registration so snapshots are a pure function of the spec.
+    """
+
+    enabled: bool = False
+    latency_buckets: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class AlertRulesSpec:
+    """Declarative thresholds for the invariant monitor's rules.
+
+    Every rule is deterministic over the event stream; a ``None``
+    threshold disables that rule.  Defaults are chosen so a clean,
+    honest run fires nothing: alerts mean something broke or crossed a
+    policy line, not that monitoring is on.
+
+    Attributes:
+        atomicity: alert whenever a swap settles non-atomically.
+        reorg_depth: alert when a reorg abandons at least this many
+            blocks (None = the spec's ``chains.confirmation_depth`` —
+            i.e. the depth-d defense was breached).  0 disables.
+        stall_multiple: alert when a swap makes no phase progress for
+            longer than this multiple of the base deadline (slowest
+            block interval × confirmation depth).  None disables.
+        mempool_saturation: alert when a mempool's pending depth
+            reaches this many messages (None = off; fires once per
+            crossing, re-arming when the pool drains).
+        priced_out_rate: alert when the priced-out share of outcomes
+            inside ``priced_out_window`` reaches this fraction with at
+            least ``priced_out_min`` casualties (None = off).
+    """
+
+    atomicity: bool = True
+    reorg_depth: int | None = None
+    stall_multiple: float | None = 20.0
+    mempool_saturation: int | None = None
+    priced_out_rate: float | None = None
+    priced_out_window: float = 30.0
+    priced_out_min: int = 5
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """The online :class:`~repro.obs.InvariantMonitor` (off by default).
+
+    Attributes:
+        enabled: evaluate the alert rules in-stream; firings land in
+            ``reports.alerts`` and, when tracing, as ``alert`` events.
+        rules: the rule thresholds (see :class:`AlertRulesSpec`).
+        stderr: additionally print each alert to stderr the moment it
+            fires (the live-operator view; off keeps runs quiet and
+            output deterministic for tests).
+    """
+
+    enabled: bool = False
+    rules: AlertRulesSpec = field(default_factory=AlertRulesSpec)
+    stderr: bool = False
+
+
+@dataclass(frozen=True)
 class ObsSpec:
     """The flight recorder (see :mod:`repro.obs`): off by default.
 
@@ -403,13 +475,16 @@ class ObsSpec:
         enabled: attach a :class:`~repro.obs.TraceCollector` to the run
             (disabled runs are byte- and time-identical to untraced ones).
         categories: trace categories to record; empty means all of
-            :data:`repro.obs.CATEGORIES`.
+            :data:`repro.obs.CATEGORIES`.  Also scopes what the metrics
+            registry and monitor can see when they are enabled.
         ring_size: bounded flight-recorder mode — keep only the newest
             N events (None = unbounded).
         sample_interval: sim-seconds between :class:`TimeSeriesSampler`
             gauge emissions (only when the ``sample`` category is on).
         sample_window: trailing window for the sampler's windowed
             metrics view (None = four sample intervals).
+        metrics: the live metrics registry (see :class:`MetricsSpec`).
+        monitor: the online invariant monitor (see :class:`MonitorSpec`).
     """
 
     enabled: bool = False
@@ -417,6 +492,8 @@ class ObsSpec:
     ring_size: int | None = None
     sample_interval: float = 10.0
     sample_window: float | None = None
+    metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    monitor: MonitorSpec = field(default_factory=MonitorSpec)
 
 
 @dataclass(frozen=True)
@@ -579,6 +656,24 @@ class ExperimentSpec:
             fail("obs.sample_interval must be positive")
         if self.obs.sample_window is not None and self.obs.sample_window <= 0:
             fail("obs.sample_window must be positive")
+        buckets = self.obs.metrics.latency_buckets
+        if any(b <= 0 for b in buckets):
+            fail("obs.metrics.latency_buckets must be positive")
+        if any(b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])):
+            fail("obs.metrics.latency_buckets must be strictly increasing")
+        rules = self.obs.monitor.rules
+        if rules.reorg_depth is not None and rules.reorg_depth < 0:
+            fail("obs.monitor.rules.reorg_depth must be non-negative")
+        if rules.stall_multiple is not None and rules.stall_multiple <= 0:
+            fail("obs.monitor.rules.stall_multiple must be positive")
+        if rules.mempool_saturation is not None and rules.mempool_saturation < 1:
+            fail("obs.monitor.rules.mempool_saturation must be at least 1")
+        if rules.priced_out_rate is not None and not 0.0 < rules.priced_out_rate <= 1.0:
+            fail("obs.monitor.rules.priced_out_rate must be within (0, 1]")
+        if rules.priced_out_window <= 0:
+            fail("obs.monitor.rules.priced_out_window must be positive")
+        if rules.priced_out_min < 1:
+            fail("obs.monitor.rules.priced_out_min must be at least 1")
         # Building the economy objects runs their own validation too;
         # surface their FeeError as a spec error so callers (and the
         # CLI's exit-2 path) only ever see SpecError for a bad spec.

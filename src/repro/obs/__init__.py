@@ -1,17 +1,41 @@
-"""Observability: the flight recorder, span folding, and samplers.
+"""Observability: the flight recorder, live metrics, and the monitor.
 
 Zero-cost when disabled: every emit site in the engine, drivers,
 chains, mempools, nodes, and adversary actors sits behind a single
 ``if collector is not None`` check, so a run without a collector is
-byte- and time-identical to one before this package existed.
+byte- and time-identical to one before this package existed.  The
+metrics registry and the invariant monitor consume the same event
+stream as in-process sinks, so they inherit the same contract.
 
 See :mod:`repro.obs.trace` for the event model and JSONL serde,
-:mod:`repro.obs.spans` for per-swap timeline reconstruction,
-:mod:`repro.obs.sampler` for windowed time-series gauges, and
-``docs/observability.md`` for the full walkthrough.
+:mod:`repro.obs.metrics` for the label-aware registry and its
+Prometheus/JSON exporters, :mod:`repro.obs.monitor` for declarative
+alert rules, :mod:`repro.obs.spans` for per-swap timeline
+reconstruction, :mod:`repro.obs.sampler` for windowed time-series
+gauges, and ``docs/observability.md`` for the full walkthrough.
 """
 
-from .explorer import load_trace, render_swap, series_csv, summarize
+from .explorer import load_trace, render_alerts, render_swap, series_csv, summarize
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsTap,
+)
+from .monitor import (
+    Alert,
+    AtomicityRule,
+    InvariantMonitor,
+    MempoolSaturationRule,
+    PricedOutSpikeRule,
+    ReorgDepthRule,
+    Rule,
+    StallRule,
+    alerts_from_events,
+)
 from .sampler import TimeSeriesSampler
 from .spans import PhaseSpan, SwapTimeline, category_histogram, swap_ids
 from .trace import CATEGORIES, SCHEMA, TraceCollector, TraceEvent
@@ -19,15 +43,32 @@ from .wiring import instrument
 
 __all__ = [
     "CATEGORIES",
+    "DEFAULT_LATENCY_BUCKETS",
+    "METRICS_SCHEMA",
     "SCHEMA",
+    "Alert",
+    "AtomicityRule",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InvariantMonitor",
+    "MempoolSaturationRule",
+    "MetricsRegistry",
+    "MetricsTap",
     "PhaseSpan",
+    "PricedOutSpikeRule",
+    "ReorgDepthRule",
+    "Rule",
+    "StallRule",
     "SwapTimeline",
     "TimeSeriesSampler",
     "TraceCollector",
     "TraceEvent",
+    "alerts_from_events",
     "category_histogram",
     "instrument",
     "load_trace",
+    "render_alerts",
     "render_swap",
     "series_csv",
     "summarize",

@@ -1,16 +1,18 @@
-"""The trace timeline explorer behind ``repro trace``.
+"""The trace timeline explorer behind ``repro trace`` / ``repro alerts``.
 
 Pure functions from a parsed trace to text: a run summary (header info
 plus a category/kind histogram and per-swap decisions), a per-swap span
-timeline (:meth:`SwapTimeline.render`), and the sampler's windowed
-series as CSV.  The CLI stays a thin shell over these so tests can
-exercise the rendering directly.
+timeline (:meth:`SwapTimeline.render`), the sampler's windowed series
+as CSV (alert-annotated when the trace carries ``alert`` events), and
+the invariant-monitor alert log.  The CLI stays a thin shell over these
+so tests can exercise the rendering directly.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
+from .monitor import alerts_from_events
 from .spans import SwapTimeline, category_histogram, swap_ids
 from .trace import TraceCollector, TraceEvent
 
@@ -65,7 +67,34 @@ def summarize(collector: TraceCollector) -> str:
     samples = sum(1 for e in events if e.category == "sample")
     if samples:
         lines.append(f"samples: {samples} (export the series with --series PATH)")
+    alerts = sum(1 for e in events if e.category == "alert")
+    if alerts:
+        by_rule: dict[str, int] = {}
+        for e in events:
+            if e.category == "alert":
+                by_rule[e.kind] = by_rule.get(e.kind, 0) + 1
+        lines.append(
+            f"alerts: {alerts} ("
+            + " ".join(f"{k}={v}" for k, v in sorted(by_rule.items()))
+            + ")  (list them with 'repro alerts FILE')"
+        )
     return "\n".join(lines)
+
+
+def render_alerts(collector: TraceCollector) -> str:
+    """The ``repro alerts FILE`` view: every monitor firing, in order."""
+    alerts = alerts_from_events(collector.events())
+    if not alerts:
+        return "no alerts recorded in this trace\n"
+    lines = [alert.render() for alert in alerts]
+    by_rule: dict[str, int] = {}
+    for alert in alerts:
+        by_rule[alert.rule] = by_rule.get(alert.rule, 0) + 1
+    lines.append(
+        f"{len(alerts)} alert(s): "
+        + " ".join(f"{k}={v}" for k, v in sorted(by_rule.items()))
+    )
+    return "\n".join(lines) + "\n"
 
 
 def render_swap(collector: TraceCollector, swap_id: int) -> str:
@@ -80,10 +109,19 @@ def series_csv(events: Iterable[TraceEvent]) -> str:
     depth, height, reorgs) fan out into one ``gauge.chain`` column per
     chain.  Columns are the union over all samples, sorted, with ``t``
     first; missing values render empty.
+
+    When the trace carries ``alert`` events (the invariant monitor was
+    on), two annotation columns are appended: ``alerts`` counts the
+    firings inside each sample window (``prev_t < time <= t``) and
+    ``alert_rules`` names their rules, so the windows where something
+    went wrong are visible right inside the series.
     """
+    events = list(events)
     samples = [e for e in events if e.category == "sample"]
+    alert_events = [e for e in events if e.category == "alert"]
     rows: list[dict[str, object]] = []
     columns: set[str] = set()
+    previous_t = float("-inf")
     for event in samples:
         row: dict[str, object] = {"t": event.time}
         for gauge, value in event.payload.items():
@@ -92,6 +130,15 @@ def series_csv(events: Iterable[TraceEvent]) -> str:
                     row[f"{gauge}.{chain_id}"] = inner
             else:
                 row[gauge] = value
+        if alert_events:
+            window = [
+                a for a in alert_events if previous_t < a.time <= event.time
+            ]
+            row["alerts"] = len(window)
+            row["alert_rules"] = ";".join(
+                sorted({a.kind for a in window})
+            )
+        previous_t = event.time
         columns.update(row)
         rows.append(row)
     ordered = ["t"] + sorted(columns - {"t"})

@@ -4,7 +4,8 @@ The :class:`TimeSeriesSampler` schedules itself on the simulator every
 ``interval`` seconds and emits one ``sample/gauges`` event per firing:
 in-flight / completed swap counts, the engine's trailing-window commit
 rate and latency percentiles (:meth:`MetricsAccumulator.windowed`),
-per-chain mempool depth and height, and cumulative reorg counts.  The
+per-chain mempool depth and height, the simulator's pending
+event-queue depth, and cumulative reorg counts.  The
 sampler only *reads* simulation state, so enabling it never changes a
 run's outcomes — it merely interleaves read-only callbacks.
 """
@@ -82,6 +83,7 @@ class TimeSeriesSampler:
                 chain_id: chain.height
                 for chain_id, chain in sorted(self.env.chains.items())
             },
+            "queue_depth": self.env.simulator.pending_events,
         }
         engine = self.engine
         if engine is not None:

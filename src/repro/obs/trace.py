@@ -35,6 +35,7 @@ CATEGORIES: tuple[str, ...] = (
     "sim",  # node crash / recovery windows
     "adversary",  # attack launch / won / lost / exploit, byzantine acts
     "sample",  # windowed gauges from the TimeSeriesSampler
+    "alert",  # InvariantMonitor rule firings (see repro.obs.monitor)
 )
 
 #: Trace file format identifier (bump on incompatible schema changes).
@@ -123,12 +124,18 @@ class TraceCollector:
         ring_size: if set, keep only the most recent ``ring_size`` events
             (bounded flight-recorder mode); older events are dropped and
             counted in :attr:`dropped`.  ``None`` means unbounded.
+        retain: keep events in the buffer (the default).  ``False`` turns
+            the collector into a pure dispatcher: events are constructed
+            and handed to the registered sinks but never stored — the
+            mode the metrics registry and invariant monitor use when the
+            trace itself was not requested.
     """
 
     def __init__(
         self,
         categories: Iterable[str] = (),
         ring_size: int | None = None,
+        retain: bool = True,
     ) -> None:
         wanted = tuple(categories)
         for category in wanted:
@@ -144,15 +151,26 @@ class TraceCollector:
             self._events: deque[TraceEvent] | list[TraceEvent] = deque(maxlen=ring_size)
         else:
             self._events = []
+        self.retain = retain
         self.dropped = 0
         self._seq = 0
         self._clock: Any = None  # anything with a ``now`` float attribute
+        self._sinks: list[Any] = []
 
     # -- recording ---------------------------------------------------------
 
     def bind(self, clock: Any) -> None:
         """Attach a clock (typically a :class:`~repro.sim.Simulator`)."""
         self._clock = clock
+
+    def add_sink(self, sink) -> None:
+        """Register an in-stream consumer: ``sink(event)`` is called for
+        every event that passes the category filter, in emit order, after
+        the event is recorded.  Sinks may themselves emit (the monitor
+        writes ``alert`` events back into the trace); re-entrant emits
+        are appended after the triggering event, so ordering and the
+        monotone-seq serde invariant hold."""
+        self._sinks.append(sink)
 
     @property
     def categories(self) -> frozenset[str]:
@@ -174,9 +192,6 @@ class TraceCollector:
         """Record one event (no-op if ``category`` is filtered out)."""
         if category not in self._categories:
             return
-        events = self._events
-        if self.ring_size is not None and len(events) == self.ring_size:
-            self.dropped += 1
         event = TraceEvent(
             seq=self._seq,
             time=self._clock.now if self._clock is not None else 0.0,
@@ -188,7 +203,13 @@ class TraceCollector:
             payload=payload,
         )
         self._seq += 1
-        events.append(event)
+        if self.retain:
+            events = self._events
+            if self.ring_size is not None and len(events) == self.ring_size:
+                self.dropped += 1
+            events.append(event)
+        for sink in self._sinks:
+            sink(event)
 
     # -- access ------------------------------------------------------------
 

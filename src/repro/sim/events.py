@@ -94,6 +94,7 @@ class EventQueue:
         self.cancelled_total = 0
         self.pool_reuses = 0
         self.compactions = 0
+        self.max_pending = 0
 
     def __len__(self) -> int:
         return len(self._heap) - self._cancelled_in_heap
@@ -102,6 +103,7 @@ class EventQueue:
         """Lifetime queue statistics, for the CLI's ``--profile`` report."""
         return {
             "pending": len(self),
+            "max_pending": self.max_pending,
             "cancelled": self.cancelled_total,
             "cancelled_in_heap": self._cancelled_in_heap,
             "pool_reuses": self.pool_reuses,
@@ -125,6 +127,9 @@ class EventQueue:
             event = Event(time, next(self._counter), action, label, queue=self)
         event._in_heap = True
         heapq.heappush(self._heap, event)
+        depth = len(self._heap) - self._cancelled_in_heap
+        if depth > self.max_pending:
+            self.max_pending = depth
         return event
 
     def pop(self) -> Event | None:

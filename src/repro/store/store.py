@@ -245,6 +245,7 @@ class CampaignStore:
         row: dict | None = None,
         artifact: str | bytes | None = None,
         skip_reason: str | None = None,
+        extra_metrics: dict | None = None,
     ) -> None:
         """Durably record one point, replacing any earlier row at the
         same ``(campaign_id, index)``.
@@ -255,6 +256,12 @@ class CampaignStore:
         appenders from separate processes serialize instead of losing
         rows.  ``artifact`` is stored byte-exactly (text is encoded as
         UTF-8) and hashed for integrity.
+
+        ``extra_metrics`` maps names to floats indexed *only* into the
+        metrics table (never merged into ``row_json``, whose key set is
+        a pinned export contract) — the channel sweep campaigns use to
+        file each point's final metrics-registry snapshot as queryable
+        rows.
         """
         stored_row = _derive_row_metrics(row) if row is not None else {}
         coords_json = json.dumps(coords or {}, sort_keys=True)
@@ -291,10 +298,15 @@ class CampaignStore:
                 ),
             )
             point_id = cursor.lastrowid
+            metric_rows = list(self._metric_rows(point_id, stored_row))
+            metric_rows += [
+                (point_id, metric, float(value), None)
+                for metric, value in sorted((extra_metrics or {}).items())
+            ]
             conn.executemany(
                 "INSERT INTO metrics (point_id, name, value, text_value)"
                 " VALUES (?, ?, ?, ?)",
-                list(self._metric_rows(point_id, stored_row)),
+                metric_rows,
             )
             if body is not None:
                 conn.execute(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from typing import TYPE_CHECKING, Callable
 
 from ..errors import SpecError
@@ -40,16 +41,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..store import CampaignStore
 
 
-def run_point_payload(payload: tuple[int, str]) -> tuple[int, str]:
+def run_point_payload(payload: tuple[int, str]) -> tuple[int, str, dict]:
     """Execute one serialized point; the worker-side entry point.
 
     ``payload`` is ``(index, spec_json)``; returns ``(index,
-    result_json)``.  Top-level so it pickles under every start method.
+    result_json, heartbeat)`` where ``heartbeat`` carries the worker's
+    wall-clock seconds and pid — pure telemetry for live progress
+    rendering, never part of the artifact (which stays byte-identical
+    across worker counts).  Top-level so it pickles under every start
+    method.
     """
     index, spec_json = payload
+    started = time.perf_counter()
     spec = ExperimentSpec.from_json(spec_json)
     result = run_experiment(spec)
-    return index, result.to_json(indent=None)
+    heartbeat = {"wall": time.perf_counter() - started, "pid": os.getpid()}
+    return index, result.to_json(indent=None), heartbeat
 
 
 class SweepRunner:
@@ -62,6 +69,14 @@ class SweepRunner:
             pool (one point per task, so stragglers load-balance).
         on_point: optional progress callback, invoked in *completion*
             order with each finished :class:`PointResult`.
+        on_progress: optional live-progress callback, invoked in
+            completion order with ``(point, heartbeat)`` where
+            ``heartbeat`` is a dict of ``wall`` (worker seconds, None
+            for resumed points), ``pid`` (executing worker, None for
+            resumed points), ``completed``, ``total``, and ``running``
+            (points still in flight, capped by the worker count) — what
+            ``repro sweep --progress`` renders as completed/ETA/
+            per-worker throughput lines.
         resume_dir: per-point artifact directory for resumable
             campaigns.  Every executed point writes its serialized
             ``ExperimentResult`` to ``point-NNNNN.json`` there; on a
@@ -83,6 +98,7 @@ class SweepRunner:
         spec: SweepSpec,
         workers: int = 1,
         on_point: Callable[[PointResult], None] | None = None,
+        on_progress: "Callable[[PointResult, dict], None] | None" = None,
         resume_dir: str | None = None,
         store: "str | CampaignStore | None" = None,
     ) -> None:
@@ -98,6 +114,7 @@ class SweepRunner:
         self.spec = spec
         self.workers = workers
         self.on_point = on_point
+        self.on_progress = on_progress
         self.resume_dir = resume_dir
         self.store = store
         #: Point indices loaded from the archive on the last run.
@@ -127,8 +144,10 @@ class SweepRunner:
                         skip_reason=skip.reason,
                     )
 
-            def collect(item: tuple[int, str]) -> None:
-                index, result_json = item
+            total = len(expansion.points)
+
+            def collect(item: tuple[int, str, dict | None]) -> None:
+                index, result_json, heartbeat = item
                 if index not in resumed_set:
                     if self.resume_dir is not None:
                         self._store_artifact(index, result_json)
@@ -140,6 +159,15 @@ class SweepRunner:
                 finished[index] = joined
                 if self.on_point is not None:
                     self.on_point(joined)
+                if self.on_progress is not None:
+                    completed = len(finished)
+                    beat = dict(heartbeat) if heartbeat else {"wall": None, "pid": None}
+                    beat.update(
+                        completed=completed,
+                        total=total,
+                        running=min(self.workers, total - completed),
+                    )
+                    self.on_progress(joined, beat)
 
             payloads = []
             for point in expansion.points:
@@ -153,7 +181,7 @@ class SweepRunner:
                 if cached is not None:
                     self.resumed.append(point.index)
                     resumed_set.add(point.index)
-                    collect((point.index, cached))
+                    collect((point.index, cached, None))
                 else:
                     payloads.append((point.index, spec_json))
 
@@ -214,7 +242,13 @@ class SweepRunner:
         point: SweepPoint,
         result_json: str,
     ) -> None:
-        """File one executed point: identity, indexed row, exact bytes."""
+        """File one executed point: identity, indexed row, exact bytes.
+
+        Points that armed the metrics registry additionally index their
+        final snapshot (``reports.metrics`` in the artifact) as flat
+        metric rows — queryable alongside the row metrics without ever
+        widening the pinned ``row_json`` contract.
+        """
         joined = self._join(point, result_json)
         store.append_point(
             campaign_id,
@@ -225,7 +259,17 @@ class SweepRunner:
             spec=point.spec.to_dict(),
             row=joined.row(),
             artifact=result_json,
+            extra_metrics=self._registry_metrics(joined.artifact),
         )
+
+    @staticmethod
+    def _registry_metrics(artifact: dict) -> dict | None:
+        snapshot = (artifact.get("reports") or {}).get("metrics")
+        if snapshot is None:
+            return None
+        from ..obs import MetricsRegistry
+
+        return dict(MetricsRegistry.from_dict(snapshot).scalar_items())
 
     # -- resumable campaigns -----------------------------------------------
 
@@ -274,6 +318,7 @@ def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     on_point: Callable[[PointResult], None] | None = None,
+    on_progress: "Callable[[PointResult, dict], None] | None" = None,
     resume_dir: str | None = None,
     store: "str | CampaignStore | None" = None,
 ) -> SweepResult:
@@ -282,6 +327,7 @@ def run_sweep(
         spec,
         workers=workers,
         on_point=on_point,
+        on_progress=on_progress,
         resume_dir=resume_dir,
         store=store,
     ).run()

@@ -7,6 +7,10 @@
     python -m repro run --preset security --trace out.jsonl
     python -m repro run --preset security --metrics out.prom --alert-stderr
     python -m repro run --list-presets [--json]
+    python -m repro serve --preset serve-steady --request-log reqs.jsonl
+    python -m repro serve --preset serve-flash-crowd --max-swaps 40 --checkpoint ck.json
+    python -m repro serve --restore ck.json --json out.json
+    python -m repro replay reqs.jsonl --request-log replayed.jsonl
     python -m repro trace out.jsonl
     python -m repro trace out.jsonl --swap 3
     python -m repro trace out.jsonl --series series.csv
@@ -38,7 +42,11 @@ as JSON.  ``sweep`` is its multi-point sibling: a named sweep campaign
 (or a ``SweepSpec`` JSON file) expands into N experiment points,
 executes them across ``--workers`` processes, prints the joined summary
 table, and exports the campaign as CSV and/or JSON — one command per
-paper figure.  The datastore commands sit on top of the campaign
+paper figure.  ``serve`` swaps the fixed horizon for a live session
+(:mod:`repro.service`): pluggable traffic sources, an in-process
+submission API, a replayable request log, and mid-flight checkpoints
+that ``--restore`` resumes with byte-identical subsequent behavior;
+``replay`` re-executes a recorded log, reproducing outcomes exactly.  The datastore commands sit on top of the campaign
 database (:mod:`repro.store`): ``sweep --store`` archives every point
 durably, ``query`` evaluates an indexed predicate over stored points,
 ``compare`` joins two campaigns and flags metric regressions, and
@@ -54,13 +62,14 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import dataclasses
 import json as _json
 import sys
 
 from .analysis.latency import figure10_series
 from .analysis.security import PAPER_WITNESS_CANDIDATES
 from .analysis.throughput import TABLE1_ROWS, ac2t_throughput
-from .errors import SpecError, StoreError, TraceError
+from .errors import ServiceError, SpecError, StoreError, TraceError
 from .experiment import (
     ExperimentResult,
     ExperimentSpec,
@@ -292,18 +301,25 @@ def _profiled(destination: str | None, fn):
 # ---------------------------------------------------------------------------
 
 
-def _print_catalog(names, describe, as_json: bool) -> None:
-    """The preset catalog, human table or machine-readable JSON."""
+def _print_catalog(names, describe, as_json: bool, kind=None) -> None:
+    """The preset catalog, human table or machine-readable JSON.
+
+    ``kind`` (optional, a ``name -> str`` callable) tags each entry
+    with what running it produces — ``run``'s catalog merges experiment
+    and service presets and needs the distinction; ``sweep``'s doesn't.
+    """
     if as_json:
-        print(
-            _json.dumps(
-                [{"name": name, "description": describe(name)} for name in names],
-                indent=2,
-            )
-        )
+        rows = []
+        for name in names:
+            row = {"name": name, "description": describe(name)}
+            if kind is not None:
+                row["kind"] = kind(name)
+            rows.append(row)
+        print(_json.dumps(rows, indent=2))
         return
     for name in names:
-        print(f"{name:>18}  {describe(name)}")
+        tag = f"  [{kind(name)}]" if kind is not None else ""
+        print(f"{name:>18}  {describe(name)}{tag}")
 
 
 def _load_spec(args: argparse.Namespace) -> ExperimentSpec:
@@ -399,7 +415,21 @@ def _print_alerts(result: ExperimentResult) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.list_presets:
-        _print_catalog(preset_names(), preset_description, args.json is not None)
+        from .service import service_preset_description, service_preset_names
+
+        experiment = list(preset_names())
+        service = list(service_preset_names())
+        kinds = {name: "experiment" for name in experiment}
+        kinds.update({name: "service" for name in service})
+
+        def describe(name: str) -> str:
+            if kinds[name] == "service":
+                return service_preset_description(name)
+            return preset_description(name)
+
+        _print_catalog(
+            experiment + service, describe, args.json is not None, kind=kinds.get
+        )
         return 0
     try:
         spec = _load_spec(args)
@@ -445,6 +475,187 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if status:
             return status
     return _finish_run(result, args.json)
+
+
+# ---------------------------------------------------------------------------
+# repro serve / repro replay: the engine as a long-running service
+# ---------------------------------------------------------------------------
+
+
+def _load_service_spec(args: argparse.Namespace):
+    from .service import ServiceSpec, service_preset_names, service_preset_spec
+
+    if args.spec and args.preset:
+        raise SpecError("pass either --preset or --spec, not both")
+    if args.spec:
+        with open(args.spec, encoding="utf-8") as handle:
+            spec = ServiceSpec.from_json(handle.read())
+    elif args.preset:
+        spec = service_preset_spec(args.preset)
+    else:
+        raise SpecError(
+            f"pass --preset, --spec, or --restore; service presets: "
+            f"{', '.join(service_preset_names())}"
+        )
+    overrides = parse_set_args(args.set or [])
+    if overrides:
+        spec = apply_overrides(spec, overrides)
+    return spec
+
+
+def _print_service_result(result) -> None:
+    metrics = result.metrics
+    spec = result.spec
+    sources = (
+        ", ".join(f"{s.name} ({s.kind})" for s in spec.sources) or "submit_swap only"
+    )
+    print(f"service {spec.name!r}: accepted {result.accepted} swaps from {sources}")
+    windows = result.windows
+    if windows:
+        shown = windows[-12:]
+        if len(windows) > len(shown):
+            print(f"\n... {len(windows) - len(shown)} earlier window samples elided")
+        print(
+            f"\n{'t':>7} | {'total':>5} | {'commit':>6} | {'p50':>7} | "
+            f"{'p99':>7} | {'priced':>6} | {'infl':>4}"
+        )
+        for w in shown:
+            print(
+                f"{w['t']:>6.1f}s | {w['total']:>5} | {w['commit_rate']:>6.1%} | "
+                f"{w['p50_latency']:>6.1f}s | {w['p99_latency']:>6.1f}s | "
+                f"{w['priced_out_rate']:>6.1%} | {w['in_flight']:>4}"
+            )
+    if result.stall is not None:
+        print(
+            f"\ndrain stalled: reason {result.stall['reason']!r} after "
+            f"{result.stall['events']} events"
+        )
+    print(
+        f"\n{metrics.total} swaps over {metrics.makespan:.1f} simulated seconds "
+        f"(peak {metrics.max_in_flight} in flight); commit rate "
+        f"{metrics.commit_rate:.1%}, {metrics.atomicity_violations} "
+        f"atomicity violations"
+    )
+
+
+def _finish_service(result, json_path: str | None, label: str) -> int:
+    if json_path:
+        if json_path == "-":
+            print(result.to_json())
+        else:
+            try:
+                result.save(json_path)
+            except OSError as exc:
+                print(
+                    f"repro {label}: cannot write {json_path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"\nwrote {json_path}")
+    if result.spec.world.adversary.any_enabled:
+        return 0
+    return 0 if result.metrics.atomicity_violations == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import SwapService
+
+    try:
+        if args.checkpoint_every is not None and args.checkpoint is None:
+            raise SpecError("--checkpoint-every needs --checkpoint PATH")
+        if args.restore:
+            if args.preset or args.spec or args.set:
+                raise SpecError(
+                    "--restore resumes a checkpointed session; pass either "
+                    "--restore or --preset/--spec/--set, not both"
+                )
+            service = SwapService.restore(args.restore)
+        else:
+            spec = _load_service_spec(args)
+            # Bake --duration into the spec itself so the request log's
+            # spec echo is faithful: `repro replay LOG` then runs out the
+            # same horizon with no extra flags.  --max-swaps and
+            # --checkpoint-every stay per-invocation (stop-now and
+            # cadence controls) — baking them would make a checkpointed
+            # session's spec echo diverge from the uninterrupted one it
+            # must byte-match after restore.
+            if args.duration is not None:
+                spec = dataclasses.replace(spec, duration=args.duration)
+            service = SwapService(spec)
+        with contextlib.ExitStack() as stack:
+            if args.store:
+                from .store import CampaignStore
+
+                store = stack.enter_context(CampaignStore(args.store))
+                service.attach_store(store)
+            # A restored session's spec already carries whatever was
+            # baked at serve time; CLI flags still override per-call.
+            service.serve(
+                duration=args.duration,
+                max_swaps=args.max_swaps,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+            )
+            every = (
+                args.checkpoint_every
+                if args.checkpoint_every is not None
+                else service.spec.checkpoint_every
+            )
+            if args.checkpoint is not None and every is None:
+                # No cadence anywhere: --checkpoint means "one checkpoint
+                # at the moment serving stops" (the hand-off primitive).
+                service.checkpoint(args.checkpoint)
+            service.drain()
+            result = service.result()
+            if args.request_log:
+                service.save_request_log(args.request_log)
+    except (SpecError, ServiceError, StoreError, OSError) as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        with contextlib.redirect_stdout(sys.stderr):
+            _print_service_result(result)
+    else:
+        _print_service_result(result)
+    if args.request_log:
+        print(f"wrote request log {args.request_log}")
+    if args.checkpoint is not None:
+        print(f"wrote checkpoint {args.checkpoint}")
+    return _finish_service(result, args.json, "serve")
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .service import SwapService, dump_request_log, load_request_log
+
+    try:
+        with open(args.log, encoding="utf-8") as handle:
+            text = handle.read()
+        spec, records = load_request_log(text)
+        result = SwapService.replay(spec, records)
+    except (SpecError, ServiceError, OSError) as exc:
+        print(f"repro replay: {exc}", file=sys.stderr)
+        return 2
+    if args.request_log:
+        # The replayed session accepts exactly the loaded records, so
+        # its log IS dump(load(original)) — written out for the
+        # byte-level `cmp` the CI smoke job runs.
+        try:
+            with open(args.request_log, "w", encoding="utf-8") as handle:
+                handle.write(dump_request_log(spec, records))
+        except OSError as exc:
+            print(
+                f"repro replay: cannot write {args.request_log}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    if args.json == "-":
+        with contextlib.redirect_stdout(sys.stderr):
+            _print_service_result(result)
+    else:
+        _print_service_result(result)
+    if args.request_log:
+        print(f"wrote request log {args.request_log}")
+    return _finish_service(result, args.json, "replay")
 
 
 # ---------------------------------------------------------------------------
@@ -1161,6 +1372,107 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-presets", action="store_true", help="list the preset catalog and exit"
     )
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the engine as a long-running, checkpointable swap service",
+    )
+    serve.add_argument(
+        "--preset",
+        default=None,
+        help="named service preset (see run --list-presets)",
+    )
+    serve.add_argument(
+        "--spec", default=None, help="path to a ServiceSpec JSON file"
+    )
+    serve.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        help="dotted-path spec override, e.g. --set world.seed=7 (repeatable)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serving horizon in sim-seconds from session start "
+        "(overrides the spec)",
+    )
+    serve.add_argument(
+        "--max-swaps",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop accepting after N swaps without advancing to the "
+        "horizon (the checkpoint-then-hand-off primitive)",
+    )
+    serve.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a checkpoint here: every --checkpoint-every accepted "
+        "swaps, or once when serving stops if no cadence is set",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --checkpoint: checkpoint cadence in accepted swaps "
+        "(overrides the spec)",
+    )
+    serve.add_argument(
+        "--restore",
+        default=None,
+        metavar="CKPT",
+        help="resume a checkpointed session instead of starting fresh "
+        "(mutually exclusive with --preset/--spec/--set)",
+    )
+    serve.add_argument(
+        "--request-log",
+        default=None,
+        metavar="PATH",
+        help="write the replayable request log here (re-drive it with "
+        "'repro replay PATH')",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="file every checkpoint epoch into this campaign database",
+    )
+    serve.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the full ServiceResult JSON here ('-' or no value: stdout)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a recorded request log, reproducing outcomes exactly",
+    )
+    replay.add_argument("log", help="request log written by serve --request-log")
+    replay.add_argument(
+        "--request-log",
+        default=None,
+        metavar="PATH",
+        help="re-dump the replayed request log here (byte-compare it "
+        "against the original)",
+    )
+    replay.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="write the full ServiceResult JSON here ('-' or no value: stdout)",
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     trace = sub.add_parser(
         "trace",

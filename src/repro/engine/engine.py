@@ -211,6 +211,12 @@ class SwapEngine:
         #: listeners, eclipse windows).
         self.launch_hooks: list[Callable[[SwapRequest], None]] = []
         self.driver_hooks: list[Callable[[SwapRequest, ProtocolDriver], None]] = []
+        #: Hooks run after a request reaches its terminal outcome (the
+        #: request's ``outcome`` is set and folded).  This is the
+        #: engine-level completion surface service handles resolve on —
+        #: it fires for every terminal path, including swaps whose
+        #: driver could not even be constructed.
+        self.outcome_hooks: list[Callable[[SwapRequest], None]] = []
         #: Reorgs observed per chain over this engine's lifetime (the
         #: Blockchain reorg hook, aggregated — attack observability).
         self.chain_reorgs: dict[str, int] = {}
@@ -382,6 +388,8 @@ class SwapEngine:
             self._fold(request, outcome, completes_flight=False)  # never entered flight
             if collector is not None:
                 self._emit_outcome(request, outcome)
+            for hook in list(self.outcome_hooks):
+                hook(request)
             return
         if request.crash is not None:
             driver.outcome.injected_crash = request.crash.participant
@@ -403,6 +411,8 @@ class SwapEngine:
         self._fold(request, outcome, completes_flight=True)
         if self.collector is not None:
             self._emit_outcome(request, outcome)
+        for hook in list(self.outcome_hooks):
+            hook(request)
 
     def _emit_outcome(self, request: SwapRequest, outcome: SwapOutcome) -> None:
         """Record a terminal outcome in the trace (collector is attached)."""

@@ -140,6 +140,12 @@ class WindowedMetrics:
     commit_rate: float
     p50_latency: float
     p99_latency: float
+    priced_out: int = 0
+
+    @property
+    def priced_out_rate(self) -> float:
+        """Fraction of the window's swaps priced out of block space."""
+        return self.priced_out / self.total if self.total > 0 else 0.0
 
 
 class MetricsAccumulator:
@@ -373,8 +379,10 @@ class MetricsAccumulator:
                 commit_rate=0.0,
                 p50_latency=0.0,
                 p99_latency=0.0,
+                priced_out=0,
             )
         committed = sum(1 for o in selected if o.decision == "commit")
+        priced_out = sum(1 for o in selected if o.priced_out)
         latencies = sorted(o.finished_at - o.started_at for o in selected)
         return WindowedMetrics(
             window=window,
@@ -384,6 +392,7 @@ class MetricsAccumulator:
             commit_rate=committed / total,
             p50_latency=_nearest_rank(latencies, 50.0),
             p99_latency=_nearest_rank(latencies, 99.0),
+            priced_out=priced_out,
         )
 
 

@@ -163,6 +163,18 @@ class WitnessError(ProtocolError):
 
 
 # ---------------------------------------------------------------------------
+# Service mode
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """A long-running :class:`~repro.service.SwapService` session was
+    misused (submission after close, result of an unfinished swap,
+    capacity exhausted) or a checkpoint/request-log file is malformed
+    or inconsistent with the session that tries to restore from it."""
+
+
+# ---------------------------------------------------------------------------
 # Campaign datastore
 # ---------------------------------------------------------------------------
 

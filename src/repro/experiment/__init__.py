@@ -27,7 +27,12 @@ from .registry import (
     traffic_generator,
     unregister_traffic,
 )
-from .runner import ExperimentResult, build_environment, run_experiment
+from .runner import (
+    ExperimentResult,
+    build_environment,
+    build_observability,
+    run_experiment,
+)
 from .spec import (
     ChainOverride,
     AlertRulesSpec,
@@ -67,6 +72,7 @@ __all__ = [
     "TrafficSpec",
     "apply_overrides",
     "build_environment",
+    "build_observability",
     "parse_set_args",
     "preset_description",
     "preset_names",

@@ -280,35 +280,25 @@ def _monitor_rules(spec: ExperimentSpec) -> list:
     return out
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Validate and execute one spec end to end; never mutates ``spec``."""
-    spec.validate()
-    _reset_caches()
-    traffic = traffic_generator(spec.traffic.generator)(spec)
-    env = build_environment(spec, traffic)
+def build_observability(
+    spec: ExperimentSpec, env: ScenarioEnvironment, engine: SwapEngine
+) -> tuple[
+    TraceCollector | None,
+    MetricsRegistry | None,
+    InvariantMonitor | None,
+    TimeSeriesSampler | None,
+]:
+    """Wire the full observability stack the spec asks for.
 
-    for shock in spec.fee_shocks:
-        schedule_fee_shock(
-            env,
-            _shock_chain(spec, shock),
-            at=env.simulator.now + shock.at,
-            count=shock.count,
-            fee_rate=shock.fee_rate,
-            whale=shock.whale,
-        )
-
-    engine = SwapEngine(
-        env,
-        default_protocol="ac3wn" if spec.protocol == "mixed" else spec.protocol,
-        witness_chain_id=spec.chains.witness,
-        eager=spec.engine.eager,
-        jitter_span=spec.engine.jitter,
-    )
-    # Attach the flight recorder before anything can emit (a no-op when
-    # all of obs is off: no collector ⇒ every emit-site guard stays
-    # False).  Metrics and the monitor ride the same event stream as
-    # sinks; when only they are armed the collector retains nothing —
-    # it dispatches each event and lets it go.
+    Attaches the flight recorder before anything can emit (a no-op when
+    all of obs is off: no collector ⇒ every emit-site guard stays
+    False).  Metrics and the monitor ride the same event stream as
+    sinks; when only they are armed the collector retains nothing — it
+    dispatches each event and lets it go.  Shared between
+    :func:`run_experiment` and the service-mode
+    :class:`~repro.service.SwapService` so both surfaces observe one
+    identical wiring.
+    """
     obs = spec.obs
     collector = None
     sampler = None
@@ -353,6 +343,34 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
                 interval=obs.sample_interval,
                 window=obs.sample_window,
             ).start()
+    return collector, registry, monitor, sampler
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Validate and execute one spec end to end; never mutates ``spec``."""
+    spec.validate()
+    _reset_caches()
+    traffic = traffic_generator(spec.traffic.generator)(spec)
+    env = build_environment(spec, traffic)
+
+    for shock in spec.fee_shocks:
+        schedule_fee_shock(
+            env,
+            _shock_chain(spec, shock),
+            at=env.simulator.now + shock.at,
+            count=shock.count,
+            fee_rate=shock.fee_rate,
+            whale=shock.whale,
+        )
+
+    engine = SwapEngine(
+        env,
+        default_protocol="ac3wn" if spec.protocol == "mixed" else spec.protocol,
+        witness_chain_id=spec.chains.witness,
+        eager=spec.engine.eager,
+        jitter_span=spec.engine.jitter,
+    )
+    collector, registry, monitor, sampler = build_observability(spec, env, engine)
     # Arm the adversarial roster (a no-op when every actor is disabled).
     build_roster(spec, env, engine)
     # Arrivals are generated from t=0; shift them past the warm-up so

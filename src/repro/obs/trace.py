@@ -36,6 +36,7 @@ CATEGORIES: tuple[str, ...] = (
     "adversary",  # attack launch / won / lost / exploit, byzantine acts
     "sample",  # windowed gauges from the TimeSeriesSampler
     "alert",  # InvariantMonitor rule firings (see repro.obs.monitor)
+    "service",  # SwapService sessions: accepts / windows / checkpoints / stalls
 )
 
 #: Trace file format identifier (bump on incompatible schema changes).

@@ -1,0 +1,76 @@
+"""Service mode: the engine as a long-running, checkpointable swap server.
+
+The public surface:
+
+* :class:`SwapService` / :class:`SwapHandle` / :class:`ServiceResult` —
+  the open-ended session, its in-process submission API, and its
+  artifact (:mod:`repro.service.service`);
+* :class:`ServiceSpec` / :class:`SourceSpec` — the declarative session
+  schema (:mod:`repro.service.spec`);
+* :func:`register_source` and the built-in sources — pluggable live
+  traffic (:mod:`repro.service.sources`);
+* :class:`RequestRecord` / :func:`dump_request_log` /
+  :func:`load_request_log` — the replayable request log
+  (:mod:`repro.service.requestlog`);
+* :func:`register_service_preset` / :func:`service_preset_spec` — the
+  named preset catalog (:mod:`repro.service.presets`).
+"""
+
+from .presets import (
+    register_service_preset,
+    service_preset_description,
+    service_preset_names,
+    service_preset_spec,
+    unregister_service_preset,
+)
+from .requestlog import (
+    LOG_SCHEMA,
+    RequestRecord,
+    dump_request_log,
+    load_request_log,
+)
+from .service import CKPT_SCHEMA, ServiceResult, SwapHandle, SwapService
+from .sources import (
+    DiurnalSource,
+    FlashCrowdSource,
+    PoissonSource,
+    ReplaySource,
+    SourceItem,
+    TrafficSource,
+    register_source,
+    registered_sources,
+    source_description,
+    source_factory,
+    unregister_source,
+)
+from .spec import EXTERNAL_SOURCE, ServiceSpec, SourceSpec
+
+__all__ = [
+    "CKPT_SCHEMA",
+    "DiurnalSource",
+    "EXTERNAL_SOURCE",
+    "FlashCrowdSource",
+    "LOG_SCHEMA",
+    "PoissonSource",
+    "ReplaySource",
+    "RequestRecord",
+    "ServiceResult",
+    "ServiceSpec",
+    "SourceItem",
+    "SourceSpec",
+    "SwapHandle",
+    "SwapService",
+    "TrafficSource",
+    "dump_request_log",
+    "load_request_log",
+    "register_service_preset",
+    "register_source",
+    "registered_sources",
+    "service_preset_description",
+    "service_preset_names",
+    "service_preset_spec",
+    "source_description",
+    "source_factory",
+    "unregister_service_preset",
+    "unregister_source",
+]

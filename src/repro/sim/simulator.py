@@ -95,6 +95,42 @@ class Simulator:
             self.now = time
         return processed
 
+    def run_until_idle(
+        self,
+        max_wall_s: float | None = None,
+        max_events: int = 10_000_000,
+    ) -> tuple[str, int]:
+        """Run until the queue drains, with wall-clock and event guards.
+
+        The open-ended-session counterpart of :meth:`run`: instead of
+        raising when a guard trips, it returns ``(reason, processed)``
+        where ``reason`` is ``"idle"`` (queue empty), ``"events"``
+        (``max_events`` executed), or ``"wall"`` (``max_wall_s`` of real
+        time elapsed) — so a service session can surface a stalled event
+        loop as an observable condition rather than an exception.
+
+        The wall-clock guard is checked every 1024 events to keep the
+        hot loop syscall-free; it exists to bound *pathological* spins
+        (a healthy session always ends via ``"idle"`` or ``"events"``,
+        both of which are deterministic).
+        """
+        import time as _time
+
+        start = _time.monotonic() if max_wall_s is not None else 0.0
+        processed = 0
+        while True:
+            if processed >= max_events:
+                return ("events", processed)
+            if (
+                max_wall_s is not None
+                and processed % 1024 == 0
+                and _time.monotonic() - start >= max_wall_s
+            ):
+                return ("wall", processed)
+            if not self.step():
+                return ("idle", processed)
+            processed += 1
+
     def run_until_true(
         self,
         predicate: Callable[[], bool],

@@ -1,0 +1,524 @@
+"""Service mode: sources, specs, request logs, handles, checkpoint/restore.
+
+The load-bearing tests here are the byte-identity pins: a session that
+is checkpointed mid-flight and restored (in-process or in a fresh
+process) must produce final metrics and a request log byte-identical to
+the uninterrupted session, and ``SwapService.replay`` must reproduce a
+recorded session exactly.  Everything in the service subsystem —
+the out-of-loop accept path, deterministic sources with skip-based
+cursors, log-structured checkpoints — exists to make those pins hold.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import PROTOCOLS
+from repro.errors import ServiceError, SpecError
+from repro.experiment.spec import (
+    ChainsSpec,
+    ExperimentSpec,
+    FeeBudgetSpec,
+    TrafficSpec,
+)
+from repro.service import (
+    CKPT_SCHEMA,
+    EXTERNAL_SOURCE,
+    PoissonSource,
+    RequestRecord,
+    ServiceSpec,
+    SourceSpec,
+    SwapService,
+    dump_request_log,
+    load_request_log,
+    register_source,
+    registered_sources,
+    service_preset_names,
+    service_preset_spec,
+    source_description,
+    source_factory,
+    unregister_source,
+)
+from repro.service.sources import DiurnalSource, FlashCrowdSource
+from repro.sim import Simulator
+
+
+def make_world(seed: int = 7, protocol: str = "ac3wn") -> ExperimentSpec:
+    return ExperimentSpec(
+        name="svc-test",
+        seed=seed,
+        protocol=protocol,
+        chains=ChainsSpec(count=2, block_interval=1.0, confirmation_depth=2),
+        traffic=TrafficSpec(participants_per_swap=2),
+    )
+
+
+def make_spec(
+    protocol: str = "ac3wn",
+    duration: float = 6.0,
+    rate: float = 3.0,
+    seed: int = 7,
+    **kwargs,
+) -> ServiceSpec:
+    kwargs.setdefault(
+        "sources", (SourceSpec(kind="poisson", name="p", rate=rate),)
+    )
+    kwargs.setdefault("capacity", 64)
+    return ServiceSpec(
+        name="svc-test",
+        world=make_world(seed=seed, protocol=protocol),
+        duration=duration,
+        metrics_window=5.0,
+        metrics_interval=2.0,
+        **kwargs,
+    )
+
+
+def emit(source, n):
+    items = []
+    for _ in range(n):
+        item = source.next()
+        assert item is not None
+        items.append(item)
+    return items
+
+
+class TestSources:
+    def test_poisson_is_deterministic_in_seed_and_name(self):
+        spec = SourceSpec(kind="poisson", name="p", rate=5.0, protocol="ac3wn")
+        a = emit(PoissonSource(spec, seed=3, default_amount=100), 10)
+        b = emit(PoissonSource(spec, seed=3, default_amount=100), 10)
+        assert a == b
+        c = emit(PoissonSource(spec, seed=4, default_amount=100), 10)
+        assert a != c
+
+    def test_arrivals_strictly_increase(self):
+        for cls, spec in (
+            (PoissonSource, SourceSpec(kind="poisson", name="p", rate=5.0)),
+            (
+                DiurnalSource,
+                SourceSpec(kind="diurnal", name="d", rate=5.0, period=8.0),
+            ),
+            (
+                FlashCrowdSource,
+                SourceSpec(kind="flash-crowd", name="f", rate=2.0, burst_at=2.0),
+            ),
+        ):
+            source = cls(spec, seed=11, default_amount=100)
+            source.resolve_protocol("ac3wn")
+            times = [item.at for item in emit(source, 40)]
+            assert times == sorted(times)
+            assert all(t >= 0 for t in times)
+
+    def test_skip_positions_the_stream_exactly(self):
+        spec = SourceSpec(kind="diurnal", name="d", rate=6.0, period=10.0)
+        reference = DiurnalSource(spec, seed=9, default_amount=100)
+        reference.resolve_protocol("ac3wn")
+        items = emit(reference, 8)
+        skipped = DiurnalSource(spec, seed=9, default_amount=100)
+        skipped.resolve_protocol("ac3wn")
+        skipped.skip(5)
+        assert skipped.emitted == 5
+        assert skipped.next() == items[5]
+        assert skipped.next() == items[6]
+
+    def test_mixed_protocol_round_robins(self):
+        spec = SourceSpec(kind="poisson", name="p", rate=5.0, protocol="mixed")
+        source = PoissonSource(spec, seed=1, default_amount=100)
+        source.resolve_protocol("ac3wn")
+        protocols = [item.protocol for item in emit(source, 8)]
+        assert protocols == list(PROTOCOLS) * 2
+
+    def test_source_inherits_world_protocol(self):
+        spec = SourceSpec(kind="poisson", name="p", rate=5.0)
+        source = PoissonSource(spec, seed=1, default_amount=100)
+        source.resolve_protocol("herlihy")
+        assert source.next().protocol == "herlihy"
+
+    def test_flash_crowd_bursts_are_denser(self):
+        spec = SourceSpec(
+            kind="flash-crowd",
+            name="f",
+            rate=2.0,
+            burst_at=10.0,
+            burst_every=None,
+            burst_duration=10.0,
+            burst_multiplier=6.0,
+        )
+        source = FlashCrowdSource(spec, seed=5, default_amount=100)
+        source.resolve_protocol("ac3wn")
+        times = []
+        while not times or times[-1] < 20.0:
+            times.append(source.next().at)
+        baseline = sum(1 for t in times if t < 10.0)
+        burst = sum(1 for t in times if 10.0 <= t < 20.0)
+        assert burst > baseline
+
+    def test_registry_round_trip(self):
+        assert {"poisson", "diurnal", "flash-crowd", "replay"} <= set(
+            registered_sources()
+        )
+        assert source_description("poisson")
+        register_source("svc-test-kind", PoissonSource, "a test kind")
+        try:
+            assert source_factory("svc-test-kind") is PoissonSource
+            with pytest.raises(SpecError):
+                register_source("svc-test-kind", PoissonSource)
+            register_source("svc-test-kind", DiurnalSource, replace=True)
+            assert source_factory("svc-test-kind") is DiurnalSource
+        finally:
+            unregister_source("svc-test-kind")
+        with pytest.raises(SpecError):
+            source_factory("svc-test-kind")
+
+
+class TestServiceSpec:
+    def test_round_trip(self):
+        spec = make_spec()
+        assert ServiceSpec.from_dict(spec.to_dict()) == spec
+        assert ServiceSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_key_rejected(self):
+        data = make_spec().to_dict()
+        data["surprise"] = 1
+        with pytest.raises(SpecError):
+            ServiceSpec.from_dict(data)
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"capacity": 0},
+            {"duration": None, "max_swaps": None},
+            {"max_swaps": 999},
+            {"metrics_window": 0.0},
+            {"metrics_interval": -1.0},
+            {"drain_timeout": 0.0},
+            {"sources": (SourceSpec(name=""),)},
+            {"sources": (SourceSpec(name=EXTERNAL_SOURCE),)},
+            {
+                "sources": (
+                    SourceSpec(name="twin"),
+                    SourceSpec(name="twin"),
+                )
+            },
+            {"sources": (SourceSpec(kind="no-such-kind", name="x"),)},
+            {"sources": (SourceSpec(name="x", protocol="no-such-protocol"),)},
+            {"sources": (SourceSpec(name="x", rate=0.0),)},
+            {"sources": (SourceSpec(kind="replay", name="x", path=""),)},
+            {
+                "sources": (
+                    SourceSpec(kind="diurnal", name="x", trough=0.0),
+                )
+            },
+            {
+                "sources": (
+                    SourceSpec(
+                        kind="flash-crowd",
+                        name="x",
+                        burst_every=2.0,
+                        burst_duration=5.0,
+                    ),
+                )
+            },
+        ],
+    )
+    def test_validate_rejects(self, mutation):
+        import dataclasses
+
+        spec = dataclasses.replace(make_spec(), **mutation)
+        with pytest.raises(SpecError):
+            spec.validate()
+
+    def test_nolan_needs_two_parties(self):
+        import dataclasses
+
+        spec = make_spec(protocol="nolan")
+        world = dataclasses.replace(
+            spec.world, traffic=TrafficSpec(participants_per_swap=3)
+        )
+        with pytest.raises(SpecError, match="two-party"):
+            dataclasses.replace(spec, world=world).validate()
+
+    def test_presets_validate(self):
+        assert {"serve-steady", "serve-diurnal", "serve-flash-crowd"} <= set(
+            service_preset_names()
+        )
+        for name in service_preset_names():
+            service_preset_spec(name).validate()
+
+
+class TestRequestLog:
+    def records(self):
+        return [
+            RequestRecord(seq=0, at=0.5, source="p", protocol="ac3wn", amount=100),
+            RequestRecord(
+                seq=1,
+                at=1.25,
+                source=EXTERNAL_SOURCE,
+                protocol="nolan",
+                amount=40,
+                fee_budget=FeeBudgetSpec(cap=4000, fee_rate=None),
+            ),
+        ]
+
+    def test_round_trip_is_byte_identical(self):
+        spec = make_spec()
+        text = dump_request_log(spec, self.records())
+        loaded_spec, loaded = load_request_log(text)
+        assert loaded_spec == spec
+        assert loaded == self.records()
+        assert dump_request_log(loaded_spec, loaded) == text
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda lines: [],
+            lambda lines: ["not json"] + lines[1:],
+            lambda lines: [lines[0].replace("repro-service-log/1", "v9")] + lines[1:],
+            lambda lines: lines[:1],  # count mismatch
+            lambda lines: [lines[0], lines[2], lines[1]],  # seq out of order
+            lambda lines: lines[:2] + ['{"seq":1}'],
+        ],
+    )
+    def test_malformed_logs_rejected(self, corrupt):
+        text = dump_request_log(make_spec(), self.records())
+        lines = text.splitlines()
+        with pytest.raises(ServiceError):
+            load_request_log("\n".join(corrupt(lines)))
+
+    def test_record_unknown_key_rejected(self):
+        row = self.records()[0].to_dict()
+        row["extra"] = True
+        with pytest.raises(ServiceError, match="unknown keys"):
+            RequestRecord.from_dict(row)
+
+
+class TestHandlesAndSubmit:
+    def test_submit_swap_resolves_through_wait(self):
+        service = SwapService(make_spec(sources=(), max_swaps=8))
+        handle = service.submit_swap()
+        assert not handle.done()
+        with pytest.raises(ServiceError, match="no outcome yet"):
+            handle.result()
+        seen = []
+        handle.add_done_callback(lambda h: seen.append(h.swap_id))
+        assert handle.wait(60.0)
+        assert seen == [handle.swap_id]
+        assert handle.result().decision in ("commit", "abort")
+        # A callback added after completion fires immediately.
+        handle.add_done_callback(lambda h: seen.append(-h.swap_id))
+        assert seen == [handle.swap_id, -handle.swap_id]
+        assert service.handle(handle.swap_id) is handle
+        with pytest.raises(ServiceError):
+            service.handle(999)
+
+    def test_external_submissions_replay_exactly(self):
+        spec = make_spec(sources=(), duration=10.0)
+        service = SwapService(spec)
+        service.submit_swap()
+        service.submit_swap(protocol="herlihy", amount=55)
+        service.serve()
+        service.drain()
+        original = service.result().to_json()
+        log_spec, records = load_request_log(service.request_log())
+        assert [r.source for r in records] == [EXTERNAL_SOURCE, EXTERNAL_SOURCE]
+        assert records[1].protocol == "herlihy"
+        assert records[1].amount == 55
+        assert SwapService.replay(log_spec, records).to_json() == original
+
+    def test_capacity_exhaustion_raises(self):
+        service = SwapService(make_spec(sources=(), max_swaps=1, capacity=1))
+        service.submit_swap()
+        with pytest.raises(ServiceError, match="capacity exhausted"):
+            service.submit_swap()
+
+    def test_closed_session_rejects_everything(self):
+        service = SwapService(make_spec(duration=1.0))
+        service.run()
+        assert service.closed
+        with pytest.raises(ServiceError):
+            service.submit_swap()
+        with pytest.raises(ServiceError):
+            service.serve()
+        with pytest.raises(ServiceError):
+            service.checkpoint()
+
+
+class TestCheckpointRestore:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_restore_is_byte_identical(self, tmp_path, protocol):
+        spec = make_spec(protocol=protocol, seed=20 + PROTOCOLS.index(protocol))
+        baseline = SwapService(spec)
+        baseline.run()
+        assert baseline.accepted > 4, "session too small to interrupt"
+
+        interrupted = SwapService(spec)
+        interrupted.serve(max_swaps=baseline.accepted // 2)
+        path = str(tmp_path / "ck.json")
+        interrupted.checkpoint(path)
+
+        restored = SwapService.restore(path)
+        result = restored.run()
+        assert result.to_json() == baseline.result().to_json()
+        assert restored.request_log() == baseline.request_log()
+
+    def test_restore_in_a_fresh_process(self, tmp_path):
+        """The pin the subsystem exists for: a checkpoint written here,
+        restored by a brand-new interpreter, byte-matches the
+        uninterrupted session's result and request log."""
+        spec = make_spec(seed=31)
+        baseline = SwapService(spec)
+        baseline.run()
+        interrupted = SwapService(spec)
+        interrupted.serve(max_swaps=baseline.accepted // 2)
+        ckpt = tmp_path / "ck.json"
+        interrupted.checkpoint(str(ckpt))
+
+        script = (
+            "import sys\n"
+            "from repro.service import SwapService\n"
+            "service = SwapService.restore(sys.argv[1])\n"
+            "result = service.run()\n"
+            "open(sys.argv[2], 'w').write(result.to_json())\n"
+            "open(sys.argv[3], 'w').write(service.request_log())\n"
+        )
+        out_json = tmp_path / "restored.json"
+        out_log = tmp_path / "restored.log"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        subprocess.run(
+            [sys.executable, "-c", script, str(ckpt), str(out_json), str(out_log)],
+            check=True,
+            env=env,
+            timeout=300,
+        )
+        assert out_json.read_text() == baseline.result().to_json()
+        assert out_log.read_text() == baseline.request_log()
+
+    def test_periodic_checkpoints_during_serve(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        service = SwapService(make_spec(seed=33))
+        service.serve(checkpoint_path=path, checkpoint_every=5)
+        assert service.epoch >= 1
+        restored = SwapService.restore(path)
+        assert restored.accepted == int(
+            json.loads(open(path).read())["accepted"]
+        )
+
+    def test_digest_mismatch_fails_loudly(self, tmp_path):
+        service = SwapService(make_spec(seed=34))
+        service.serve(max_swaps=6)
+        path = tmp_path / "ck.json"
+        service.checkpoint(str(path))
+        data = json.loads(path.read_text())
+        data["digest"]["committed"] += 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(ServiceError, match="digest mismatch"):
+            SwapService.restore(str(path))
+
+    def test_malformed_checkpoints_rejected(self, tmp_path):
+        service = SwapService(make_spec(seed=35))
+        service.serve(max_swaps=4)
+        path = tmp_path / "ck.json"
+        service.checkpoint(str(path))
+        good = json.loads(path.read_text())
+
+        bad = dict(good)
+        bad["schema"] = "nope/1"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ServiceError, match="schema"):
+            SwapService.restore(str(path))
+
+        bad = dict(good)
+        bad["extra"] = 1
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ServiceError, match="unknown keys"):
+            SwapService.restore(str(path))
+
+        path.write_text("not json")
+        with pytest.raises(ServiceError, match="malformed"):
+            SwapService.restore(str(path))
+        with pytest.raises(ServiceError, match="cannot read"):
+            SwapService.restore(str(tmp_path / "missing.json"))
+        assert CKPT_SCHEMA == good["schema"]
+
+
+class TestReplay:
+    def test_replay_reproduces_a_live_session(self):
+        spec = make_spec(seed=40)
+        live = SwapService(spec)
+        live.run()
+        log_spec, records = load_request_log(live.request_log())
+        result = SwapService.replay(log_spec, records)
+        assert result.to_json() == live.result().to_json()
+        assert dump_request_log(log_spec, records) == live.request_log()
+
+    def test_replay_source_feeds_a_recorded_log(self, tmp_path):
+        import dataclasses
+
+        spec = make_spec(seed=41)
+        live = SwapService(spec)
+        live.run()
+        log_path = tmp_path / "reqs.jsonl"
+        live.save_request_log(str(log_path))
+
+        replay_spec = dataclasses.replace(
+            spec,
+            sources=(
+                SourceSpec(kind="replay", name="tape", path=str(log_path)),
+            ),
+        )
+        service = SwapService(replay_spec)
+        service.run()
+        assert service.accepted == live.accepted
+        assert [r.at for r in service.records] == [r.at for r in live.records]
+
+    def test_windowed_series_is_replay_stable(self):
+        spec = make_spec(seed=42)
+        live = SwapService(spec)
+        live.run()
+        assert live.windows, "expected windowed samples during the session"
+        log_spec, records = load_request_log(live.request_log())
+        replayed = SwapService.replay(log_spec, records)
+        assert replayed.windows == live.windows
+        sample = live.windows[-1]
+        assert {
+            "t",
+            "total",
+            "commit_rate",
+            "p50_latency",
+            "p99_latency",
+            "priced_out_rate",
+            "accepted",
+            "in_flight",
+        } <= set(sample)
+
+
+class TestRunUntilIdle:
+    def test_idle_on_empty_queue(self):
+        assert Simulator().run_until_idle() == ("idle", 0)
+
+    def test_event_guard_trips_on_perpetual_rescheduler(self):
+        sim = Simulator()
+
+        def tick():
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        reason, processed = sim.run_until_idle(max_events=50)
+        assert reason == "events"
+        assert processed == 50
+
+    def test_wall_guard_trips(self):
+        sim = Simulator()
+
+        def tick():
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        reason, _ = sim.run_until_idle(max_wall_s=0.0)
+        assert reason == "wall"
